@@ -1,0 +1,92 @@
+// Figures 6 and 7: overlay connectivity vs PingInterval.
+//
+// Maintenance-only runs (queries disabled, isolating Ping/Pong traffic,
+// §6.1) under the strain setting LifespanMultiplier=0.2. Shapes:
+//   Fig 6 — (N=1000) the largest connected component shrinks as
+//           PingInterval grows; SMALL caches fragment first (connectivity
+//           needs absolute live entries, which small caches lack);
+//   Fig 7 — (CacheSize=20) the RELATIVE largest component at a given
+//           PingInterval is nearly independent of network size.
+#include <iostream>
+
+#include "common/table.h"
+#include "experiments/harness.h"
+
+int main(int argc, char** argv) {
+  using namespace guess;
+  Flags flags(argc, argv);
+  auto scale = experiments::Scale::from_flags(flags);
+
+  SystemParams base;
+  base.lifespan_multiplier = 0.2;
+  ProtocolParams protocol;
+
+  experiments::print_header(
+      std::cout, "Figures 6/7 — connectivity vs PingInterval",
+      "long ping intervals fragment the conceptual overlay; small caches "
+      "fragment first; relative connectivity is independent of network size",
+      base, protocol, scale);
+
+  struct Connectivity {
+    double weak_mean;
+    double final_weak;
+    double final_strong;
+  };
+  auto run_connectivity = [&](std::size_t n, std::size_t cache,
+                              double interval) {
+    SystemParams system = base;
+    system.network_size = n;
+    ProtocolParams p = protocol;
+    p.cache_size = cache;
+    p.ping_interval = interval;
+    SimulationOptions options = scale.options();
+    options.enable_queries = false;
+    options.sample_connectivity = true;
+    // Connectivity decays over a few mean lifetimes (~3000 s at the 0.2
+    // multiplier); warm up past the initial fully-seeded state and sample
+    // late. Maintenance-only runs are cheap even at N=2000.
+    options.warmup = 2400.0;
+    options.measure = scale.full ? 9600.0 : 3600.0;
+    options.connectivity_sample_interval = 600.0;
+    auto avg = experiments::run_config(system, p, scale, options);
+    return Connectivity{avg.largest_component, avg.final_largest_component,
+                        avg.final_largest_strong_component};
+  };
+
+  const double intervals[] = {10, 60, 120, 240, 480, 600};
+
+  TablePrinter fig6({"PingInterval", "CacheSize", "LCC", "LCC fraction",
+                     "strong LCC (final)"});
+  for (std::size_t cache : {10u, 20u, 50u, 100u, 200u, 500u}) {
+    for (double interval : intervals) {
+      auto lcc = run_connectivity(1000, cache, interval);
+      fig6.add_row({interval, static_cast<std::int64_t>(cache),
+                    lcc.weak_mean, lcc.weak_mean / 1000.0,
+                    lcc.final_strong});
+    }
+  }
+  fig6.print(std::cout, "Figure 6 (NetworkSize=1000)");
+
+  TablePrinter fig7({"PingInterval", "NetworkSize", "LCC", "LCC fraction",
+                     "strong LCC (final)"});
+  for (std::size_t n : {200u, 500u, 1000u, 2000u}) {
+    for (double interval : intervals) {
+      auto lcc = run_connectivity(n, 20, interval);
+      fig7.add_row({interval, static_cast<std::int64_t>(n), lcc.weak_mean,
+                    lcc.weak_mean / static_cast<double>(n),
+                    lcc.final_strong});
+    }
+  }
+  fig7.print(std::cout, "Figure 7 (CacheSize=20)");
+  std::cout << "\nPaper anchors: Fig 6 stays near 1000 for short intervals "
+               "and decays with\nPingInterval, small caches worst; Fig 7's "
+               "LCC fraction is roughly the same\nacross network sizes at "
+               "each interval. The strong component (one-way pointers,\n"
+               "Figure 2's asymmetry) is smaller than the weak one the "
+               "paper plots.\n";
+  if (scale.csv) {
+    std::cout << "\nCSV fig6:\n" << fig6.to_csv();
+    std::cout << "\nCSV fig7:\n" << fig7.to_csv();
+  }
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Figure 8: cost-vs-quality tradeoff of fixed extent (Gnutella), coarse
+// flexible extent (iterative deepening) and fine flexible extent (GUESS).
+//
+// Paper anchors (NetworkSize=1000, defaults):
+//   GUESS Random:        ~99 probes at ~6% unsatisfied
+//   GUESS QueryPong=MFS: ~17 probes at ~8% unsatisfied
+//   Fixed extent:        ~1000 probes for 6%, ~540 probes for 8%
+//   Iterative deepening: in between ("fairly good balance")
+// Shape: the flexible-extent mechanisms sit over an order of magnitude left
+// of the fixed-extent curve at equal unsatisfaction.
+#include <iostream>
+
+#include "baseline/fixed_extent.h"
+#include "baseline/iterative_deepening.h"
+#include "common/table.h"
+#include "experiments/harness.h"
+
+int main(int argc, char** argv) {
+  using namespace guess;
+  Flags flags(argc, argv);
+  auto scale = experiments::Scale::from_flags(flags);
+
+  SystemParams system;  // paper defaults
+  ProtocolParams protocol;
+
+  experiments::print_header(
+      std::cout, "Figure 8 — flexible vs fixed query extent",
+      "GUESS achieves the same unsatisfaction as fixed extent at over an "
+      "order of magnitude fewer probes; iterative deepening lands between",
+      system, protocol, scale);
+
+  // --- fixed-extent curve over the same content model ---
+  content::ContentModel model(system.content);
+  Rng rng(scale.base_seed);
+  baseline::StaticPopulation population(model, system.network_size, rng);
+  std::size_t queries = scale.full ? 50000 : 10000;
+
+  TablePrinter curve({"mechanism", "probes/query", "unsatisfied"});
+  for (std::size_t extent :
+       {1u, 2u, 5u, 10u, 20u, 50u, 100u, 200u, 350u, 540u, 750u, 1000u}) {
+    auto point = baseline::evaluate_fixed_extent(population, model, extent,
+                                                 queries, 1, rng);
+    curve.add_row({std::string("fixed extent ") + std::to_string(extent),
+                   static_cast<double>(extent), point.unsatisfied_rate});
+  }
+
+  auto deepening = baseline::evaluate_iterative_deepening(
+      population, model, baseline::default_schedule(system.network_size),
+      queries, 1, rng);
+  curve.add_row({std::string("iterative deepening (200/500/1000)"),
+                 deepening.avg_cost, deepening.unsatisfied_rate});
+
+  // --- GUESS points from the full simulator ---
+  auto ran = experiments::run_config(system, protocol, scale);
+  curve.add_row({std::string("GUESS (Random)"), ran.probes_per_query,
+                 ran.unsatisfied_rate});
+
+  ProtocolParams mfs_pong = protocol;
+  mfs_pong.query_pong = Policy::kMFS;
+  auto mfs = experiments::run_config(system, mfs_pong, scale);
+  curve.add_row({std::string("GUESS (QueryPong=MFS)"), mfs.probes_per_query,
+                 mfs.unsatisfied_rate});
+
+  curve.print(std::cout, "Figure 8 (cost vs unsatisfaction)");
+  std::cout << "\nPaper anchors: GUESS Random ~99 probes @ ~6% unsat, "
+               "QueryPong=MFS ~17 probes @ ~8%;\nfixed extent needs "
+               "~540-1000 probes for the same quality.\n";
+  if (scale.csv) std::cout << "\nCSV:\n" << curve.to_csv();
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Figures 14 and 15: limited peer capacity (MaxProbesPerSecond) under the
+// load-concentrating MR policies.
+//
+// Shapes to reproduce:
+//   Fig 14 — refused probes/query GROW with network size as capacity
+//            shrinks (hot peers sit in many caches), while good and dead
+//            probes stay roughly flat;
+//   Fig 15 — query satisfaction is barely affected even when many probes
+//            are refused (the implicit throttle reroutes load).
+#include <algorithm>
+#include <iostream>
+
+#include "common/table.h"
+#include "experiments/harness.h"
+
+int main(int argc, char** argv) {
+  using namespace guess;
+  Flags flags(argc, argv);
+  auto scale = experiments::Scale::from_flags(flags);
+
+  SystemParams base;
+  ProtocolParams protocol =
+      experiments::PolicyCombo::from_name("MR").apply(ProtocolParams{});
+
+  experiments::print_header(
+      std::cout, "Figures 14/15 — capacity limits (MR policies)",
+      "refused probes grow with network size under tight capacity, but "
+      "satisfaction stays flat",
+      base, protocol, scale);
+
+  TablePrinter table({"NetworkSize", "MaxProbes/s", "Good/Query",
+                      "Refused/Query", "DeadIPs/Query", "Unsatisfied"});
+
+  for (std::size_t n : {500u, 1000u, 2000u, 5000u}) {
+    for (std::uint32_t cap : {50u, 10u, 5u, 1u}) {
+      SystemParams system = base;
+      system.network_size = n;
+      system.max_probes_per_second = cap;
+      SimulationOptions options = scale.options();
+      double shrink = std::min(1.0, 1000.0 / static_cast<double>(n));
+      options.measure = std::max(scale.measure * shrink, 300.0);
+      auto avg = experiments::run_config(system, protocol, scale, options);
+      table.add_row({static_cast<std::int64_t>(n),
+                     static_cast<std::int64_t>(cap), avg.good_per_query,
+                     avg.refused_per_query, avg.dead_per_query,
+                     avg.unsatisfied_rate});
+    }
+  }
+  table.print(std::cout, "Figures 14+15 (probe breakdown and satisfaction)");
+  std::cout << "\nPaper anchors: refused probes rise with NetworkSize at "
+               "tight caps (Fig 14)\nwhile the unsatisfied rate barely "
+               "moves (Fig 15).\n";
+  if (scale.csv) std::cout << "\nCSV:\n" << table.to_csv();
+  return 0;
+}

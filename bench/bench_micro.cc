@@ -1,0 +1,139 @@
+// Micro-benchmarks (google-benchmark) for the hot data structures: the
+// per-probe costs that bound how large a network the simulator can sweep.
+#include <benchmark/benchmark.h>
+
+#include "analysis/overlay_graph.h"
+#include "common/rng.h"
+#include "common/zipf.h"
+#include "content/content_model.h"
+#include "guess/link_cache.h"
+#include "guess/query_execution.h"
+#include "sim/event_queue.h"
+
+namespace guess {
+namespace {
+
+LinkCache filled_cache(std::size_t size, Rng& rng) {
+  LinkCache cache(0, size);
+  for (PeerId id = 1; id <= size; ++id) {
+    cache.insert_free(CacheEntry{
+        id, rng.uniform(0.0, 1000.0),
+        static_cast<std::uint32_t>(rng.uniform_int(0, 2000)),
+        static_cast<std::uint32_t>(rng.uniform_int(0, 5))});
+  }
+  return cache;
+}
+
+void BM_LinkCacheOfferLfs(benchmark::State& state) {
+  Rng rng(1);
+  LinkCache cache = filled_cache(static_cast<std::size_t>(state.range(0)),
+                                 rng);
+  PeerId next = 10000;
+  for (auto _ : state) {
+    CacheEntry entry{next++, 0.0,
+                     static_cast<std::uint32_t>(rng.uniform_int(0, 2000)), 0};
+    benchmark::DoNotOptimize(cache.offer(entry, Replacement::kLFS, rng));
+  }
+}
+BENCHMARK(BM_LinkCacheOfferLfs)->Arg(20)->Arg(100)->Arg(500);
+
+void BM_LinkCacheOfferRandom(benchmark::State& state) {
+  Rng rng(1);
+  LinkCache cache = filled_cache(static_cast<std::size_t>(state.range(0)),
+                                 rng);
+  PeerId next = 10000;
+  for (auto _ : state) {
+    CacheEntry entry{next++, 0.0, 10, 0};
+    benchmark::DoNotOptimize(cache.offer(entry, Replacement::kRandom, rng));
+  }
+}
+BENCHMARK(BM_LinkCacheOfferRandom)->Arg(100)->Arg(500);
+
+void BM_LinkCacheSelectTopMfs(benchmark::State& state) {
+  Rng rng(1);
+  LinkCache cache = filled_cache(static_cast<std::size_t>(state.range(0)),
+                                 rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.select_top(Policy::kMFS, 5, rng));
+  }
+}
+BENCHMARK(BM_LinkCacheSelectTopMfs)->Arg(20)->Arg(100)->Arg(500);
+
+void BM_LinkCacheSelectTopRandom(benchmark::State& state) {
+  Rng rng(1);
+  LinkCache cache = filled_cache(static_cast<std::size_t>(state.range(0)),
+                                 rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.select_top(Policy::kRandom, 5, rng));
+  }
+}
+BENCHMARK(BM_LinkCacheSelectTopRandom)->Arg(100)->Arg(500);
+
+void BM_ZipfSample(benchmark::State& state) {
+  ZipfDistribution zipf(static_cast<std::size_t>(state.range(0)), 0.8);
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.sample(rng));
+  }
+}
+BENCHMARK(BM_ZipfSample)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_QueryCandidateChurn(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    QueryExecution query(0, 1, 1, Policy::kMR, 0.0);
+    for (PeerId id = 1; id <= 200; ++id) {
+      query.add_candidate(
+          CacheEntry{id, 0.0, 0,
+                     static_cast<std::uint32_t>(rng.uniform_int(0, 5))},
+          rng);
+    }
+    while (query.next_candidate()) {
+    }
+    benchmark::DoNotOptimize(query.seen());
+  }
+}
+BENCHMARK(BM_QueryCandidateChurn);
+
+void BM_EventQueueScheduleAndPop(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    sim::EventQueue queue;
+    for (int i = 0; i < 1000; ++i) {
+      queue.schedule(rng.uniform(0.0, 100.0), [] {});
+    }
+    sim::Time at = 0.0;
+    while (!queue.empty()) {
+      benchmark::DoNotOptimize(queue.pop(at));
+    }
+  }
+}
+BENCHMARK(BM_EventQueueScheduleAndPop);
+
+void BM_OverlayLargestWeakComponent(benchmark::State& state) {
+  Rng rng(1);
+  auto n = static_cast<std::size_t>(state.range(0));
+  analysis::OverlayGraph graph;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (int e = 0; e < 10; ++e) {
+      graph.add_edge(i, rng.index(n));
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph.largest_weak_component());
+  }
+}
+BENCHMARK(BM_OverlayLargestWeakComponent)->Arg(1000)->Arg(5000);
+
+void BM_SampleLibrary(benchmark::State& state) {
+  content::ContentModel model{content::ContentParams{}};
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        model.sample_library(static_cast<std::size_t>(state.range(0)), rng));
+  }
+}
+BENCHMARK(BM_SampleLibrary)->Arg(30)->Arg(300)->Arg(1500);
+
+}  // namespace
+}  // namespace guess

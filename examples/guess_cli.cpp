@@ -1,0 +1,150 @@
+// guess_cli: a command-line front end exposing every Table 1/2 parameter
+// plus the extension knobs — the tool a downstream user runs to explore
+// configurations without writing code.
+//
+//   ./build/examples/guess_cli --help
+//   ./build/examples/guess_cli --n=2000 --query-pong=MFS --cache-size=50
+//       --bad=10 --bad-behavior=Bad --detection --measure=3600
+#include <iostream>
+
+#include "analysis/load_analysis.h"
+#include "common/flags.h"
+#include "guess/simulation.h"
+
+namespace {
+
+void print_help() {
+  std::cout << R"(guess_cli — simulate a GUESS network (paper defaults unless overridden)
+
+System (Table 1):
+  --n=1000                 NetworkSize
+  --desired=1              NumDesiredResults
+  --lifespan=1.0           LifespanMultiplier
+  --query-rate=0.00926     queries per user per second
+  --max-probes-per-sec=100 MaxProbesPerSecond
+  --bad=0                  PercentBadPeers (0..100)
+  --bad-behavior=Dead      Dead | Bad (collusion)
+  --selfish=0              percent of selfish peers (§3.3)
+
+Protocol (Table 2):
+  --query-probe=Ran --query-pong=Ran --ping-probe=Ran --ping-pong=Ran
+                           Ran | MRU | LRU | MFS | MR
+  --replacement=Ran        Ran | LRU | MRU | LFS | LR (what gets evicted)
+  --ping-interval=30 --cache-size=100 --pong-size=5 --intro-prob=0.1
+  --reset-num-results      MR* ingestion (first-hand NumRes only)
+  --backoff                DoBackoff on refused probes
+  --parallel=1             probes per slot (§6.2 walks)
+
+Extensions:
+  --payments               probe-payment economy (§3.3)
+  --detection              malicious-peer detection + adaptive MR->MR* (§6.4)
+  --reseed                 pong-server rebootstrap (§6.1)
+  --adaptive-ping          adaptive PingInterval (§6.1)
+  --adaptive-parallel      adaptive probe-rate ramp (§6.2)
+  --no-query-cache         ablate the query cache (§2.3)
+
+Run control:
+  --seed=42 --warmup=600 --measure=2400 --connectivity
+)";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  guess::Flags flags(argc, argv);
+  if (flags.has("help")) {
+    print_help();
+    return 0;
+  }
+
+  guess::SystemParams system;
+  system.network_size =
+      static_cast<std::size_t>(flags.get_int("n", 1000));
+  system.num_desired_results =
+      static_cast<std::size_t>(flags.get_int("desired", 1));
+  system.lifespan_multiplier = flags.get_double("lifespan", 1.0);
+  system.query_rate = flags.get_double("query-rate", 9.26e-3);
+  system.max_probes_per_second =
+      static_cast<std::uint32_t>(flags.get_int("max-probes-per-sec", 100));
+  system.percent_bad_peers = flags.get_double("bad", 0.0);
+  system.bad_pong_behavior =
+      flags.get_string("bad-behavior", "Dead") == "Bad"
+          ? guess::BadPongBehavior::kBad
+          : guess::BadPongBehavior::kDead;
+  system.percent_selfish_peers = flags.get_double("selfish", 0.0);
+
+  guess::ProtocolParams protocol;
+  protocol.query_probe =
+      guess::parse_policy(flags.get_string("query-probe", "Ran"));
+  protocol.query_pong =
+      guess::parse_policy(flags.get_string("query-pong", "Ran"));
+  protocol.ping_probe =
+      guess::parse_policy(flags.get_string("ping-probe", "Ran"));
+  protocol.ping_pong =
+      guess::parse_policy(flags.get_string("ping-pong", "Ran"));
+  protocol.cache_replacement =
+      guess::parse_replacement(flags.get_string("replacement", "Ran"));
+  protocol.ping_interval = flags.get_double("ping-interval", 30.0);
+  protocol.cache_size =
+      static_cast<std::size_t>(flags.get_int("cache-size", 100));
+  protocol.pong_size =
+      static_cast<std::size_t>(flags.get_int("pong-size", 5));
+  protocol.intro_prob = flags.get_double("intro-prob", 0.1);
+  protocol.reset_num_results = flags.get_bool("reset-num-results", false);
+  protocol.do_backoff = flags.get_bool("backoff", false);
+  protocol.parallel_probes =
+      static_cast<std::size_t>(flags.get_int("parallel", 1));
+  protocol.payments.enabled = flags.get_bool("payments", false);
+  protocol.detection.enabled = flags.get_bool("detection", false);
+  protocol.bootstrap.pong_server_reseed = flags.get_bool("reseed", false);
+  protocol.adaptive_ping.enabled = flags.get_bool("adaptive-ping", false);
+  protocol.adaptive_parallel = flags.get_bool("adaptive-parallel", false);
+  protocol.use_query_cache = !flags.get_bool("no-query-cache", false);
+
+  guess::SimulationOptions options;
+  options.seed = flags.seed();
+  options.warmup = flags.get_double("warmup", 600.0);
+  options.measure = flags.get_double("measure", 2400.0);
+  options.sample_connectivity = flags.get_bool("connectivity", false);
+
+  std::cout << "system:   " << guess::describe(system) << "\n"
+            << "protocol: " << guess::describe(protocol) << "\n"
+            << "running " << options.warmup << "s warmup + "
+            << options.measure << "s measurement (seed " << options.seed
+            << ")...\n\n";
+
+  guess::GuessSimulation simulation(system, protocol, options);
+  guess::SimulationResults results = simulation.run();
+  auto load = guess::analysis::summarize_load(results.peer_loads);
+
+  std::cout << "queries completed     " << results.queries_completed << "\n"
+            << "unsatisfied           " << 100.0 * results.unsatisfied_rate()
+            << " %\n"
+            << "probes/query          " << results.probes_per_query()
+            << "  (good " << results.good_probes_per_query() << ", dead "
+            << results.dead_probes_per_query() << ", refused "
+            << results.refused_probes_per_query() << ")\n"
+            << "response time         " << results.response_time.mean()
+            << " s mean, " << results.response_time.max() << " s max\n"
+            << "cache health          " << results.cache_health.fraction_live
+            << " live fraction, " << results.cache_health.good_entries
+            << " good entries\n"
+            << "load                  gini " << load.gini << ", top peer "
+            << load.max << " probes\n"
+            << "peer deaths           " << results.deaths << "\n";
+  if (options.sample_connectivity) {
+    std::cout << "largest component     " << results.largest_component.mean()
+              << " (mean of samples)\n";
+  }
+  if (system.percent_selfish_peers > 0.0) {
+    std::cout << "honest:  " << results.honest.probes_per_query()
+              << " probes/q, " << 100.0 * results.honest.unsatisfied_rate()
+              << "% unsat, " << results.honest.response_time.mean()
+              << " s\n"
+              << "selfish: " << results.selfish.probes_per_query()
+              << " probes/q, " << 100.0 * results.selfish.unsatisfied_rate()
+              << "% unsat, " << results.selfish.response_time.mean()
+              << " s\n";
+  }
+  return 0;
+}

@@ -1,0 +1,73 @@
+#include "analysis/load_analysis.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace guess::analysis {
+
+double gini_coefficient(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  double total = 0.0;
+  double weighted = 0.0;
+  auto n = static_cast<double>(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    GUESS_CHECK_MSG(values[i] >= 0.0, "loads must be non-negative");
+    total += values[i];
+    weighted += static_cast<double>(i + 1) * values[i];
+  }
+  if (total == 0.0) return 0.0;
+  return (2.0 * weighted) / (n * total) - (n + 1.0) / n;
+}
+
+double top_share(std::vector<double> values, double fraction) {
+  GUESS_CHECK(fraction > 0.0 && fraction <= 1.0);
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end(), std::greater<>());
+  double total = 0.0;
+  for (double v : values) total += v;
+  if (total == 0.0) return 0.0;
+  auto k = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::llround(
+             fraction * static_cast<double>(values.size()))));
+  double top = 0.0;
+  for (std::size_t i = 0; i < k; ++i) top += values[i];
+  return top / total;
+}
+
+LoadSummary summarize_load(const SampleSet& loads) {
+  LoadSummary out;
+  if (loads.empty()) return out;
+  const auto& values = loads.values();
+  for (double v : values) out.total += v;
+  out.mean = loads.mean();
+  out.max = loads.max();
+  out.p99 = loads.percentile(99.0);
+  out.gini = gini_coefficient(values);
+  out.top1pct_share = top_share(values, 0.01);
+  return out;
+}
+
+std::vector<std::pair<std::size_t, double>> ranked_curve(
+    const SampleSet& loads, std::size_t max_points) {
+  GUESS_CHECK(max_points >= 2);
+  std::vector<std::pair<std::size_t, double>> curve;
+  if (loads.empty()) return curve;
+  std::vector<double> sorted = loads.sorted_descending();
+  // Log-spaced ranks from 1 to n, deduplicated.
+  double log_n = std::log(static_cast<double>(sorted.size()));
+  std::size_t last = 0;
+  for (std::size_t p = 0; p < max_points; ++p) {
+    double t = static_cast<double>(p) / static_cast<double>(max_points - 1);
+    auto rank = static_cast<std::size_t>(std::llround(std::exp(t * log_n)));
+    rank = std::clamp<std::size_t>(rank, 1, sorted.size());
+    if (!curve.empty() && rank == last) continue;
+    curve.emplace_back(rank, sorted[rank - 1]);
+    last = rank;
+  }
+  return curve;
+}
+
+}  // namespace guess::analysis

@@ -1,0 +1,34 @@
+// Load-distribution analysis for the fairness study (Figure 13).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace guess::analysis {
+
+/// Summary of how evenly a load sample is spread across peers.
+struct LoadSummary {
+  double total = 0.0;
+  double mean = 0.0;
+  double max = 0.0;
+  double p99 = 0.0;
+  double gini = 0.0;        ///< 0 = perfectly even, 1 = one peer does it all
+  double top1pct_share = 0.0;  ///< fraction of load carried by the top 1%
+};
+
+LoadSummary summarize_load(const SampleSet& loads);
+
+/// Gini coefficient of a non-negative sample (0 when empty or all-zero).
+double gini_coefficient(std::vector<double> values);
+
+/// Share of total carried by the `fraction` highest-loaded peers.
+double top_share(std::vector<double> values, double fraction);
+
+/// The ranked curve of Figure 13, decimated to at most `max_points` rows
+/// (log-spaced ranks, as in the paper's log-scale x axis).
+std::vector<std::pair<std::size_t, double>> ranked_curve(
+    const SampleSet& loads, std::size_t max_points);
+
+}  // namespace guess::analysis

@@ -1,0 +1,48 @@
+// Connectivity analysis of the GUESS "conceptual overlay" (Figures 6, 7).
+//
+// The overlay is the digraph formed by live peers' link-cache entries that
+// point to live peers. Fragmentation in the paper's sense is loss of weak
+// connectivity; the strong variant is also provided since one-way neighbor
+// relationships make reachability asymmetric (§2.1, Figure 2).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace guess::analysis {
+
+class OverlayGraph {
+ public:
+  using NodeId = std::uint64_t;
+
+  /// Register a node (id may be added repeatedly; edges auto-add nodes).
+  void add_node(NodeId node);
+
+  /// Directed edge from -> to.
+  void add_edge(NodeId from, NodeId to);
+
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t edge_count() const { return edge_count_; }
+
+  /// Size of the largest weakly connected component (edge direction
+  /// ignored) — the paper's "largest connected component".
+  std::size_t largest_weak_component() const;
+
+  /// Size of the largest strongly connected component (Tarjan).
+  std::size_t largest_strong_component() const;
+
+  /// Out-degree distribution summary: mean out-degree over all nodes.
+  double mean_out_degree() const;
+
+ private:
+  std::size_t dense_id(NodeId node);
+
+  std::unordered_map<NodeId, std::size_t> index_;
+  std::vector<NodeId> nodes_;
+  std::vector<std::vector<std::size_t>> out_;
+  std::size_t edge_count_ = 0;
+};
+
+}  // namespace guess::analysis

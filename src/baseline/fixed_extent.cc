@@ -1,0 +1,38 @@
+#include "baseline/fixed_extent.h"
+
+#include "common/check.h"
+
+namespace guess::baseline {
+
+ExtentPoint evaluate_fixed_extent(const StaticPopulation& population,
+                                  const content::ContentModel& model,
+                                  std::size_t extent,
+                                  std::size_t num_queries,
+                                  std::uint32_t desired_results, Rng& rng) {
+  GUESS_CHECK(num_queries > 0);
+  GUESS_CHECK(desired_results >= 1);
+  std::size_t unsatisfied = 0;
+  for (std::size_t q = 0; q < num_queries; ++q) {
+    content::FileId file = model.draw_query(rng);
+    if (population.results_in_sample(file, extent, rng) < desired_results) {
+      ++unsatisfied;
+    }
+  }
+  return ExtentPoint{extent, static_cast<double>(unsatisfied) /
+                                 static_cast<double>(num_queries)};
+}
+
+std::vector<ExtentPoint> fixed_extent_curve(
+    const StaticPopulation& population, const content::ContentModel& model,
+    const std::vector<std::size_t>& extents, std::size_t num_queries,
+    std::uint32_t desired_results, Rng& rng) {
+  std::vector<ExtentPoint> curve;
+  curve.reserve(extents.size());
+  for (std::size_t extent : extents) {
+    curve.push_back(evaluate_fixed_extent(population, model, extent,
+                                          num_queries, desired_results, rng));
+  }
+  return curve;
+}
+
+}  // namespace guess::baseline

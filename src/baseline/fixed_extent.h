@@ -1,0 +1,35 @@
+// Fixed-extent search — the "Gnutella" comparator of Figure 8.
+//
+// Every query reaches exactly `extent` peers regardless of popularity: too
+// many for popular items, too few for rare ones. The paper sweeps extent
+// from 1 to NetworkSize and plots cost (= extent) against unsatisfaction.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "baseline/static_population.h"
+#include "common/rng.h"
+#include "content/content_model.h"
+
+namespace guess::baseline {
+
+struct ExtentPoint {
+  std::size_t extent = 0;       ///< probes per query (the fixed cost)
+  double unsatisfied_rate = 0.0;
+};
+
+/// Monte-Carlo estimate of the unsatisfaction rate at one fixed extent.
+ExtentPoint evaluate_fixed_extent(const StaticPopulation& population,
+                                  const content::ContentModel& model,
+                                  std::size_t extent,
+                                  std::size_t num_queries,
+                                  std::uint32_t desired_results, Rng& rng);
+
+/// The full tradeoff curve for a set of extents (Figure 8's dashed line).
+std::vector<ExtentPoint> fixed_extent_curve(
+    const StaticPopulation& population, const content::ContentModel& model,
+    const std::vector<std::size_t>& extents, std::size_t num_queries,
+    std::uint32_t desired_results, Rng& rng);
+
+}  // namespace guess::baseline

@@ -1,0 +1,54 @@
+#include "baseline/static_population.h"
+
+#include "common/check.h"
+
+namespace guess::baseline {
+
+StaticPopulation::StaticPopulation(const content::ContentModel& model,
+                                   std::size_t size, Rng& rng) {
+  GUESS_CHECK(size > 0);
+  libraries_.reserve(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    libraries_.push_back(model.sample_peer_library(rng));
+  }
+}
+
+const content::Library& StaticPopulation::library(std::size_t peer) const {
+  GUESS_CHECK(peer < libraries_.size());
+  return libraries_[peer];
+}
+
+std::uint32_t StaticPopulation::results_in_sample(content::FileId file,
+                                                  std::size_t extent,
+                                                  Rng& rng) const {
+  if (file == content::kNonexistentFile) return 0;
+  extent = std::min(extent, libraries_.size());
+  std::uint32_t results = 0;
+  for (std::size_t idx : rng.sample_indices(libraries_.size(), extent)) {
+    if (libraries_[idx].contains(file)) ++results;
+  }
+  return results;
+}
+
+std::uint32_t StaticPopulation::results_in_prefix(
+    content::FileId file, const std::vector<std::size_t>& order,
+    std::size_t begin, std::size_t end) const {
+  GUESS_CHECK(begin <= end && end <= order.size());
+  if (file == content::kNonexistentFile) return 0;
+  std::uint32_t results = 0;
+  for (std::size_t i = begin; i < end; ++i) {
+    if (libraries_[order[i]].contains(file)) ++results;
+  }
+  return results;
+}
+
+std::uint32_t StaticPopulation::total_replicas(content::FileId file) const {
+  if (file == content::kNonexistentFile) return 0;
+  std::uint32_t replicas = 0;
+  for (const auto& lib : libraries_) {
+    if (lib.contains(file)) ++replicas;
+  }
+  return replicas;
+}
+
+}  // namespace guess::baseline

@@ -1,0 +1,44 @@
+// A static snapshot of peer libraries, shared by the non-GUESS baselines.
+//
+// The fixed-extent ("Gnutella") and iterative-deepening comparators of
+// Figure 8 are defined purely by *how many* peers see a query — overlay
+// details do not matter for their cost/quality tradeoff, so the paper (and
+// we) evaluate them against the population directly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "content/content_model.h"
+
+namespace guess::baseline {
+
+class StaticPopulation {
+ public:
+  /// Materialize `size` peers with libraries drawn from the content model.
+  StaticPopulation(const content::ContentModel& model, std::size_t size,
+                   Rng& rng);
+
+  std::size_t size() const { return libraries_.size(); }
+  const content::Library& library(std::size_t peer) const;
+
+  /// Results for `file` among `extent` distinct uniformly chosen peers.
+  std::uint32_t results_in_sample(content::FileId file, std::size_t extent,
+                                  Rng& rng) const;
+
+  /// Results for `file` across a fixed ordering prefix: peers
+  /// order[0..extent). Used by iterative deepening, where each deeper ring
+  /// extends (not resamples) the previous one.
+  std::uint32_t results_in_prefix(content::FileId file,
+                                  const std::vector<std::size_t>& order,
+                                  std::size_t begin, std::size_t end) const;
+
+  /// Total replicas of `file` in the population (exact satisfiability).
+  std::uint32_t total_replicas(content::FileId file) const;
+
+ private:
+  std::vector<content::Library> libraries_;
+};
+
+}  // namespace guess::baseline

@@ -1,0 +1,39 @@
+#include "churn/churn_manager.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace guess::churn {
+
+ChurnManager::ChurnManager(sim::Simulator& simulator,
+                           LifetimeDistribution lifetimes, Rng rng,
+                           std::function<void(PeerId)> on_death)
+    : simulator_(simulator),
+      lifetimes_(lifetimes),
+      rng_(std::move(rng)),
+      on_death_(std::move(on_death)) {
+  GUESS_CHECK(on_death_ != nullptr);
+}
+
+sim::Duration ChurnManager::register_peer(PeerId id) {
+  sim::Duration life = lifetimes_.sample(rng_);
+  schedule_death(id, life);
+  return life;
+}
+
+sim::Duration ChurnManager::register_peer_scaled(PeerId id, double fraction) {
+  GUESS_CHECK(fraction > 0.0 && fraction <= 1.0);
+  sim::Duration life = lifetimes_.sample(rng_) * fraction;
+  schedule_death(id, life);
+  return life;
+}
+
+void ChurnManager::schedule_death(PeerId id, sim::Duration in) {
+  simulator_.after(in, [this, id]() {
+    ++deaths_;
+    on_death_(id);
+  });
+}
+
+}  // namespace guess::churn

@@ -1,0 +1,53 @@
+// Death/birth scheduling for a constant-population network.
+//
+// The paper's model: when a peer dies it never returns, and a new peer is
+// born immediately, keeping exactly NetworkSize peers alive. The churn
+// manager samples a lifetime whenever a peer is registered, schedules its
+// death, and invokes a client callback that performs the death and the
+// replacement birth (the client re-registers the newborn).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "churn/lifetime.h"
+#include "common/rng.h"
+#include "sim/simulator.h"
+
+namespace guess::churn {
+
+using PeerId = std::uint64_t;
+
+class ChurnManager {
+ public:
+  /// `on_death(id)` is called exactly once per registered peer, at its death
+  /// time. The callback typically kills the peer in the network and births a
+  /// replacement, registering the replacement with register_peer().
+  ChurnManager(sim::Simulator& simulator, LifetimeDistribution lifetimes,
+               Rng rng, std::function<void(PeerId)> on_death);
+
+  /// Sample a lifetime for `id` and schedule its death. A peer whose death
+  /// should not be simulated (e.g. an immortal attacker in a worst-case
+  /// scenario) is simply never registered.
+  /// @returns the sampled lifetime, for logging/tests.
+  sim::Duration register_peer(PeerId id);
+
+  /// Register with a residual lifetime drawn as a fresh sample scaled by
+  /// `fraction`. Used to start the initial population "mid-session" so the
+  /// simulation does not begin with a synchronized death wave.
+  sim::Duration register_peer_scaled(PeerId id, double fraction);
+
+  std::uint64_t deaths() const { return deaths_; }
+  const LifetimeDistribution& lifetimes() const { return lifetimes_; }
+
+ private:
+  void schedule_death(PeerId id, sim::Duration in);
+
+  sim::Simulator& simulator_;
+  LifetimeDistribution lifetimes_;
+  Rng rng_;
+  std::function<void(PeerId)> on_death_;
+  std::uint64_t deaths_ = 0;
+};
+
+}  // namespace guess::churn

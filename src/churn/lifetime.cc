@@ -1,0 +1,46 @@
+#include "churn/lifetime.h"
+
+#include "common/check.h"
+
+namespace guess::churn {
+
+namespace {
+// Synthetic session-duration quantile table modeled on the CDF published by
+// Saroiu et al. [18] for Gnutella peers (values in seconds). Median 60 min,
+// ~20% under 10 min, heavy upper tail capped at 3 days (sessions longer than
+// the measurement window are indistinguishable from "very long").
+const EmpiricalDistribution& saroiu_table() {
+  static const EmpiricalDistribution table({
+      {0.00, 30.0},        // sub-minute flappers
+      {0.10, 240.0},       // 4 min
+      {0.20, 600.0},       // 10 min
+      {0.35, 1500.0},      // 25 min
+      {0.50, 3600.0},      // 60 min (median, per [18])
+      {0.65, 7200.0},      // 2 h
+      {0.80, 16200.0},     // 4.5 h
+      {0.90, 36000.0},     // 10 h
+      {0.97, 86400.0},     // 1 day
+      {1.00, 259200.0},    // 3 days
+  });
+  return table;
+}
+}  // namespace
+
+LifetimeDistribution::LifetimeDistribution(double multiplier)
+    : multiplier_(multiplier) {
+  GUESS_CHECK_MSG(multiplier > 0.0, "LifespanMultiplier must be positive");
+}
+
+sim::Duration LifetimeDistribution::sample(Rng& rng) const {
+  return saroiu_table().sample(rng) * multiplier_;
+}
+
+sim::Duration LifetimeDistribution::mean() const {
+  return saroiu_table().mean() * multiplier_;
+}
+
+const EmpiricalDistribution& LifetimeDistribution::base_distribution() {
+  return saroiu_table();
+}
+
+}  // namespace guess::churn

@@ -1,0 +1,46 @@
+// Precondition / invariant checking for guesslib.
+//
+// GUESS_CHECK fires in all build types: violated preconditions on a simulation
+// substrate silently corrupt results, which is worse than a crash. The macro
+// throws (rather than aborting) so tests can assert on misuse.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace guess {
+
+/// Error thrown when a GUESS_CHECK condition is violated.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* cond, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "GUESS_CHECK failed: " << cond << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace guess
+
+#define GUESS_CHECK(cond)                                              \
+  do {                                                                 \
+    if (!(cond))                                                       \
+      ::guess::detail::check_failed(#cond, __FILE__, __LINE__, "");    \
+  } while (false)
+
+#define GUESS_CHECK_MSG(cond, msg)                                     \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      std::ostringstream os_;                                          \
+      os_ << msg;                                                      \
+      ::guess::detail::check_failed(#cond, __FILE__, __LINE__,         \
+                                    os_.str());                        \
+    }                                                                  \
+  } while (false)

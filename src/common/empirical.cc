@@ -1,0 +1,46 @@
+#include "common/empirical.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace guess {
+
+EmpiricalDistribution::EmpiricalDistribution(std::vector<Point> table)
+    : table_(std::move(table)) {
+  GUESS_CHECK(table_.size() >= 2);
+  GUESS_CHECK(table_.front().quantile == 0.0);
+  GUESS_CHECK(table_.back().quantile == 1.0);
+  for (std::size_t i = 1; i < table_.size(); ++i) {
+    GUESS_CHECK_MSG(table_[i].quantile > table_[i - 1].quantile,
+                    "quantiles must be strictly increasing");
+    GUESS_CHECK_MSG(table_[i].value >= table_[i - 1].value,
+                    "values must be non-decreasing");
+  }
+}
+
+double EmpiricalDistribution::quantile(double q) const {
+  GUESS_CHECK(q >= 0.0 && q <= 1.0);
+  auto it = std::lower_bound(
+      table_.begin(), table_.end(), q,
+      [](const Point& p, double v) { return p.quantile < v; });
+  if (it == table_.begin()) return it->value;
+  if (it == table_.end()) return table_.back().value;
+  const Point& hi = *it;
+  const Point& lo = *(it - 1);
+  double t = (q - lo.quantile) / (hi.quantile - lo.quantile);
+  return lo.value + t * (hi.value - lo.value);
+}
+
+double EmpiricalDistribution::mean() const {
+  // Integrate the piecewise-linear inverse CDF over [0,1]: each segment
+  // contributes its width times the midpoint value.
+  double acc = 0.0;
+  for (std::size_t i = 1; i < table_.size(); ++i) {
+    double width = table_[i].quantile - table_[i - 1].quantile;
+    acc += width * 0.5 * (table_[i].value + table_[i - 1].value);
+  }
+  return acc;
+}
+
+}  // namespace guess

@@ -1,0 +1,41 @@
+// Empirical distribution described by a quantile table.
+//
+// Used to synthesize "measured" distributions the paper resamples from
+// (peer session lifetimes, files shared per peer — Saroiu et al. [18]).
+// The table lists (quantile, value) points of the CDF; sampling inverts the
+// CDF with piecewise-linear interpolation between points, giving a continuous
+// heavy-tailed distribution from a handful of published percentiles.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace guess {
+
+/// Piecewise-linear inverse-CDF sampler.
+class EmpiricalDistribution {
+ public:
+  struct Point {
+    double quantile;  // in [0, 1], strictly increasing across the table
+    double value;     // non-decreasing across the table
+  };
+
+  /// The table must start at quantile 0 and end at quantile 1.
+  explicit EmpiricalDistribution(std::vector<Point> table);
+
+  /// Draw a value.
+  double sample(Rng& rng) const { return quantile(rng.uniform()); }
+
+  /// Inverse CDF at q in [0, 1].
+  double quantile(double q) const;
+
+  /// Mean of the piecewise-linear distribution (exact, closed form).
+  double mean() const;
+
+ private:
+  std::vector<Point> table_;
+};
+
+}  // namespace guess

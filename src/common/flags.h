@@ -1,0 +1,42 @@
+// Minimal --key=value command-line parsing for bench and example binaries.
+//
+// Every harness accepts the same small vocabulary (--full, --seed=, --seeds=,
+// plus harness-specific overrides); this keeps them dependency-free.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace guess {
+
+/// Parsed command line: positional arguments are rejected, flags are
+/// `--name`, `--name=value`.
+class Flags {
+ public:
+  /// Throws CheckError on malformed arguments.
+  Flags(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+
+  /// Boolean flag: present without value, or =true/=false/=1/=0.
+  bool get_bool(const std::string& name, bool fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  std::string get_string(const std::string& name,
+                         const std::string& fallback) const;
+
+  /// Common harness conventions.
+  bool full() const { return get_bool("full", false); }
+  std::uint64_t seed() const {
+    return static_cast<std::uint64_t>(get_int("seed", 42));
+  }
+  int seeds() const { return static_cast<int>(get_int("seeds", 0)); }
+
+ private:
+  std::optional<std::string> raw(const std::string& name) const;
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace guess

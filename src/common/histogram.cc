@@ -1,0 +1,58 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace guess {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  GUESS_CHECK(hi > lo);
+  GUESS_CHECK(bins > 0);
+}
+
+void Histogram::add(double x) {
+  auto bin = static_cast<std::int64_t>(std::floor((x - lo_) / width_));
+  bin = std::clamp<std::int64_t>(bin, 0,
+                                 static_cast<std::int64_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+std::uint64_t Histogram::count(std::size_t bin) const {
+  GUESS_CHECK(bin < counts_.size());
+  return counts_[bin];
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  GUESS_CHECK(bin < counts_.size());
+  return lo_ + width_ * static_cast<double>(bin);
+}
+
+double Histogram::bin_hi(std::size_t bin) const {
+  GUESS_CHECK(bin < counts_.size());
+  return lo_ + width_ * static_cast<double>(bin + 1);
+}
+
+std::string Histogram::to_string(std::size_t max_width) const {
+  std::uint64_t peak = 0;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::ostringstream os;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    if (counts_[b] == 0) continue;
+    auto bar = peak == 0 ? 0
+                         : static_cast<std::size_t>(
+                               static_cast<double>(counts_[b]) /
+                               static_cast<double>(peak) *
+                               static_cast<double>(max_width));
+    os << "[" << bin_lo(b) << ", " << bin_hi(b) << ") " << counts_[b] << " "
+       << std::string(bar, '#') << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace guess

@@ -1,0 +1,35 @@
+// Fixed-width histogram for distribution reporting in benches.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace guess {
+
+/// Linear-bin histogram over [lo, hi); values outside are clamped into the
+/// first/last bin so total counts are preserved.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+
+  std::size_t bins() const { return counts_.size(); }
+  std::uint64_t count(std::size_t bin) const;
+  std::uint64_t total() const { return total_; }
+  double bin_lo(std::size_t bin) const;
+  double bin_hi(std::size_t bin) const;
+
+  /// Render a compact ASCII view (one line per non-empty bin).
+  std::string to_string(std::size_t max_width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace guess

@@ -1,0 +1,33 @@
+#include "common/rng.h"
+
+#include <unordered_set>
+
+namespace guess {
+
+std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
+  GUESS_CHECK(k <= n);
+  std::vector<std::size_t> out;
+  out.reserve(k);
+  if (k == 0) return out;
+  // Dense case: partial Fisher–Yates over an explicit index vector.
+  if (k * 3 >= n) {
+    std::vector<std::size_t> all(n);
+    for (std::size_t i = 0; i < n; ++i) all[i] = i;
+    for (std::size_t i = 0; i < k; ++i) {
+      std::size_t j = i + index(n - i);
+      std::swap(all[i], all[j]);
+      out.push_back(all[i]);
+    }
+    return out;
+  }
+  // Sparse case: rejection sampling.
+  std::unordered_set<std::size_t> seen;
+  seen.reserve(k * 2);
+  while (out.size() < k) {
+    std::size_t candidate = index(n);
+    if (seen.insert(candidate).second) out.push_back(candidate);
+  }
+  return out;
+}
+
+}  // namespace guess

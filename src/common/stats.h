@@ -1,0 +1,82 @@
+// Streaming statistics helpers used by the metric collectors.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace guess {
+
+/// Numerically stable running mean/variance/min/max (Welford).
+class RunningStat {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  double mean() const;
+  double variance() const;  ///< sample variance (n-1 denominator)
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return sum_; }
+
+  /// Merge another accumulator into this one (parallel Welford merge).
+  void merge(const RunningStat& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Ratio counter: successes over trials, with safe division.
+class RatioStat {
+ public:
+  void add(bool success) {
+    ++trials_;
+    if (success) ++successes_;
+  }
+  void add_counts(std::uint64_t successes, std::uint64_t trials) {
+    successes_ += successes;
+    trials_ += trials;
+  }
+  std::uint64_t successes() const { return successes_; }
+  std::uint64_t trials() const { return trials_; }
+  double ratio() const {
+    return trials_ == 0 ? 0.0 : static_cast<double>(successes_) /
+                                    static_cast<double>(trials_);
+  }
+
+ private:
+  std::uint64_t successes_ = 0;
+  std::uint64_t trials_ = 0;
+};
+
+/// Exact percentile over a stored sample (sorts a copy on demand).
+/// Suitable for the per-peer load distributions (Figure 13), where the
+/// sample is one value per peer, not per event.
+class SampleSet {
+ public:
+  void add(double x) { values_.push_back(x); }
+  std::size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  /// Percentile p in [0, 100] using nearest-rank on the sorted sample.
+  double percentile(double p) const;
+  double mean() const;
+  double max() const;
+
+  /// Values sorted descending — the "ranked load" curves of Figure 13.
+  std::vector<double> sorted_descending() const;
+
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  std::vector<double> values_;
+};
+
+}  // namespace guess

@@ -1,0 +1,101 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace guess {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  GUESS_CHECK(!headers_.empty());
+}
+
+void TablePrinter::add_row(std::vector<Cell> row) {
+  GUESS_CHECK_MSG(row.size() == headers_.size(),
+                  "row has " << row.size() << " cells, expected "
+                             << headers_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::render(const Cell& cell) {
+  if (const auto* s = std::get_if<std::string>(&cell)) return *s;
+  if (const auto* i = std::get_if<std::int64_t>(&cell))
+    return std::to_string(*i);
+  double d = std::get<double>(cell);
+  std::ostringstream os;
+  if (std::abs(d) >= 1000.0 || d == std::floor(d)) {
+    os << std::fixed << std::setprecision(1) << d;
+  } else {
+    os << std::fixed << std::setprecision(3) << d;
+  }
+  return os.str();
+}
+
+std::string TablePrinter::to_text() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> cells;
+    cells.reserve(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      cells.push_back(render(row[c]));
+      widths[c] = std::max(widths[c], cells.back().size());
+    }
+    rendered.push_back(std::move(cells));
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(widths[c]) + 2)
+         << cells[c];
+    }
+    os << "\n";
+  };
+  emit_row(headers_);
+  std::size_t total = 0;
+  for (auto w : widths) total += w + 2;
+  os << std::string(total, '-') << "\n";
+  for (const auto& cells : rendered) emit_row(cells);
+  return os.str();
+}
+
+std::string TablePrinter::to_csv() const {
+  auto quote = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (char ch : s) {
+      if (ch == '"') out += "\"\"";
+      else out += ch;
+    }
+    out += "\"";
+    return out;
+  };
+  std::ostringstream os;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c) os << ",";
+    os << quote(headers_[c]);
+  }
+  os << "\n";
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ",";
+      os << quote(render(row[c]));
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+void TablePrinter::print(std::ostream& os, const std::string& title) const {
+  os << "\n=== " << title << " ===\n" << to_text();
+}
+
+}  // namespace guess

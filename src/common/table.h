@@ -1,0 +1,44 @@
+// Console table / CSV output for the benchmark harnesses.
+//
+// Every bench binary reproduces a paper table or figure as rows printed to
+// stdout; TablePrinter keeps the formatting consistent and can also emit CSV
+// for plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace guess {
+
+/// Column-aligned text table with an optional CSV rendering.
+class TablePrinter {
+ public:
+  using Cell = std::variant<std::string, double, std::int64_t>;
+
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Append a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<Cell> row);
+
+  /// Number of data rows.
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Render with padded columns.
+  std::string to_text() const;
+
+  /// Render as CSV (RFC-4180-style quoting for strings containing commas).
+  std::string to_csv() const;
+
+  /// Convenience: print to_text() to the stream with a title banner.
+  void print(std::ostream& os, const std::string& title) const;
+
+ private:
+  static std::string render(const Cell& cell);
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<Cell>> rows_;
+};
+
+}  // namespace guess

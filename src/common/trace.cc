@@ -1,0 +1,60 @@
+#include "common/trace.h"
+
+#include <iomanip>
+#include <ostream>
+
+#include "common/check.h"
+
+namespace guess {
+
+Tracer::Tracer(unsigned category_mask, std::size_t capacity)
+    : mask_(category_mask), capacity_(capacity) {
+  GUESS_CHECK(capacity > 0);
+  ring_.reserve(capacity);
+}
+
+void Tracer::record(TraceCategory category, sim::Time at, std::string line) {
+  if (!on(category)) return;
+  TraceRecord record{at, category, std::move(line)};
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(record));
+  } else {
+    ring_[count_ % capacity_] = std::move(record);
+  }
+  ++count_;
+}
+
+std::vector<TraceRecord> Tracer::snapshot() const {
+  std::vector<TraceRecord> out;
+  out.reserve(size());
+  if (count_ <= capacity_) {
+    out = ring_;
+  } else {
+    std::size_t start = count_ % capacity_;
+    for (std::size_t i = 0; i < capacity_; ++i) {
+      out.push_back(ring_[(start + i) % capacity_]);
+    }
+  }
+  return out;
+}
+
+const char* Tracer::category_name(TraceCategory category) {
+  switch (category) {
+    case TraceCategory::kChurn: return "churn";
+    case TraceCategory::kPing: return "ping";
+    case TraceCategory::kQuery: return "query";
+    case TraceCategory::kCache: return "cache";
+    case TraceCategory::kAttack: return "attack";
+  }
+  return "?";
+}
+
+void Tracer::dump(std::ostream& os) const {
+  for (const TraceRecord& record : snapshot()) {
+    os << std::fixed << std::setprecision(3) << std::setw(10) << record.at
+       << "  " << std::setw(6) << category_name(record.category) << "  "
+       << record.line << "\n";
+  }
+}
+
+}  // namespace guess

@@ -1,0 +1,69 @@
+// Lightweight event tracing for simulations.
+//
+// A Tracer is a bounded ring buffer of (time, category, line) records.
+// Tracing is opt-in per category; when a category is off the only cost at a
+// trace point is one branch, so instrumented code can stay instrumented.
+// Intended use: attach to a GuessNetwork, reproduce a puzzling run with the
+// same seed, and read the event log (see examples/trace_viewer.cpp).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace guess {
+
+enum class TraceCategory : unsigned {
+  kChurn = 1u << 0,   ///< births, deaths
+  kPing = 1u << 1,    ///< pings, pongs, evictions by ping
+  kQuery = 1u << 2,   ///< query start/probe/finish
+  kCache = 1u << 3,   ///< link-cache insertions/evictions
+  kAttack = 1u << 4,  ///< poisoning, detection, blacklisting
+};
+
+inline constexpr unsigned kTraceAll = 0x1F;
+
+struct TraceRecord {
+  sim::Time at = 0.0;
+  TraceCategory category = TraceCategory::kChurn;
+  std::string line;
+};
+
+/// Bounded event log. Not thread-safe (the simulator is single-threaded).
+class Tracer {
+ public:
+  /// @param category_mask  OR of TraceCategory bits to record
+  /// @param capacity       ring size; older records are dropped
+  explicit Tracer(unsigned category_mask = kTraceAll,
+                  std::size_t capacity = 4096);
+
+  bool on(TraceCategory category) const {
+    return (mask_ & static_cast<unsigned>(category)) != 0;
+  }
+
+  /// Append a record (dropped silently if the category is off).
+  void record(TraceCategory category, sim::Time at, std::string line);
+
+  /// Records in chronological order (oldest survivor first).
+  std::vector<TraceRecord> snapshot() const;
+
+  std::size_t size() const { return count_ < capacity_ ? count_ : capacity_; }
+  std::uint64_t total_recorded() const { return count_; }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Human-readable dump, one record per line.
+  void dump(std::ostream& os) const;
+
+  static const char* category_name(TraceCategory category);
+
+ private:
+  unsigned mask_;
+  std::size_t capacity_;
+  std::vector<TraceRecord> ring_;
+  std::uint64_t count_ = 0;  // total records ever accepted
+};
+
+}  // namespace guess

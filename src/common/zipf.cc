@@ -1,0 +1,37 @@
+#include "common/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace guess {
+
+ZipfDistribution::ZipfDistribution(std::size_t n, double alpha)
+    : alpha_(alpha) {
+  GUESS_CHECK(n > 0);
+  GUESS_CHECK(alpha >= 0.0);
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    acc += std::pow(static_cast<double>(r + 1), -alpha);
+    cdf_[r] = acc;
+  }
+  normalizer_ = acc;
+  for (double& c : cdf_) c /= normalizer_;
+  cdf_.back() = 1.0;  // guard against rounding drift
+}
+
+std::size_t ZipfDistribution::sample(Rng& rng) const {
+  double u = rng.uniform();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double ZipfDistribution::pmf(std::size_t rank) const {
+  GUESS_CHECK(rank < cdf_.size());
+  return std::pow(static_cast<double>(rank + 1), -alpha_) / normalizer_;
+}
+
+}  // namespace guess

@@ -1,0 +1,40 @@
+// Zipf (power-law) discrete distribution over ranks 0..n-1.
+//
+// Rank r (0-based) has weight 1 / (r+1)^alpha. Used for file popularity and
+// query popularity in the content model (the paper's workload model [21]
+// assumes Zipf-like popularity, as measured for Gnutella-era systems).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace guess {
+
+/// Precomputed-CDF Zipf sampler; sampling is O(log n) via binary search.
+class ZipfDistribution {
+ public:
+  /// @param n      number of ranks (> 0)
+  /// @param alpha  skew exponent (>= 0; 0 degenerates to uniform)
+  ZipfDistribution(std::size_t n, double alpha);
+
+  std::size_t n() const { return cdf_.size(); }
+  double alpha() const { return alpha_; }
+
+  /// Draw a rank in [0, n).
+  std::size_t sample(Rng& rng) const;
+
+  /// Probability mass of a given rank.
+  double pmf(std::size_t rank) const;
+
+  /// The normalizing constant H = sum_r (r+1)^-alpha.
+  double normalizer() const { return normalizer_; }
+
+ private:
+  double alpha_;
+  double normalizer_;
+  std::vector<double> cdf_;  // cdf_[r] = P(rank <= r)
+};
+
+}  // namespace guess

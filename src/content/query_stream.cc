@@ -1,0 +1,31 @@
+#include "content/query_stream.h"
+
+#include "common/check.h"
+
+namespace guess::content {
+
+QueryStream::QueryStream(BurstParams params) : params_(params) {
+  GUESS_CHECK(params_.query_rate > 0.0);
+  GUESS_CHECK(params_.burst_min >= 1);
+  GUESS_CHECK(params_.burst_max >= params_.burst_min);
+}
+
+double QueryStream::mean_burst_size() const {
+  return 0.5 * static_cast<double>(params_.burst_min + params_.burst_max);
+}
+
+double QueryStream::burst_rate() const {
+  return params_.query_rate / mean_burst_size();
+}
+
+sim::Duration QueryStream::next_burst_gap(Rng& rng) const {
+  return rng.exponential(burst_rate());
+}
+
+std::size_t QueryStream::next_burst_size(Rng& rng) const {
+  return static_cast<std::size_t>(rng.uniform_int(
+      static_cast<std::int64_t>(params_.burst_min),
+      static_cast<std::int64_t>(params_.burst_max)));
+}
+
+}  // namespace guess::content

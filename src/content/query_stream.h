@@ -1,0 +1,43 @@
+// Bursty query arrivals.
+//
+// The paper: "a number of queries (uniformly chosen between 1 and 5) are
+// submitted in succession, followed by a long wait. The arrival of bursts
+// follows a Poisson process, and the overall rate of queries per user is
+// QueryRate." With mean burst size B = 3, bursts must arrive at rate
+// QueryRate / B per peer for the per-query rate to come out right.
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.h"
+#include "sim/time.h"
+
+namespace guess::content {
+
+struct BurstParams {
+  double query_rate = 9.26e-3;  ///< expected queries per user per second
+  std::size_t burst_min = 1;
+  std::size_t burst_max = 5;
+};
+
+/// Generates (inter-burst gap, burst size) pairs for one peer.
+class QueryStream {
+ public:
+  explicit QueryStream(BurstParams params);
+
+  /// Exponential gap until the next burst.
+  sim::Duration next_burst_gap(Rng& rng) const;
+
+  /// Uniform burst size in [burst_min, burst_max].
+  std::size_t next_burst_size(Rng& rng) const;
+
+  double mean_burst_size() const;
+  double burst_rate() const;  ///< bursts per second per peer
+
+  const BurstParams& params() const { return params_; }
+
+ private:
+  BurstParams params_;
+};
+
+}  // namespace guess::content

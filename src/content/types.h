@@ -1,0 +1,19 @@
+// Identifiers for the content model.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace guess::content {
+
+/// Index of a file in the catalog (also its popularity rank: 0 = most
+/// popular).
+using FileId = std::uint32_t;
+
+/// Sentinel for a query that targets an item nobody shares (the paper notes
+/// that some queries are "for very rare or nonexistent items", producing the
+/// ~6% unsatisfiable floor at NetworkSize = 1000).
+inline constexpr FileId kNonexistentFile =
+    std::numeric_limits<FileId>::max();
+
+}  // namespace guess::content

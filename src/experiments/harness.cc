@@ -1,0 +1,121 @@
+#include "experiments/harness.h"
+
+#include <ostream>
+
+#include "common/check.h"
+
+namespace guess::experiments {
+
+Scale Scale::from_flags(const Flags& flags) {
+  Scale scale;
+  scale.full = flags.full();
+  if (scale.full) {
+    scale.warmup = 1200.0;
+    scale.measure = 7200.0;
+    scale.seeds = 5;
+  }
+  scale.base_seed = flags.seed();
+  if (flags.seeds() > 0) scale.seeds = flags.seeds();
+  scale.csv = flags.get_bool("csv", false);
+  return scale;
+}
+
+SimulationOptions Scale::options() const {
+  SimulationOptions options;
+  options.seed = base_seed;
+  options.warmup = warmup;
+  options.measure = measure;
+  return options;
+}
+
+PolicyCombo PolicyCombo::from_name(const std::string& name) {
+  PolicyCombo combo;
+  combo.name = name;
+  if (name == "Ran" || name == "Random") {
+    return combo;
+  }
+  if (name == "MRU") {
+    // §4: to effect a Most-Recently-Used goal the replacement evicts the
+    // *least* recently used — Figure 13's "MRU/LRU" combo.
+    combo.probe = Policy::kMRU;
+    combo.pong = Policy::kMRU;
+    combo.replacement = Replacement::kLRU;
+    return combo;
+  }
+  if (name == "LRU") {
+    // Retaining old entries means evicting the most recently used — the
+    // "fairness" choice §6.2 shows to be pathological.
+    combo.probe = Policy::kLRU;
+    combo.pong = Policy::kLRU;
+    combo.replacement = Replacement::kMRU;
+    return combo;
+  }
+  if (name == "MFS") {
+    combo.probe = Policy::kMFS;
+    combo.pong = Policy::kMFS;
+    combo.replacement = Replacement::kLFS;
+    return combo;
+  }
+  if (name == "MR") {
+    combo.probe = Policy::kMR;
+    combo.pong = Policy::kMR;
+    combo.replacement = Replacement::kLR;
+    return combo;
+  }
+  if (name == "MR*") {
+    combo.probe = Policy::kMR;
+    combo.pong = Policy::kMR;
+    combo.replacement = Replacement::kLR;
+    combo.reset_num_results = true;
+    return combo;
+  }
+  GUESS_CHECK_MSG(false, "unknown policy combo: " << name);
+  return combo;
+}
+
+ProtocolParams PolicyCombo::apply(ProtocolParams params) const {
+  params.query_probe = probe;
+  params.query_pong = pong;
+  params.cache_replacement = replacement;
+  params.reset_num_results = reset_num_results;
+  return params;
+}
+
+const std::vector<PolicyCombo>& robustness_combos() {
+  static const std::vector<PolicyCombo> combos = {
+      PolicyCombo::from_name("Ran"),
+      PolicyCombo::from_name("MR"),
+      PolicyCombo::from_name("MR*"),
+      PolicyCombo::from_name("MFS"),
+  };
+  return combos;
+}
+
+AveragedResults run_config(const SystemParams& system,
+                           const ProtocolParams& protocol,
+                           const Scale& scale,
+                           SimulationOptions options_override) {
+  return average(run_seeds(system, protocol, options_override, scale.seeds));
+}
+
+AveragedResults run_config(const SystemParams& system,
+                           const ProtocolParams& protocol,
+                           const Scale& scale) {
+  return run_config(system, protocol, scale, scale.options());
+}
+
+void print_header(std::ostream& os, const std::string& experiment,
+                  const std::string& paper_claim, const SystemParams& system,
+                  const ProtocolParams& protocol, const Scale& scale) {
+  os << "==============================================================\n"
+     << experiment << "\n"
+     << "Paper claim: " << paper_claim << "\n"
+     << "System:   " << describe(system) << "\n"
+     << "Protocol: " << describe(protocol) << "\n"
+     << "Scale:    " << (scale.full ? "full" : "reduced")
+     << " (warmup=" << scale.warmup << "s measure=" << scale.measure
+     << "s seeds=" << scale.seeds << ")\n"
+     << "==============================================================\n";
+}
+
+}  // namespace guess::experiments

@@ -1,0 +1,71 @@
+// Shared plumbing for the per-figure benchmark harnesses.
+//
+// Each bench binary reproduces one paper table/figure. All of them accept:
+//   --full          paper-scale runs (longer windows, more seeds)
+//   --seed=N        base RNG seed (default 42)
+//   --seeds=N       override number of seeds averaged
+//   --csv           additionally emit CSV blocks for plotting
+// The default (reduced) scale preserves every shape the paper reports while
+// finishing in seconds-to-minutes; EXPERIMENTS.md records both scales.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "common/flags.h"
+#include "guess/params.h"
+#include "guess/simulation.h"
+
+namespace guess::experiments {
+
+/// Scale knobs derived from the command line.
+struct Scale {
+  sim::Duration warmup = 400.0;
+  sim::Duration measure = 1600.0;
+  int seeds = 2;
+  bool full = false;
+  std::uint64_t base_seed = 42;
+  bool csv = false;
+
+  static Scale from_flags(const Flags& flags);
+
+  SimulationOptions options() const;
+};
+
+/// A named query-side policy configuration — the paper's convention of
+/// setting QueryProbe / QueryPong / CacheReplacement together ("MFS" means
+/// MFS/MFS/LFS; "MR*" is MR/MR/LR with ResetNumResults).
+struct PolicyCombo {
+  std::string name;
+  Policy probe = Policy::kRandom;
+  Policy pong = Policy::kRandom;
+  Replacement replacement = Replacement::kRandom;
+  bool reset_num_results = false;
+
+  /// Recognizes: "Ran", "MRU", "LRU", "MFS", "MR", "MR*".
+  static PolicyCombo from_name(const std::string& name);
+
+  /// Apply to a parameter set (query-side policies only; ping-side policies
+  /// stay as configured, Random by default, matching §6.2).
+  ProtocolParams apply(ProtocolParams params) const;
+};
+
+/// The four robustness combos of Figures 16–21.
+const std::vector<PolicyCombo>& robustness_combos();
+
+/// Average results for one (system, protocol) configuration across seeds.
+AveragedResults run_config(const SystemParams& system,
+                           const ProtocolParams& protocol,
+                           const Scale& scale,
+                           SimulationOptions options_override);
+
+AveragedResults run_config(const SystemParams& system,
+                           const ProtocolParams& protocol,
+                           const Scale& scale);
+
+/// Standard bench header: figure id, claim being reproduced, parameters.
+void print_header(std::ostream& os, const std::string& experiment,
+                  const std::string& paper_claim, const SystemParams& system,
+                  const ProtocolParams& protocol, const Scale& scale);
+
+}  // namespace guess::experiments

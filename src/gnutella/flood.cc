@@ -1,0 +1,59 @@
+#include "gnutella/flood.h"
+
+#include <deque>
+
+#include "common/check.h"
+
+namespace guess::gnutella {
+
+namespace {
+FloodResult flood_impl(const Topology& topology,
+                       const baseline::StaticPopulation* population,
+                       std::size_t origin, content::FileId file,
+                       std::size_t ttl) {
+  GUESS_CHECK(origin < topology.nodes());
+  std::vector<char> seen(topology.nodes(), 0);
+  std::deque<std::pair<std::size_t, std::size_t>> frontier;  // (node, depth)
+  FloodResult out;
+  seen[origin] = 1;
+  out.peers_reached = 1;
+  if (population != nullptr && file != content::kNonexistentFile &&
+      population->library(origin).contains(file)) {
+    ++out.results;
+  }
+  frontier.emplace_back(origin, 0);
+  while (!frontier.empty()) {
+    auto [node, depth] = frontier.front();
+    frontier.pop_front();
+    if (depth >= ttl) continue;
+    for (std::size_t next : topology.neighbors(node)) {
+      ++out.messages;  // every transmission costs, duplicate or not
+      if (seen[next]) continue;
+      seen[next] = 1;
+      ++out.peers_reached;
+      if (population != nullptr && file != content::kNonexistentFile &&
+          population->library(next).contains(file)) {
+        ++out.results;
+      }
+      frontier.emplace_back(next, depth + 1);
+    }
+  }
+  return out;
+}
+}  // namespace
+
+FloodResult flood_query(const Topology& topology,
+                        const baseline::StaticPopulation& population,
+                        std::size_t origin, content::FileId file,
+                        std::size_t ttl) {
+  GUESS_CHECK(population.size() == topology.nodes());
+  return flood_impl(topology, &population, origin, file, ttl);
+}
+
+FloodResult flood_reach(const Topology& topology, std::size_t origin,
+                        std::size_t ttl) {
+  return flood_impl(topology, nullptr, origin, content::kNonexistentFile,
+                    ttl);
+}
+
+}  // namespace guess::gnutella

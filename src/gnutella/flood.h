@@ -1,0 +1,35 @@
+// TTL-limited flooding search over a Gnutella topology (§3).
+//
+// A query is broadcast to all neighbors, which forward it to all their
+// neighbors, until the TTL expires. Every transmission is a message; peers
+// suppress duplicates but the duplicate transmissions still cost bandwidth —
+// the "amplification effect" that makes flooding expensive and DoS-friendly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "baseline/static_population.h"
+#include "content/types.h"
+#include "gnutella/topology.h"
+
+namespace guess::gnutella {
+
+struct FloodResult {
+  std::size_t peers_reached = 0;   ///< distinct peers that saw the query
+  std::uint64_t messages = 0;      ///< transmissions incl. duplicates
+  std::uint32_t results = 0;       ///< matches among reached peers
+};
+
+/// Flood from `origin` with the given TTL (TTL = number of overlay hops the
+/// query travels; TTL 0 reaches only the origin).
+FloodResult flood_query(const Topology& topology,
+                        const baseline::StaticPopulation& population,
+                        std::size_t origin, content::FileId file,
+                        std::size_t ttl);
+
+/// Reach/message statistics without content matching (protocol-only view).
+FloodResult flood_reach(const Topology& topology, std::size_t origin,
+                        std::size_t ttl);
+
+}  // namespace guess::gnutella

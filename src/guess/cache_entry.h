@@ -1,0 +1,46 @@
+// Link/query cache entry — the paper's equation (1):
+//   { IP address of Q, TS, NumFiles, NumRes }
+#pragma once
+
+#include <cstdint>
+
+#include "guess/types.h"
+#include "sim/time.h"
+
+namespace guess {
+
+struct CacheEntry {
+  PeerId id = kInvalidPeer;
+
+  /// Timestamp of the last interaction with the peer. Updated whenever the
+  /// cache owner interacts with the peer (either side initiating); entries
+  /// received in Pongs keep the TS the sender stored (fields are passed on
+  /// unmodified).
+  sim::Time ts = 0.0;
+
+  /// Number of files the peer reported sharing when it introduced itself;
+  /// passed on unmodified as entries circulate. Malicious peers can lie —
+  /// the basis of the MFS poisoning attack (§6.4).
+  std::uint32_t num_files = 0;
+
+  /// Number of results the peer returned to the *last query probe sent by
+  /// the cache owner* (reset on every probe). Values received from other
+  /// peers are stored and forwarded as-is (§2.2: Pong entries are passed on
+  /// unmodified); whether a policy *trusts* them is governed by first_hand
+  /// below.
+  std::uint32_t num_res = 0;
+
+  /// True iff num_res was set by the cache owner's own probe. Under
+  /// ResetNumResults (the MR* policy) or a detection-triggered policy
+  /// switch, ranking decisions treat foreign (non-first-hand) NumRes as 0 —
+  /// "P will order entries based solely on P's direct experience" (§6.4).
+  /// Local knowledge: cleared whenever an entry is handed to another peer.
+  bool first_hand = false;
+
+  /// The NumRes value a ranking policy may use.
+  std::uint32_t trusted_num_res(bool first_hand_only) const {
+    return (first_hand_only && !first_hand) ? 0 : num_res;
+  }
+};
+
+}  // namespace guess

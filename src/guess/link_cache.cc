@@ -1,0 +1,146 @@
+#include "guess/link_cache.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace guess {
+
+LinkCache::LinkCache(PeerId owner, std::size_t capacity)
+    : owner_(owner), capacity_(capacity) {
+  GUESS_CHECK_MSG(capacity > 0, "cache capacity must be positive");
+  entries_.reserve(capacity);
+  index_.reserve(capacity * 2);
+}
+
+std::optional<CacheEntry> LinkCache::get(PeerId id) const {
+  auto it = index_.find(id);
+  if (it == index_.end()) return std::nullopt;
+  return entries_[it->second];
+}
+
+void LinkCache::insert_free(const CacheEntry& entry) {
+  GUESS_CHECK(entry.id != owner_);
+  GUESS_CHECK(!full());
+  GUESS_CHECK(!contains(entry.id));
+  index_.emplace(entry.id, entries_.size());
+  entries_.push_back(entry);
+}
+
+bool LinkCache::offer(const CacheEntry& candidate, Replacement policy,
+                      Rng& rng) {
+  if (candidate.id == owner_ || contains(candidate.id)) return false;
+  if (!full()) {
+    index_.emplace(candidate.id, entries_.size());
+    entries_.push_back(candidate);
+    return true;
+  }
+  // Random replacement is the always-insert baseline: the candidate
+  // replaces a uniformly chosen victim (documented in policy.h).
+  if (policy == Replacement::kRandom) {
+    std::size_t victim = rng.index(entries_.size());
+    index_.erase(entries_[victim].id);
+    entries_[victim] = candidate;
+    index_.emplace(candidate.id, victim);
+    return true;
+  }
+  // Victim = lowest retention score among current entries.
+  std::size_t victim = 0;
+  double victim_score =
+      retention_score(policy, entries_[0], rng, first_hand_only_);
+  for (std::size_t i = 1; i < entries_.size(); ++i) {
+    double s = retention_score(policy, entries_[i], rng, first_hand_only_);
+    if (s < victim_score) {
+      victim_score = s;
+      victim = i;
+    }
+  }
+  if (retention_score(policy, candidate, rng, first_hand_only_) <=
+      victim_score)
+    return false;
+  index_.erase(entries_[victim].id);
+  entries_[victim] = candidate;
+  index_.emplace(candidate.id, victim);
+  return true;
+}
+
+void LinkCache::erase_at(std::size_t pos) {
+  index_.erase(entries_[pos].id);
+  if (pos != entries_.size() - 1) {
+    entries_[pos] = entries_.back();
+    index_[entries_[pos].id] = pos;
+  }
+  entries_.pop_back();
+}
+
+bool LinkCache::evict(PeerId id) {
+  auto it = index_.find(id);
+  if (it == index_.end()) return false;
+  erase_at(it->second);
+  return true;
+}
+
+void LinkCache::touch(PeerId id, sim::Time now) {
+  auto it = index_.find(id);
+  if (it == index_.end()) return;
+  entries_[it->second].ts = now;
+}
+
+void LinkCache::set_num_res(PeerId id, std::uint32_t num_res) {
+  auto it = index_.find(id);
+  if (it == index_.end()) return;
+  entries_[it->second].num_res = num_res;
+  entries_[it->second].first_hand = true;
+}
+
+std::optional<CacheEntry> LinkCache::select_best(Policy policy,
+                                                 Rng& rng) const {
+  if (entries_.empty()) return std::nullopt;
+  // Uniform pick is the argmax of i.i.d. random scores — skip the scan.
+  if (policy == Policy::kRandom) return entries_[rng.index(entries_.size())];
+  std::size_t best = 0;
+  double best_score =
+      selection_score(policy, entries_[0], rng, first_hand_only_);
+  for (std::size_t i = 1; i < entries_.size(); ++i) {
+    double s = selection_score(policy, entries_[i], rng, first_hand_only_);
+    if (s > best_score) {
+      best_score = s;
+      best = i;
+    }
+  }
+  return entries_[best];
+}
+
+std::vector<CacheEntry> LinkCache::select_top(Policy policy,
+                                              std::size_t count,
+                                              Rng& rng) const {
+  count = std::min(count, entries_.size());
+  if (count == 0) return {};
+  // A uniform k-subset is the top-k of i.i.d. random scores — skip the sort.
+  if (policy == Policy::kRandom) {
+    std::vector<CacheEntry> out;
+    out.reserve(count);
+    for (std::size_t idx : rng.sample_indices(entries_.size(), count)) {
+      out.push_back(entries_[idx]);
+    }
+    return out;
+  }
+  std::vector<std::pair<double, std::size_t>> scored;
+  scored.reserve(entries_.size());
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    scored.emplace_back(
+        selection_score(policy, entries_[i], rng, first_hand_only_), i);
+  }
+  std::partial_sort(scored.begin(), scored.begin() + static_cast<long>(count),
+                    scored.end(), [](const auto& a, const auto& b) {
+                      return a.first > b.first;
+                    });
+  std::vector<CacheEntry> out;
+  out.reserve(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    out.push_back(entries_[scored[k].second]);
+  }
+  return out;
+}
+
+}  // namespace guess

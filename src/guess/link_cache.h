@@ -1,0 +1,96 @@
+// The GUESS link cache (§2.1–2.2): a bounded list of pointers to other
+// peers, maintained via Pings and fed by Pong entry sharing.
+//
+// Invariants: at most `capacity` entries; at most one entry per peer id;
+// never contains the owner's own id.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "guess/cache_entry.h"
+#include "guess/policy.h"
+
+namespace guess {
+
+class LinkCache {
+ public:
+  /// @param owner     id of the owning peer (own entries are rejected)
+  /// @param capacity  the paper's CacheSize parameter
+  LinkCache(PeerId owner, std::size_t capacity);
+
+  /// First-hand-only mode (MR* / detection-triggered switch): ranking and
+  /// retention treat NumRes values not set by the owner's own probes as 0.
+  /// Stored and forwarded values are untouched (§2.2).
+  void set_first_hand_only(bool enabled) { first_hand_only_ = enabled; }
+  bool first_hand_only() const { return first_hand_only_; }
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  bool full() const { return entries_.size() >= capacity_; }
+  bool contains(PeerId id) const { return index_.contains(id); }
+
+  /// All current entries (unspecified order; stable between mutations).
+  std::span<const CacheEntry> entries() const { return entries_; }
+
+  /// Entry for a peer, if present.
+  std::optional<CacheEntry> get(PeerId id) const;
+
+  /// Insert an entry without replacement pressure (cache must not be full,
+  /// entry must not be present). Used when seeding a newborn's cache.
+  void insert_free(const CacheEntry& entry);
+
+  /// Offer a Pong-received candidate (§2.2): skipped if it is the owner or
+  /// already cached; inserted directly if space remains; otherwise it
+  /// replaces the replacement policy's victim iff its retention score beats
+  /// the victim's. Fields are taken as-is (Pong entries are not updated on
+  /// receipt). @returns true if the candidate was inserted.
+  bool offer(const CacheEntry& candidate, Replacement policy, Rng& rng);
+
+  /// Remove the entry for `id` (no-op if absent). Used when a probe finds
+  /// the peer dead (or refusing, per §6.3's implicit throttling).
+  /// @returns true if an entry was removed.
+  bool evict(PeerId id);
+
+  /// Update the TS field after an interaction with `id` (no-op if absent).
+  void touch(PeerId id, sim::Time now);
+
+  /// Overwrite NumRes after a query probe to `id` (no-op if absent); the
+  /// value is now first-hand knowledge.
+  void set_num_res(PeerId id, std::uint32_t num_res);
+
+  /// Entry to contact next under a selection policy (highest score wins).
+  /// @returns nullopt if the cache is empty.
+  std::optional<CacheEntry> select_best(Policy policy, Rng& rng) const;
+
+  /// Up to `count` entries for a Pong, preferred by the selection policy
+  /// (highest scores first).
+  std::vector<CacheEntry> select_top(Policy policy, std::size_t count,
+                                     Rng& rng) const;
+
+  /// Number of entries matching a predicate — used by the cache-health
+  /// metrics (fraction live, good entries).
+  template <typename Pred>
+  std::size_t count_if(Pred&& pred) const {
+    std::size_t n = 0;
+    for (const auto& e : entries_)
+      if (pred(e)) ++n;
+    return n;
+  }
+
+ private:
+  void erase_at(std::size_t pos);
+
+  PeerId owner_;
+  std::size_t capacity_;
+  bool first_hand_only_ = false;
+  std::vector<CacheEntry> entries_;
+  std::unordered_map<PeerId, std::size_t> index_;  // id -> position
+};
+
+}  // namespace guess

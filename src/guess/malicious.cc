@@ -1,0 +1,65 @@
+#include "guess/malicious.h"
+
+#include "common/check.h"
+
+namespace guess {
+
+PoisonGenerator::PoisonGenerator(MaliciousParams params,
+                                 BadPongBehavior behavior)
+    : params_(params), behavior_(behavior) {}
+
+void PoisonGenerator::set_dead_pool(std::vector<PeerId> pool) {
+  dead_pool_ = std::move(pool);
+}
+
+void PoisonGenerator::add_bad_peer(PeerId id) {
+  GUESS_CHECK(!bad_index_.contains(id));
+  bad_index_.emplace(id, bad_peers_.size());
+  bad_peers_.push_back(id);
+}
+
+void PoisonGenerator::remove_bad_peer(PeerId id) {
+  auto it = bad_index_.find(id);
+  GUESS_CHECK(it != bad_index_.end());
+  std::size_t pos = it->second;
+  bad_index_.erase(it);
+  if (pos != bad_peers_.size() - 1) {
+    bad_peers_[pos] = bad_peers_.back();
+    bad_index_[bad_peers_[pos]] = pos;
+  }
+  bad_peers_.pop_back();
+}
+
+CacheEntry PoisonGenerator::poison_entry(PeerId id, sim::Time now) const {
+  return CacheEntry{id, now, params_.claimed_num_files,
+                    params_.claimed_num_res};
+}
+
+std::vector<CacheEntry> PoisonGenerator::make_pong(PeerId self,
+                                                   std::size_t pong_size,
+                                                   sim::Time now,
+                                                   Rng& rng) const {
+  std::vector<CacheEntry> pong;
+  pong.reserve(pong_size);
+  if (behavior_ == BadPongBehavior::kDead) {
+    if (dead_pool_.empty()) return pong;
+    for (std::size_t i = 0; i < pong_size; ++i) {
+      pong.push_back(poison_entry(
+          dead_pool_[rng.index(dead_pool_.size())], now));
+    }
+    return pong;
+  }
+  // Collusion: name fellow attackers. With only `self` in the system there
+  // is nobody to advertise.
+  if (bad_peers_.size() <= 1) return pong;
+  for (std::size_t i = 0; i < pong_size; ++i) {
+    PeerId id = self;
+    // Retry until we name someone else; the population is > 1 so this
+    // terminates quickly.
+    while (id == self) id = bad_peers_[rng.index(bad_peers_.size())];
+    pong.push_back(poison_entry(id, now));
+  }
+  return pong;
+}
+
+}  // namespace guess

@@ -1,0 +1,52 @@
+// Cache-poisoning attackers (§6.4).
+//
+// A malicious peer participates in the protocol but returns no query results
+// and fills its Pongs with poison:
+//   BadPongBehavior::kDead — fabricated dead addresses (no collusion)
+//   BadPongBehavior::kBad  — addresses of fellow attackers (collusion)
+// Poison entries carry inflated NumFiles/NumRes claims so that trusting
+// policies (MFS, MR) rank them first.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "guess/cache_entry.h"
+#include "guess/params.h"
+
+namespace guess {
+
+class PoisonGenerator {
+ public:
+  PoisonGenerator(MaliciousParams params, BadPongBehavior behavior);
+
+  /// The shared pool of fabricated dead addresses (allocated by the network
+  /// from its id space so they can never collide with real peers).
+  void set_dead_pool(std::vector<PeerId> pool);
+
+  /// Track the attacker population (it churns with the network).
+  void add_bad_peer(PeerId id);
+  void remove_bad_peer(PeerId id);
+  std::size_t bad_peer_count() const { return bad_peers_.size(); }
+
+  /// A poisoned Pong of up to `pong_size` entries. Under collusion the
+  /// entries name other attackers (excluding `self`); entries are stamped
+  /// with `now` and the inflated claims so they look maximally attractive.
+  std::vector<CacheEntry> make_pong(PeerId self, std::size_t pong_size,
+                                    sim::Time now, Rng& rng) const;
+
+  const MaliciousParams& params() const { return params_; }
+  BadPongBehavior behavior() const { return behavior_; }
+
+ private:
+  CacheEntry poison_entry(PeerId id, sim::Time now) const;
+
+  MaliciousParams params_;
+  BadPongBehavior behavior_;
+  std::vector<PeerId> dead_pool_;
+  std::vector<PeerId> bad_peers_;
+  std::unordered_map<PeerId, std::size_t> bad_index_;
+};
+
+}  // namespace guess

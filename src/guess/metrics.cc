@@ -1,0 +1,45 @@
+#include "guess/metrics.h"
+
+namespace guess {
+
+namespace {
+double per_query(std::uint64_t value, std::uint64_t queries) {
+  return queries == 0 ? 0.0
+                      : static_cast<double>(value) /
+                            static_cast<double>(queries);
+}
+}  // namespace
+
+double ClassMetrics::unsatisfied_rate() const {
+  if (queries_completed == 0) return 0.0;
+  return 1.0 - static_cast<double>(queries_satisfied) /
+                   static_cast<double>(queries_completed);
+}
+
+double ClassMetrics::probes_per_query() const {
+  return per_query(probes.total(), queries_completed);
+}
+
+double SimulationResults::unsatisfied_rate() const {
+  if (queries_completed == 0) return 0.0;
+  return 1.0 - static_cast<double>(queries_satisfied) /
+                   static_cast<double>(queries_completed);
+}
+
+double SimulationResults::probes_per_query() const {
+  return per_query(probes.total(), queries_completed);
+}
+
+double SimulationResults::good_probes_per_query() const {
+  return per_query(probes.good, queries_completed);
+}
+
+double SimulationResults::dead_probes_per_query() const {
+  return per_query(probes.dead, queries_completed);
+}
+
+double SimulationResults::refused_probes_per_query() const {
+  return per_query(probes.refused, queries_completed);
+}
+
+}  // namespace guess

@@ -1,0 +1,86 @@
+// Aggregated simulation results — one struct per run, covering every metric
+// the paper's tables and figures report.
+#pragma once
+
+#include <cstdint>
+
+#include "common/stats.h"
+#include "guess/query_execution.h"
+
+namespace guess {
+
+/// Link-cache health, averaged over periodic samples of all live good peers
+/// (Table 3; Figures 18 and 21).
+struct CacheHealth {
+  double fraction_live = 0.0;   ///< live entries / current entries
+  double absolute_live = 0.0;   ///< live entries per cache
+  double good_entries = 0.0;    ///< entries pointing to live, honest peers
+  double entries = 0.0;         ///< current entries per cache (≤ CacheSize)
+  std::size_t samples = 0;
+};
+
+/// Per-peer-class query metrics: the selfish-peer study (§3.3) compares
+/// honest and selfish peers' experience side by side.
+struct ClassMetrics {
+  std::uint64_t queries_completed = 0;
+  std::uint64_t queries_satisfied = 0;
+  ProbeCounters probes;
+  RunningStat response_time;
+
+  double unsatisfied_rate() const;
+  double probes_per_query() const;
+};
+
+/// Everything measured during one simulation's measurement window.
+struct SimulationResults {
+  std::uint64_t queries_completed = 0;
+  std::uint64_t queries_satisfied = 0;
+  ProbeCounters probes;  ///< summed over completed queries
+
+  /// Per-class splits of the same query metrics (honest vs selfish peers).
+  ClassMetrics honest;
+  ClassMetrics selfish;
+
+  /// Response time of satisfied queries, seconds (§6.2).
+  RunningStat response_time;
+
+  /// Distinct peers that entered a query's candidate set (query-cache size).
+  RunningStat query_cache_population;
+
+  /// Query probes received per peer over its lifetime, one sample per good
+  /// peer that existed during the run (Figure 13).
+  SampleSet peer_loads;
+
+  CacheHealth cache_health;
+
+  /// Largest weakly-connected component of the conceptual overlay, sampled
+  /// periodically when connectivity sampling is enabled (Figures 6, 7).
+  RunningStat largest_component;
+
+  /// End-of-run connectivity snapshot (only when connectivity sampling is
+  /// enabled). Neighbor pointers are one-way (§2.1), so the strongly
+  /// connected component — peers that can reach each other — can be much
+  /// smaller than the weak one the paper plots.
+  std::size_t final_largest_component = 0;
+  std::size_t final_largest_strong_component = 0;
+
+  std::uint64_t deaths = 0;        ///< peer deaths during the whole run
+  std::uint64_t pings_sent = 0;    ///< during measurement
+  std::uint64_t pings_to_dead = 0; ///< during measurement
+
+  /// Queries abandoned because a creditless peer stalled past the limit
+  /// (§3.3 probe payments; counted within queries_completed, unsatisfied).
+  std::uint64_t queries_stalled_out = 0;
+
+  double measure_duration = 0.0;   ///< seconds of measurement window
+  std::size_t network_size = 0;
+
+  // --- derived ---
+  double unsatisfied_rate() const;
+  double probes_per_query() const;
+  double good_probes_per_query() const;
+  double dead_probes_per_query() const;
+  double refused_probes_per_query() const;
+};
+
+}  // namespace guess

@@ -1,0 +1,705 @@
+#include "guess/network.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace guess {
+
+namespace {
+// Union-find for the weakly-connected-component computation.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n), size_(n, 1) {
+    for (std::size_t i = 0; i < n; ++i) parent_[i] = i;
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+  }
+  std::size_t largest() const {
+    std::size_t best = 0;
+    for (std::size_t i = 0; i < parent_.size(); ++i) {
+      if (parent_[i] == i) best = std::max(best, size_[i]);
+    }
+    return best;
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::size_t> size_;
+};
+}  // namespace
+
+GuessNetwork::GuessNetwork(SystemParams system, ProtocolParams protocol,
+                           MaliciousParams malicious, bool enable_queries,
+                           sim::Simulator& simulator, Rng rng)
+    : system_(system),
+      protocol_(protocol),
+      enable_queries_(enable_queries),
+      simulator_(simulator),
+      rng_(std::move(rng)),
+      content_(system.content),
+      query_stream_(content::BurstParams{system.query_rate, system.burst_min,
+                                         system.burst_max}),
+      poison_(malicious, system.bad_pong_behavior) {
+  GUESS_CHECK(system_.network_size >= 2);
+  churn_ = std::make_unique<churn::ChurnManager>(
+      simulator_, churn::LifetimeDistribution(system_.lifespan_multiplier),
+      rng_.split(), [this](PeerId id) { on_peer_death(id); });
+}
+
+GuessNetwork::~GuessNetwork() = default;
+
+const Peer* GuessNetwork::find(PeerId id) const {
+  auto it = peers_.find(id);
+  return it == peers_.end() ? nullptr : it->second.get();
+}
+
+Peer* GuessNetwork::find(PeerId id) {
+  auto it = peers_.find(id);
+  return it == peers_.end() ? nullptr : it->second.get();
+}
+
+bool GuessNetwork::is_malicious(PeerId id) const {
+  const Peer* peer = find(id);
+  return peer != nullptr && peer->malicious();
+}
+
+void GuessNetwork::initialize() {
+  GUESS_CHECK_MSG(peers_.empty(), "initialize() called twice");
+  // Fabricated dead addresses for non-colluding attackers: allocate a block
+  // of ids that will never belong to a real peer.
+  if (system_.bad_fraction() > 0.0 &&
+      system_.bad_pong_behavior == BadPongBehavior::kDead) {
+    auto pool_size = static_cast<std::size_t>(
+        poison_.params().dead_pool_factor *
+        static_cast<double>(system_.network_size));
+    std::vector<PeerId> pool(pool_size);
+    for (auto& id : pool) id = next_id_++;
+    poison_.set_dead_pool(std::move(pool));
+  }
+
+  // Initial population: exactly the configured bad and selfish fractions,
+  // placed randomly (ids are assigned in order, so shuffle the flags).
+  // Selfishness applies to honest peers only — attackers don't query.
+  auto bad_count = static_cast<std::size_t>(
+      system_.bad_fraction() * static_cast<double>(system_.network_size));
+  auto selfish_count = static_cast<std::size_t>(
+      system_.percent_selfish_peers / 100.0 *
+      static_cast<double>(system_.network_size));
+  GUESS_CHECK_MSG(bad_count + selfish_count <= system_.network_size,
+                  "bad + selfish fractions exceed the population");
+  std::vector<char> role(system_.network_size, 0);  // 0 honest, 1 bad, 2 selfish
+  std::fill_n(role.begin(), bad_count, char{1});
+  std::fill_n(role.begin() + static_cast<std::ptrdiff_t>(bad_count),
+              selfish_count, char{2});
+  rng_.shuffle(role);
+  for (std::size_t i = 0; i < system_.network_size; ++i) {
+    spawn_peer(role[i] == 1, role[i] == 2, /*initial=*/true);
+  }
+  seed_initial_caches();
+}
+
+PeerId GuessNetwork::spawn_peer(bool malicious, bool selfish, bool initial) {
+  PeerId id = next_id_++;
+  content::Library library =
+      malicious ? content::Library{} : content_.sample_peer_library(rng_);
+  auto peer = std::make_unique<Peer>(id, simulator_.now(), std::move(library),
+                                     protocol_.cache_size, malicious,
+                                     selfish);
+  peer->set_credit(protocol_.payments.initial_credit);
+  // MR*: ranking ignores foreign NumRes claims from the start.
+  peer->cache().set_first_hand_only(protocol_.reset_num_results);
+  Peer& ref = *peer;
+  peers_.emplace(id, std::move(peer));
+  alive_index_.emplace(id, alive_ids_.size());
+  alive_ids_.push_back(id);
+  if (malicious) poison_.add_bad_peer(id);
+  trace(TraceCategory::kChurn, [&](std::ostream& os) {
+    os << "birth peer=" << id << " files=" << ref.num_files()
+       << (malicious ? " malicious" : "") << (selfish ? " selfish" : "");
+  });
+
+  // Initial peers start mid-session so deaths are not synchronized.
+  if (initial) {
+    churn_->register_peer_scaled(id, std::max(1e-6, rng_.uniform()));
+  } else {
+    churn_->register_peer(id);
+    seed_from_friend(ref);
+  }
+  start_ping_timer(ref);
+  if (enable_queries_ && !malicious) start_query_workload(ref);
+  return id;
+}
+
+void GuessNetwork::seed_initial_caches() {
+  std::size_t seed_size = system_.resolved_cache_seed(protocol_.cache_size);
+  // Seed from the initial population only (all alive at time 0).
+  std::vector<PeerId> population = alive_ids_;
+  for (PeerId id : population) {
+    Peer& peer = *find(id);
+    auto picks = rng_.sample_indices(population.size(),
+                                     std::min(seed_size + 1,
+                                              population.size()));
+    std::size_t added = 0;
+    for (std::size_t idx : picks) {
+      if (added >= seed_size) break;
+      PeerId other = population[idx];
+      if (other == id) continue;
+      const Peer& target = *find(other);
+      peer.cache().insert_free(introduction_entry(target));
+      ++added;
+    }
+  }
+}
+
+CacheEntry GuessNetwork::introduction_entry(const Peer& peer) const {
+  std::uint32_t advertised =
+      peer.malicious() ? poison_.params().claimed_num_files
+                       : peer.num_files();
+  return CacheEntry{peer.id(), simulator_.now(), advertised, 0};
+}
+
+void GuessNetwork::seed_from_friend(Peer& newborn) {
+  // Random-friend seeding (§5.1, after [9]): copy the link cache of one
+  // live peer the newborn already knows.
+  auto friend_id = random_alive_peer(newborn.id());
+  if (!friend_id) return;
+  const Peer& buddy = *find(*friend_id);
+  for (const CacheEntry& entry : buddy.cache().entries()) {
+    if (newborn.cache().full()) break;
+    if (entry.id == newborn.id() || newborn.cache().contains(entry.id))
+      continue;
+    CacheEntry copy = entry;
+    copy.first_hand = false;  // the friend's experience, not the newborn's
+    newborn.cache().insert_free(copy);
+  }
+}
+
+std::optional<PeerId> GuessNetwork::random_alive_peer(PeerId exclude) {
+  if (alive_ids_.empty()) return std::nullopt;
+  if (alive_ids_.size() == 1 && alive_ids_[0] == exclude)
+    return std::nullopt;
+  for (;;) {
+    PeerId id = alive_ids_[rng_.index(alive_ids_.size())];
+    if (id != exclude) return id;
+  }
+}
+
+void GuessNetwork::on_peer_death(PeerId id) {
+  Peer* peer = find(id);
+  GUESS_CHECK_MSG(peer != nullptr, "death of unknown peer");
+  bool was_malicious = peer->malicious();
+  bool was_selfish = peer->selfish();
+  trace(TraceCategory::kChurn, [&](std::ostream& os) {
+    os << "death peer=" << id << " probes_received="
+       << peer->probes_received();
+  });
+
+  peer->ping_timer.cancel();
+  peer->burst_timer.cancel();
+  active_queries_.erase(id);
+  flush_load(*peer);
+  if (was_malicious) poison_.remove_bad_peer(id);
+
+  // Swap-remove from the alive list.
+  std::size_t pos = alive_index_.at(id);
+  alive_index_.erase(id);
+  if (pos != alive_ids_.size() - 1) {
+    alive_ids_[pos] = alive_ids_.back();
+    alive_index_[alive_ids_[pos]] = pos;
+  }
+  alive_ids_.pop_back();
+  peers_.erase(id);
+
+  // A new peer is born for every death, keeping NetworkSize constant; it
+  // inherits the role flags so the configured fractions stay exact
+  // (§5.1, §6.4, §3.3).
+  spawn_peer(was_malicious, was_selfish, /*initial=*/false);
+}
+
+void GuessNetwork::flush_load(const Peer& peer) {
+  if (peer.malicious()) return;  // load fairness is about honest peers
+  dead_peer_loads_.emplace(peer.id(), peer.probes_received());
+}
+
+// --- pings -----------------------------------------------------------------
+
+void GuessNetwork::start_ping_timer(Peer& peer) {
+  peer.set_ping_interval(protocol_.ping_interval);
+  // Random phase desynchronizes the population's pings.
+  schedule_next_ping(peer, rng_.uniform(0.0, protocol_.ping_interval));
+}
+
+// Self-rescheduling ping chain: re-reads the peer's (possibly adapted,
+// §6.1) interval after every ping.
+void GuessNetwork::schedule_next_ping(Peer& peer, sim::Duration delay) {
+  PeerId id = peer.id();
+  peer.ping_timer = simulator_.after(delay, [this, id]() {
+    do_ping(id);
+    Peer* p = find(id);
+    if (p == nullptr) return;
+    schedule_next_ping(*p, p->ping_interval());
+  });
+}
+
+void GuessNetwork::do_ping(PeerId pinger_id) {
+  Peer* pinger = find(pinger_id);
+  if (pinger == nullptr) return;  // died; timer cancellation races are benign
+  maybe_reseed_from_pong_server(*pinger);
+  auto entry = pinger->cache().select_best(protocol_.ping_probe, rng_);
+  if (!entry) return;
+  if (measuring_) ++results_.pings_sent;
+
+  Peer* target = find(entry->id);
+  if (target == nullptr) {
+    // No response: evict the dead entry (§2.2).
+    pinger->cache().evict(entry->id);
+    if (measuring_) ++results_.pings_to_dead;
+    pinger->note_ping_result(/*dead=*/true, protocol_.adaptive_ping);
+    trace(TraceCategory::kPing, [&](std::ostream& os) {
+      os << "ping peer=" << pinger_id << " -> " << entry->id
+         << " dead, evicted";
+    });
+    return;
+  }
+  trace(TraceCategory::kPing, [&](std::ostream& os) {
+    os << "ping peer=" << pinger_id << " -> " << entry->id << " alive";
+  });
+  pinger->note_ping_result(/*dead=*/false, protocol_.adaptive_ping);
+
+  target->count_received_ping();
+  // Both sides interacted: update TS wherever an entry exists (§2.1).
+  pinger->cache().touch(target->id(), simulator_.now());
+  target->cache().touch(pinger_id, simulator_.now());
+  maybe_introduce(*target, *pinger);
+
+  std::vector<CacheEntry> pong = target->malicious()
+      ? poison_.make_pong(target->id(), protocol_.pong_size, simulator_.now(),
+                          rng_)
+      : make_pong(*target, protocol_.ping_pong);
+  process_pong_entries(*pinger, target->id(), pong);
+}
+
+// §6.1's healing path: a peer whose cache has been eaten below the
+// threshold pulls fresh live addresses from the pong server. The server
+// tracks liveness only — it serves uniformly random live peers.
+void GuessNetwork::maybe_reseed_from_pong_server(Peer& peer) {
+  const BootstrapParams& bootstrap = protocol_.bootstrap;
+  if (!bootstrap.pong_server_reseed) return;
+  if (peer.cache().size() >= bootstrap.min_entries) return;
+  if (simulator_.now() - peer.last_reseed() < bootstrap.cooldown) return;
+  peer.set_last_reseed(simulator_.now());
+  trace(TraceCategory::kCache, [&](std::ostream& os) {
+    os << "reseed peer=" << peer.id() << " entries=" << peer.cache().size();
+  });
+  std::size_t amount = bootstrap.amount != 0
+                           ? bootstrap.amount
+                           : system_.resolved_cache_seed(protocol_.cache_size);
+  for (std::size_t i = 0; i < amount; ++i) {
+    auto id = random_alive_peer(peer.id());
+    if (!id || peer.blacklisted(*id)) continue;
+    if (peer.cache().full()) break;
+    if (peer.cache().contains(*id)) continue;
+    peer.cache().insert_free(introduction_entry(*find(*id)));
+  }
+}
+
+std::vector<CacheEntry> GuessNetwork::make_pong(Peer& responder,
+                                                Policy policy) {
+  std::vector<CacheEntry> pong =
+      responder.cache().select_top(policy, protocol_.pong_size, rng_);
+  // Fields travel unmodified (§2.2), but "first hand" is local knowledge.
+  for (CacheEntry& entry : pong) entry.first_hand = false;
+  return pong;
+}
+
+void GuessNetwork::process_pong_entries(
+    Peer& receiver, PeerId source, const std::vector<CacheEntry>& entries) {
+  if (receiver.blacklisted(source)) return;
+  for (const CacheEntry& entry : entries) {
+    if (find(entry.id) == &receiver) continue;
+    if (receiver.blacklisted(entry.id)) continue;
+    receiver.cache().offer(entry, protocol_.cache_replacement, rng_);
+  }
+}
+
+void GuessNetwork::maybe_introduce(Peer& responder, const Peer& initiator) {
+  if (!rng_.bernoulli(protocol_.intro_prob)) return;
+  responder.cache().offer(introduction_entry(initiator),
+                          protocol_.cache_replacement, rng_);
+}
+
+// --- queries ---------------------------------------------------------------
+
+void GuessNetwork::start_query_workload(Peer& peer) {
+  schedule_next_burst(peer);
+}
+
+// Poisson burst arrivals: each firing enqueues one burst of 1..5 queries and
+// re-arms itself after a fresh exponential gap (§5.1). The handle stored on
+// the peer lets death cancel the chain.
+void GuessNetwork::schedule_next_burst(Peer& peer) {
+  PeerId id = peer.id();
+  peer.burst_timer =
+      simulator_.after(query_stream_.next_burst_gap(rng_), [this, id]() {
+        Peer* p = find(id);
+        if (p == nullptr) return;
+        std::size_t burst = query_stream_.next_burst_size(rng_);
+        for (std::size_t i = 0; i < burst; ++i) {
+          p->enqueue_query(content_.draw_query(rng_));
+        }
+        if (!p->query_active()) start_next_query(*p);
+        schedule_next_burst(*p);
+      });
+}
+
+void GuessNetwork::submit_query(PeerId origin, content::FileId file) {
+  Peer* peer = find(origin);
+  GUESS_CHECK_MSG(peer != nullptr, "submit_query for dead peer");
+  peer->enqueue_query(file);
+  if (!peer->query_active()) start_next_query(*peer);
+}
+
+void GuessNetwork::start_next_query(Peer& origin) {
+  GUESS_CHECK(!origin.query_active());
+  if (!origin.has_pending_query()) return;
+  content::FileId file = origin.pop_pending_query();
+  PeerId id = origin.id();
+  // Selfish peers ignore the serial-probing rule and blast wide (§3.3).
+  std::size_t parallel = origin.selfish() ? system_.selfish_parallel_probes
+                                          : protocol_.parallel_probes;
+  auto query = std::make_unique<QueryExecution>(
+      id, file, static_cast<std::uint32_t>(system_.num_desired_results),
+      protocol_.query_probe, simulator_.now(), parallel,
+      protocol_.reset_num_results || origin.first_hand_only());
+  // Initial candidates: the origin's link cache (§2.3).
+  for (const CacheEntry& entry : origin.cache().entries()) {
+    query->add_candidate(entry, rng_);
+  }
+  origin.set_query_active(true);
+  trace(TraceCategory::kQuery, [&](std::ostream& os) {
+    os << "query start peer=" << id << " file="
+       << (file == content::kNonexistentFile ? -1
+                                             : static_cast<long long>(file))
+       << " candidates=" << query->queued();
+  });
+  active_queries_[id] = std::move(query);
+  // First probe fires immediately; later probes pace at the probe slot.
+  simulator_.after(0.0, [this, id]() { query_step(id); });
+}
+
+void GuessNetwork::query_step(PeerId origin_id) {
+  auto it = active_queries_.find(origin_id);
+  if (it == active_queries_.end()) return;  // origin died or query finished
+  Peer* origin = find(origin_id);
+  GUESS_CHECK(origin != nullptr);  // death erases the active query
+  QueryExecution& query = *it->second;
+  const PaymentParams& payments = protocol_.payments;
+
+  std::uint32_t results_before = query.results();
+  std::size_t probes_this_slot = 0;
+  bool creditless = false;
+
+  for (std::size_t k = 0; k < query.slot_parallel(); ++k) {
+    // A creditless peer cannot probe this slot (§3.3 payments): the query
+    // stalls until inbound probes earn more credit.
+    if (payments.enabled && !origin->can_afford(payments.probe_cost)) {
+      creditless = true;
+      break;
+    }
+    // Pull the next candidate, skipping blacklisted targets and targets
+    // under backoff.
+    std::optional<QueryExecution::Candidate> candidate;
+    while ((candidate = query.next_candidate())) {
+      if (origin->blacklisted(candidate->entry.id)) continue;
+      if (!protocol_.do_backoff ||
+          !origin->backed_off(candidate->entry.id, simulator_.now()))
+        break;
+    }
+    if (!candidate) break;
+    PeerId target_id = candidate->entry.id;
+    PeerId referrer = candidate->source;
+    ++probes_this_slot;
+
+    Peer* target = find(target_id);
+    if (target == nullptr) {
+      // Timeout: wasted probe; believed dead, evicted (§2.2, §3.2). No
+      // credit changes hands — there is nobody to pay. A dead referral
+      // counts against whoever supplied the entry (§6.4 detection).
+      query.record_outcome(ProbeOutcome::kDead);
+      origin->cache().evict(target_id);
+      if (origin->note_referral(referrer, /*bad=*/true,
+                                protocol_.detection)) {
+        origin->cache().evict(referrer);
+        trace(TraceCategory::kAttack, [&](std::ostream& os) {
+          os << "blacklist peer=" << origin_id << " dead-referrer="
+             << referrer;
+        });
+      }
+      continue;
+    }
+
+    target->count_received_probe();
+    if (!target->malicious() &&
+        !target->accept_probe(simulator_.now(),
+                              system_.max_probes_per_second)) {
+      // Overloaded: the probe is dropped. Without backoff the prober treats
+      // the silence as death and evicts — the implicit throttle of §6.3.
+      query.record_outcome(ProbeOutcome::kRefused);
+      if (protocol_.do_backoff) {
+        origin->set_backoff(target_id,
+                            simulator_.now() + protocol_.backoff_duration);
+      } else {
+        origin->cache().evict(target_id);
+      }
+      continue;
+    }
+
+    query.record_outcome(ProbeOutcome::kGood);
+    if (payments.enabled) {
+      // The probe was served: prober pays, server earns (§3.3).
+      origin->spend_credit(payments.probe_cost);
+      target->earn_credit(payments.serve_reward, payments.credit_cap);
+    }
+    // All probes of a slot are in flight together: a target cannot know the
+    // query was satisfied by a concurrent probe, so it answers as if the
+    // remaining need were at least one.
+    std::uint32_t needed = std::max<std::uint32_t>(
+        1, static_cast<std::uint32_t>(system_.num_desired_results) -
+               std::min<std::uint32_t>(
+                   query.results(),
+                   static_cast<std::uint32_t>(system_.num_desired_results)));
+    std::uint32_t results = target->answer_query(query.file(), needed);
+    query.add_results(results);
+
+    // §6.4 detection: an entry with an outsized NumRes claim whose peer
+    // returns nothing marks the peer itself as a liar. Only the liar is
+    // charged — honest peers forward poisoned claims they cannot verify, so
+    // blaming referrers here would cannibalize the honest overlay. Honest
+    // entries claim 0/1 results, so false positives are rare.
+    bool lied =
+        results == 0 &&
+        candidate->entry.num_res >= protocol_.detection.lie_claim_threshold;
+    if (origin->note_referral(target_id, lied, protocol_.detection)) {
+      origin->cache().evict(target_id);
+      trace(TraceCategory::kAttack, [&](std::ostream& os) {
+        os << "blacklist peer=" << origin_id << " liar=" << target_id
+           << (origin->first_hand_only() ? " (first-hand mode)" : "");
+      });
+    }
+
+    // Interaction bookkeeping (§2.1): TS on both sides, NumRes reset by the
+    // prober according to this response.
+    origin->cache().touch(target_id, simulator_.now());
+    origin->cache().set_num_res(target_id, results);
+    target->cache().touch(origin_id, simulator_.now());
+    maybe_introduce(*target, *origin);
+
+    // A responder that proved useful is a qualifying query-cache entry
+    // (§2.3): offer it to the link cache with its first-hand record.
+    if (results > 0 && !origin->cache().contains(target_id)) {
+      origin->cache().offer(
+          CacheEntry{target_id, simulator_.now(), target->num_files(),
+                     results, /*first_hand=*/true},
+          protocol_.cache_replacement, rng_);
+    }
+
+    // Every probed peer answers with a Pong (§2.3): entries feed the query
+    // cache and, subject to CacheReplacement, the link cache.
+    std::vector<CacheEntry> pong = target->malicious()
+        ? poison_.make_pong(target_id, protocol_.pong_size, simulator_.now(),
+                            rng_)
+        : make_pong(*target, protocol_.query_pong);
+    offer_query_pong(*origin, query, target_id, std::move(pong));
+  }
+
+  // Satisfaction and the probe cap are evaluated at the END of the slot:
+  // every probe of the slot was already in flight (this is what makes
+  // selfish blasting overshoot — a query answerable in 20 probes still
+  // costs the full blast width, §3.3).
+  if (query.satisfied()) {
+    finish_query(*origin, query, /*satisfied=*/true);
+    return;
+  }
+  if (protocol_.max_probes_per_query != 0 &&
+      query.counters().total() >= protocol_.max_probes_per_query) {
+    finish_query(*origin, query, /*satisfied=*/false);
+    return;
+  }
+
+  if (probes_this_slot == 0 && !creditless) {
+    // Candidates exhausted: the search probed everyone it could learn of.
+    finish_query(*origin, query, /*satisfied=*/false);
+    return;
+  }
+  if (creditless && probes_this_slot == 0) {
+    query.note_stalled_slot();
+    if (query.stalled_slots() >= payments.max_stalled_slots) {
+      if (measuring_) ++results_.queries_stalled_out;
+      finish_query(*origin, query, /*satisfied=*/false);
+      return;
+    }
+  } else {
+    query.reset_stall();
+  }
+  query.note_slot(query.results() > results_before,
+                  protocol_.adaptive_parallel,
+                  protocol_.adaptive_parallel_trigger,
+                  protocol_.adaptive_parallel_max);
+  simulator_.after(protocol_.probe_interval,
+                   [this, origin_id]() { query_step(origin_id); });
+}
+
+void GuessNetwork::offer_query_pong(Peer& origin, QueryExecution& query,
+                                    PeerId source,
+                                    std::vector<CacheEntry> entries) {
+  // Detection: Pongs from blacklisted peers are dropped wholesale, and
+  // entries naming blacklisted peers never re-enter circulation.
+  if (origin.blacklisted(source)) return;
+  for (const CacheEntry& entry : entries) {
+    if (origin.blacklisted(entry.id)) continue;
+    // Without the query cache (ablation), Pong entries may refresh the link
+    // cache but do not extend this query's candidate set.
+    if (protocol_.use_query_cache) query.add_candidate(entry, source, rng_);
+    origin.cache().offer(entry, protocol_.cache_replacement, rng_);
+  }
+}
+
+void GuessNetwork::finish_query(Peer& origin, QueryExecution& query,
+                                bool satisfied) {
+  if (measuring_) {
+    ++results_.queries_completed;
+    if (satisfied) {
+      ++results_.queries_satisfied;
+      results_.response_time.add(simulator_.now() - query.start_time());
+    }
+    results_.probes += query.counters();
+    results_.query_cache_population.add(
+        static_cast<double>(query.seen()));
+    ClassMetrics& cls = origin.selfish() ? results_.selfish : results_.honest;
+    ++cls.queries_completed;
+    if (satisfied) {
+      ++cls.queries_satisfied;
+      cls.response_time.add(simulator_.now() - query.start_time());
+    }
+    cls.probes += query.counters();
+  }
+  PeerId id = origin.id();
+  trace(TraceCategory::kQuery, [&](std::ostream& os) {
+    os << "query finish peer=" << id
+       << (satisfied ? " satisfied" : " UNSATISFIED") << " probes="
+       << query.counters().total() << " (good=" << query.counters().good
+       << " dead=" << query.counters().dead << " refused="
+       << query.counters().refused << ") seen=" << query.seen();
+  });
+  origin.set_query_active(false);
+  active_queries_.erase(id);
+  if (origin.has_pending_query()) start_next_query(origin);
+}
+
+// --- measurement -----------------------------------------------------------
+
+void GuessNetwork::begin_measurement() {
+  measuring_ = true;
+  // Loads are lifetime counts; restrict the Figure 13 sample to peers that
+  // exist during measurement by dropping earlier corpses.
+  dead_peer_loads_.clear();
+}
+
+void GuessNetwork::sample_cache_health() {
+  double fraction_sum = 0.0;
+  double live_sum = 0.0;
+  double good_sum = 0.0;
+  double entries_sum = 0.0;
+  std::size_t counted = 0;
+  for (PeerId id : alive_ids_) {
+    const Peer& peer = *find(id);
+    if (peer.malicious()) continue;
+    std::size_t entries = peer.cache().size();
+    std::size_t live = peer.cache().count_if(
+        [this](const CacheEntry& e) { return alive(e.id); });
+    std::size_t good = peer.cache().count_if([this](const CacheEntry& e) {
+      const Peer* p = find(e.id);
+      return p != nullptr && !p->malicious();
+    });
+    if (entries > 0)
+      fraction_sum += static_cast<double>(live) /
+                      static_cast<double>(entries);
+    live_sum += static_cast<double>(live);
+    good_sum += static_cast<double>(good);
+    entries_sum += static_cast<double>(entries);
+    ++counted;
+  }
+  if (counted == 0) return;
+  auto n = static_cast<double>(counted);
+  auto& h = results_.cache_health;
+  // Running average across samples.
+  auto fold = [&](double& acc, double value) {
+    acc = (acc * static_cast<double>(h.samples) + value) /
+          static_cast<double>(h.samples + 1);
+  };
+  fold(h.fraction_live, fraction_sum / n);
+  fold(h.absolute_live, live_sum / n);
+  fold(h.good_entries, good_sum / n);
+  fold(h.entries, entries_sum / n);
+  ++h.samples;
+}
+
+void GuessNetwork::for_each_live_edge(
+    const std::function<void(PeerId, PeerId)>& fn) const {
+  for (PeerId id : alive_ids_) {
+    const Peer& peer = *peers_.at(id);
+    for (const CacheEntry& entry : peer.cache().entries()) {
+      if (alive(entry.id)) fn(id, entry.id);
+    }
+  }
+}
+
+std::size_t GuessNetwork::largest_component() const {
+  if (alive_ids_.empty()) return 0;
+  std::unordered_map<PeerId, std::size_t> dense;
+  dense.reserve(alive_ids_.size() * 2);
+  for (std::size_t i = 0; i < alive_ids_.size(); ++i)
+    dense.emplace(alive_ids_[i], i);
+  UnionFind uf(alive_ids_.size());
+  for_each_live_edge([&](PeerId from, PeerId to) {
+    uf.unite(dense.at(from), dense.at(to));
+  });
+  return uf.largest();
+}
+
+void GuessNetwork::sample_connectivity() {
+  results_.largest_component.add(static_cast<double>(largest_component()));
+}
+
+SimulationResults GuessNetwork::collect_results() {
+  SimulationResults out = results_;
+  out.deaths = churn_->deaths();
+  out.network_size = system_.network_size;
+  // Figure 13 loads: every honest peer that existed during measurement.
+  for (const auto& [id, load] : dead_peer_loads_) {
+    (void)id;
+    out.peer_loads.add(static_cast<double>(load));
+  }
+  for (PeerId id : alive_ids_) {
+    const Peer& peer = *peers_.at(id);
+    if (!peer.malicious())
+      out.peer_loads.add(static_cast<double>(peer.probes_received()));
+  }
+  return out;
+}
+
+}  // namespace guess

@@ -1,0 +1,157 @@
+// GuessNetwork: the population of peers, message exchange, churn, workload,
+// and metric collection. This is the engine behind GuessSimulation.
+//
+// All message exchange is synchronous within a simulator event (a probe and
+// its reply happen "within the timeout", per the paper's §5.1 assumption);
+// time passes between probes through the probe-slot scheduling in
+// query_step().
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "churn/churn_manager.h"
+#include "common/rng.h"
+#include "common/trace.h"
+#include "content/content_model.h"
+#include "content/query_stream.h"
+#include "guess/malicious.h"
+#include "guess/metrics.h"
+#include "guess/params.h"
+#include "guess/peer.h"
+#include "guess/query_execution.h"
+#include "sim/simulator.h"
+
+namespace guess {
+
+class GuessNetwork {
+ public:
+  /// @param enable_queries  false for the maintenance-only runs of §6.1
+  ///                        (Figures 6 and 7 isolate Ping traffic)
+  GuessNetwork(SystemParams system, ProtocolParams protocol,
+               MaliciousParams malicious, bool enable_queries,
+               sim::Simulator& simulator, Rng rng);
+  ~GuessNetwork();
+
+  GuessNetwork(const GuessNetwork&) = delete;
+  GuessNetwork& operator=(const GuessNetwork&) = delete;
+
+  /// Create the initial population, seed link caches, start ping timers and
+  /// query workloads. Call once, before running the simulator.
+  void initialize();
+
+  /// Start the measurement window: from now on completed queries, pings and
+  /// samples count toward the results. Call at the end of warmup.
+  void begin_measurement();
+
+  /// Take one cache-health sample (Table 3 / Figures 18, 21); accumulates
+  /// into the results. Only meaningful after begin_measurement().
+  void sample_cache_health();
+
+  /// Record one largest-component sample (Figures 6, 7).
+  void sample_connectivity();
+
+  /// Finalize and return results (flushes live peers' loads). The network
+  /// can keep running afterwards, but results are a snapshot.
+  SimulationResults collect_results();
+
+  // --- introspection (tests, analysis) ---
+
+  bool alive(PeerId id) const { return peers_.contains(id); }
+  const Peer* find(PeerId id) const;
+  Peer* find(PeerId id);
+  std::size_t alive_count() const { return alive_ids_.size(); }
+  const std::vector<PeerId>& alive_ids() const { return alive_ids_; }
+  bool is_malicious(PeerId id) const;
+  std::uint64_t deaths() const { return churn_->deaths(); }
+  std::size_t active_queries() const { return active_queries_.size(); }
+  const SystemParams& system() const { return system_; }
+  const ProtocolParams& protocol() const { return protocol_; }
+  const content::ContentModel& content() const { return content_; }
+
+  /// Visit every conceptual-overlay edge (live owner -> live target).
+  void for_each_live_edge(
+      const std::function<void(PeerId, PeerId)>& fn) const;
+
+  /// Largest weakly-connected component of the conceptual overlay.
+  std::size_t largest_component() const;
+
+  /// Inject a query directly (used by tests and the quickstart example);
+  /// the query still runs through the normal probe machinery.
+  void submit_query(PeerId origin, content::FileId file);
+
+  /// Attach an event tracer (nullptr detaches). The tracer must outlive the
+  /// network. Zero overhead beyond one branch per trace point when the
+  /// category is off.
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+
+ private:
+  // --- lifecycle ---
+  PeerId spawn_peer(bool malicious, bool selfish, bool initial);
+  void on_peer_death(PeerId id);
+  void seed_initial_caches();
+  void seed_from_friend(Peer& newborn);
+  void start_ping_timer(Peer& peer);
+  void schedule_next_ping(Peer& peer, sim::Duration delay);
+  void start_query_workload(Peer& peer);
+  void schedule_next_burst(Peer& peer);
+
+  // --- protocol messages ---
+  void do_ping(PeerId pinger_id);
+  void maybe_reseed_from_pong_server(Peer& peer);
+  std::vector<CacheEntry> make_pong(Peer& responder, Policy policy);
+  void process_pong_entries(Peer& receiver, PeerId source,
+                            const std::vector<CacheEntry>& entries);
+  void maybe_introduce(Peer& responder, const Peer& initiator);
+  CacheEntry introduction_entry(const Peer& peer) const;
+
+  // --- queries ---
+  void start_next_query(Peer& origin);
+  void query_step(PeerId origin_id);
+  void finish_query(Peer& origin, QueryExecution& query, bool satisfied);
+  void offer_query_pong(Peer& origin, QueryExecution& query, PeerId source,
+                        std::vector<CacheEntry> entries);
+
+  // --- bookkeeping ---
+  void flush_load(const Peer& peer);
+  std::optional<PeerId> random_alive_peer(PeerId exclude);
+
+  /// Lazily-built trace record: the builder runs only if the category is on.
+  template <typename Builder>
+  void trace(TraceCategory category, Builder&& builder) {
+    if (tracer_ != nullptr && tracer_->on(category)) {
+      std::ostringstream os;
+      builder(os);
+      tracer_->record(category, simulator_.now(), os.str());
+    }
+  }
+
+  SystemParams system_;
+  ProtocolParams protocol_;
+  bool enable_queries_;
+  sim::Simulator& simulator_;
+  Rng rng_;
+
+  content::ContentModel content_;
+  content::QueryStream query_stream_;
+  PoisonGenerator poison_;
+  std::unique_ptr<churn::ChurnManager> churn_;
+
+  PeerId next_id_ = 0;
+  std::unordered_map<PeerId, std::unique_ptr<Peer>> peers_;
+  std::vector<PeerId> alive_ids_;
+  std::unordered_map<PeerId, std::size_t> alive_index_;
+
+  std::unordered_map<PeerId, std::unique_ptr<QueryExecution>> active_queries_;
+
+  bool measuring_ = false;
+  SimulationResults results_;
+  std::unordered_map<PeerId, std::uint64_t> dead_peer_loads_;
+  Tracer* tracer_ = nullptr;
+};
+
+}  // namespace guess

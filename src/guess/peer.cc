@@ -1,0 +1,98 @@
+#include "guess/peer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace guess {
+
+Peer::Peer(PeerId id, sim::Time birth, content::Library library,
+           std::size_t cache_capacity, bool malicious, bool selfish)
+    : id_(id),
+      birth_(birth),
+      malicious_(malicious),
+      selfish_(selfish),
+      library_(std::move(library)),
+      cache_(id, cache_capacity) {}
+
+void Peer::spend_credit(double cost) {
+  GUESS_CHECK_MSG(credit_ >= cost, "spending unaffordable probe");
+  credit_ -= cost;
+}
+
+void Peer::earn_credit(double reward, double cap) {
+  credit_ = std::min(credit_ + reward, cap);
+}
+
+std::uint32_t Peer::answer_query(content::FileId file,
+                                 std::uint32_t max_results) const {
+  if (malicious_) return 0;
+  if (file == content::kNonexistentFile) return 0;
+  if (!library_.contains(file)) return 0;
+  // Each peer holds at most one copy of a file; a match is one result.
+  return std::min<std::uint32_t>(1, max_results);
+}
+
+bool Peer::accept_probe(sim::Time now, std::uint32_t max_probes_per_second) {
+  auto window = static_cast<std::int64_t>(std::floor(now));
+  if (window != window_) {
+    window_ = window;
+    window_probes_ = 0;
+  }
+  if (window_probes_ >= max_probes_per_second) return false;
+  ++window_probes_;
+  return true;
+}
+
+void Peer::note_ping_result(bool dead, const AdaptivePingParams& params) {
+  if (!params.enabled) return;
+  ++ping_window_total_;
+  if (dead) ++ping_window_dead_;
+  if (ping_window_total_ < params.window) return;
+  double dead_fraction = static_cast<double>(ping_window_dead_) /
+                         static_cast<double>(ping_window_total_);
+  if (dead_fraction > params.dead_high) {
+    ping_interval_ = std::max(params.min_interval, ping_interval_ * 0.5);
+  } else if (dead_fraction < params.dead_low) {
+    ping_interval_ = std::min(params.max_interval, ping_interval_ * 1.5);
+  }
+  ping_window_total_ = 0;
+  ping_window_dead_ = 0;
+}
+
+bool Peer::note_referral(PeerId source, bool bad,
+                         const DetectionParams& params) {
+  if (!params.enabled || source == kInvalidPeer || blacklisted(source)) {
+    return false;
+  }
+  ReferralStats& stats = referral_stats_[source];
+  ++stats.total;
+  if (bad) ++stats.bad;
+  if (stats.total < params.min_referrals) return false;
+  double rate = static_cast<double>(stats.bad) /
+                static_cast<double>(stats.total);
+  if (rate <= params.bad_threshold) return false;
+  blacklist_.insert(source);
+  referral_stats_.erase(source);
+  if (params.adaptive_policy_switch &&
+      blacklist_.size() >= params.switch_threshold) {
+    first_hand_only_ = true;  // under attack: stop trusting foreign claims
+    cache_.set_first_hand_only(true);
+  }
+  return true;
+}
+
+bool Peer::backed_off(PeerId target, sim::Time now) const {
+  auto it = backoff_until_.find(target);
+  return it != backoff_until_.end() && it->second > now;
+}
+
+content::FileId Peer::pop_pending_query() {
+  GUESS_CHECK(!pending_queries_.empty());
+  content::FileId file = pending_queries_.front();
+  pending_queries_.pop_front();
+  return file;
+}
+
+}  // namespace guess

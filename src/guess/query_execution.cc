@@ -1,0 +1,70 @@
+#include "guess/query_execution.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace guess {
+
+void ProbeCounters::count(ProbeOutcome outcome) {
+  switch (outcome) {
+    case ProbeOutcome::kGood: ++good; break;
+    case ProbeOutcome::kDead: ++dead; break;
+    case ProbeOutcome::kRefused: ++refused; break;
+  }
+}
+
+ProbeCounters& ProbeCounters::operator+=(const ProbeCounters& other) {
+  good += other.good;
+  dead += other.dead;
+  refused += other.refused;
+  return *this;
+}
+
+QueryExecution::QueryExecution(PeerId origin, content::FileId file,
+                               std::uint32_t desired, Policy probe_policy,
+                               sim::Time start, std::size_t parallel,
+                               bool first_hand_only)
+    : origin_(origin),
+      file_(file),
+      desired_(desired),
+      probe_policy_(probe_policy),
+      start_(start),
+      first_hand_only_(first_hand_only),
+      parallel_(parallel) {
+  GUESS_CHECK(desired >= 1);
+  GUESS_CHECK(parallel >= 1);
+}
+
+void QueryExecution::note_slot(bool any_results, bool adaptive,
+                               std::size_t trigger, std::size_t max) {
+  if (any_results) {
+    resultless_slots_ = 0;
+    return;
+  }
+  ++resultless_slots_;
+  if (adaptive && resultless_slots_ >= trigger) {
+    // Double, capped at `max`, but never shrink below the starting width.
+    parallel_ = std::max(parallel_, std::min(parallel_ * 2, max));
+    resultless_slots_ = 0;
+  }
+}
+
+bool QueryExecution::add_candidate(const CacheEntry& entry, PeerId source,
+                                   Rng& rng) {
+  if (entry.id == origin_) return false;
+  if (!seen_.insert(entry.id).second) return false;
+  heap_.push(Scored{
+      selection_score(probe_policy_, entry, rng, first_hand_only_),
+      next_seq_++, Candidate{entry, source}});
+  return true;
+}
+
+std::optional<QueryExecution::Candidate> QueryExecution::next_candidate() {
+  if (heap_.empty()) return std::nullopt;
+  Candidate candidate = heap_.top().candidate;
+  heap_.pop();
+  return candidate;
+}
+
+}  // namespace guess

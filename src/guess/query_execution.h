@@ -1,0 +1,145 @@
+// Execution state of one GUESS query (§2.3).
+//
+// A querying peer iterates through candidates drawn from its link cache and
+// its per-query query cache, probing one peer per probe slot (serially, per
+// the GUESS spec) until enough results arrive or candidates run out. Pong
+// entries received during the query flow into the query cache, extending the
+// candidate set far past the link cache's bounds.
+//
+// This class holds the candidate ordering (a max-heap keyed by the
+// QueryProbe policy score), the de-duplication set (a peer is probed at most
+// once per query), and the per-query probe accounting. Message exchange is
+// driven by GuessNetwork.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+#include "content/types.h"
+#include "guess/cache_entry.h"
+#include "guess/policy.h"
+#include "sim/time.h"
+
+namespace guess {
+
+/// Outcome of a single probe, for accounting.
+enum class ProbeOutcome {
+  kGood,     ///< live peer processed the query (result or not)
+  kDead,     ///< target has left the network: timeout, wasted probe
+  kRefused,  ///< target is overloaded and dropped the probe (§6.3)
+};
+
+/// Per-query probe counters (the paper's good/dead/refused breakdown).
+struct ProbeCounters {
+  std::uint64_t good = 0;
+  std::uint64_t dead = 0;
+  std::uint64_t refused = 0;
+
+  std::uint64_t total() const { return good + dead + refused; }
+  void count(ProbeOutcome outcome);
+  ProbeCounters& operator+=(const ProbeCounters& other);
+};
+
+class QueryExecution {
+ public:
+  /// @param origin   querying peer
+  /// @param file     query target
+  /// @param desired  NumDesiredResults
+  /// @param probe_policy  the QueryProbe policy ordering the candidates
+  /// @param parallel      probes issued per probe slot (1 for spec-compliant
+  ///                      serial probing; higher for selfish peers or the
+  ///                      §6.2 parallel-walk extension)
+  /// @param first_hand_only  MR* scoring: foreign NumRes claims rank as 0
+  QueryExecution(PeerId origin, content::FileId file, std::uint32_t desired,
+                 Policy probe_policy, sim::Time start,
+                 std::size_t parallel = 1, bool first_hand_only = false);
+
+  PeerId origin() const { return origin_; }
+  content::FileId file() const { return file_; }
+  sim::Time start_time() const { return start_; }
+
+  /// A queued candidate and the peer whose Pong referred it (kInvalidPeer
+  /// for entries taken from the origin's own link cache) — the provenance
+  /// the §6.4 detection heuristic scores.
+  struct Candidate {
+    CacheEntry entry;
+    PeerId source = kInvalidPeer;
+  };
+
+  /// Offer a candidate (link-cache entry at start, or Pong entry during the
+  /// query). Ignored if it is the origin or was already offered — the query
+  /// cache only accepts addresses "not already seen before" (§5.1).
+  /// @returns true if the candidate joined the queue.
+  bool add_candidate(const CacheEntry& entry, Rng& rng) {
+    return add_candidate(entry, kInvalidPeer, rng);
+  }
+  bool add_candidate(const CacheEntry& entry, PeerId source, Rng& rng);
+
+  /// Next peer to probe, by descending QueryProbe score. nullopt when
+  /// exhausted.
+  std::optional<Candidate> next_candidate();
+
+  /// Candidates still queued (not yet probed).
+  std::size_t queued() const { return heap_.size(); }
+
+  /// Total distinct peers ever offered (the query-cache population).
+  std::size_t seen() const { return seen_.size(); }
+
+  void record_outcome(ProbeOutcome outcome) { counters_.count(outcome); }
+  void add_results(std::uint32_t n) { results_ += n; }
+
+  std::uint32_t results() const { return results_; }
+  bool satisfied() const { return results_ >= desired_; }
+  const ProbeCounters& counters() const { return counters_; }
+
+  // --- per-slot pacing state ---
+
+  /// Probes to issue in the next slot.
+  std::size_t slot_parallel() const { return parallel_; }
+
+  /// Record the outcome of one probe slot for the §6.2 adaptive extension:
+  /// after `trigger` consecutive result-less slots the per-slot probe count
+  /// doubles (capped at `max`, never below the starting width).
+  void note_slot(bool any_results, bool adaptive, std::size_t trigger,
+                 std::size_t max);
+
+  /// A slot in which no probe could be sent (creditless under payments).
+  void note_stalled_slot() { ++stalled_slots_; }
+  void reset_stall() { stalled_slots_ = 0; }
+  std::size_t stalled_slots() const { return stalled_slots_; }
+
+ private:
+  struct Scored {
+    double score;
+    std::uint64_t seq;  // FIFO tie-break keeps runs deterministic
+    Candidate candidate;
+    bool operator<(const Scored& other) const {
+      if (score != other.score) return score < other.score;
+      return seq > other.seq;
+    }
+  };
+
+  PeerId origin_;
+  content::FileId file_;
+  std::uint32_t desired_;
+  Policy probe_policy_;
+  sim::Time start_;
+  bool first_hand_only_;
+
+  std::priority_queue<Scored> heap_;
+  std::unordered_set<PeerId> seen_;
+  std::uint64_t next_seq_ = 0;
+
+  std::uint32_t results_ = 0;
+  ProbeCounters counters_;
+
+  std::size_t parallel_;
+  std::size_t resultless_slots_ = 0;
+  std::size_t stalled_slots_ = 0;
+};
+
+}  // namespace guess

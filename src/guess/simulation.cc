@@ -1,0 +1,109 @@
+#include "guess/simulation.h"
+
+#include <cmath>
+
+#include "analysis/overlay_graph.h"
+#include "common/check.h"
+
+namespace guess {
+
+GuessSimulation::GuessSimulation(SystemParams system, ProtocolParams protocol,
+                                 SimulationOptions options)
+    : options_(options) {
+  network_ = std::make_unique<GuessNetwork>(
+      system, protocol, options.malicious, options.enable_queries,
+      simulator_, Rng(options.seed));
+}
+
+GuessSimulation::~GuessSimulation() = default;
+
+SimulationResults GuessSimulation::run() {
+  GUESS_CHECK_MSG(!ran_, "GuessSimulation::run() called twice");
+  ran_ = true;
+
+  network_->initialize();
+  simulator_.run_until(options_.warmup);
+  network_->begin_measurement();
+
+  sim::Time end = options_.warmup + options_.measure;
+  // Periodic samplers, phased to land inside the measurement window.
+  network_->sample_cache_health();
+  simulator_.every(options_.health_sample_interval,
+                   options_.health_sample_interval,
+                   [this]() { network_->sample_cache_health(); });
+  if (options_.sample_connectivity) {
+    simulator_.every(options_.connectivity_sample_interval,
+                     options_.connectivity_sample_interval,
+                     [this]() { network_->sample_connectivity(); });
+  }
+  simulator_.run_until(end);
+  if (options_.sample_connectivity) network_->sample_connectivity();
+
+  SimulationResults results = network_->collect_results();
+  results.measure_duration = options_.measure;
+  if (options_.sample_connectivity) {
+    // End-of-run snapshot, including the strong component the one-way
+    // pointer structure (§2.1) makes interesting.
+    analysis::OverlayGraph graph;
+    for (PeerId id : network_->alive_ids()) graph.add_node(id);
+    network_->for_each_live_edge(
+        [&](PeerId from, PeerId to) { graph.add_edge(from, to); });
+    results.final_largest_component = graph.largest_weak_component();
+    results.final_largest_strong_component =
+        graph.largest_strong_component();
+  }
+  return results;
+}
+
+std::vector<SimulationResults> run_seeds(const SystemParams& system,
+                                         const ProtocolParams& protocol,
+                                         SimulationOptions options,
+                                         int num_seeds) {
+  GUESS_CHECK(num_seeds >= 1);
+  std::vector<SimulationResults> runs;
+  runs.reserve(static_cast<std::size_t>(num_seeds));
+  for (int i = 0; i < num_seeds; ++i) {
+    SimulationOptions opt = options;
+    opt.seed = options.seed + static_cast<std::uint64_t>(i);
+    GuessSimulation sim(system, protocol, opt);
+    runs.push_back(sim.run());
+  }
+  return runs;
+}
+
+AveragedResults average(const std::vector<SimulationResults>& runs) {
+  AveragedResults out;
+  if (runs.empty()) return out;
+  auto n = static_cast<double>(runs.size());
+  RunningStat probes_stat;
+  RunningStat unsat_stat;
+  for (const auto& r : runs) {
+    probes_stat.add(r.probes_per_query());
+    unsat_stat.add(r.unsatisfied_rate());
+  }
+  if (runs.size() > 1) {
+    out.probes_per_query_se = probes_stat.stddev() / std::sqrt(n);
+    out.unsatisfied_rate_se = unsat_stat.stddev() / std::sqrt(n);
+  }
+  for (const auto& r : runs) {
+    out.probes_per_query += r.probes_per_query() / n;
+    out.good_per_query += r.good_probes_per_query() / n;
+    out.dead_per_query += r.dead_probes_per_query() / n;
+    out.refused_per_query += r.refused_probes_per_query() / n;
+    out.unsatisfied_rate += r.unsatisfied_rate() / n;
+    out.fraction_live += r.cache_health.fraction_live / n;
+    out.absolute_live += r.cache_health.absolute_live / n;
+    out.good_entries += r.cache_health.good_entries / n;
+    out.largest_component += r.largest_component.mean() / n;
+    out.final_largest_component +=
+        static_cast<double>(r.final_largest_component) / n;
+    out.final_largest_strong_component +=
+        static_cast<double>(r.final_largest_strong_component) / n;
+    out.response_time += r.response_time.mean() / n;
+    out.queries_completed +=
+        static_cast<double>(r.queries_completed) / n;
+  }
+  return out;
+}
+
+}  // namespace guess

@@ -1,0 +1,106 @@
+// GuessSimulation — the public entry point of guesslib.
+//
+// Wraps simulator construction, network setup, warmup, periodic sampling and
+// result collection into one call:
+//
+//   guess::SystemParams system;          // Table 1 defaults
+//   guess::ProtocolParams protocol;      // Table 2 defaults
+//   guess::SimulationOptions options;
+//   guess::GuessSimulation sim(system, protocol, options);
+//   guess::SimulationResults results = sim.run();
+//
+// For step-by-step control (tests, examples that drive individual queries),
+// construct the pieces directly: sim::Simulator + GuessNetwork.
+#pragma once
+
+#include <memory>
+
+#include "guess/metrics.h"
+#include "guess/network.h"
+#include "guess/params.h"
+#include "sim/simulator.h"
+
+namespace guess {
+
+struct SimulationOptions {
+  std::uint64_t seed = 42;
+
+  /// Simulated seconds before measurement starts (caches reach steady
+  /// state; the paper measures steady-state behaviour).
+  sim::Duration warmup = 600.0;
+
+  /// Simulated seconds of the measurement window.
+  sim::Duration measure = 2400.0;
+
+  /// False for the §6.1 maintenance-only runs (Figures 6/7 isolate pings).
+  bool enable_queries = true;
+
+  /// Interval between cache-health samples (Table 3, Figures 18/21).
+  sim::Duration health_sample_interval = 60.0;
+
+  /// When true, also sample the conceptual overlay's largest connected
+  /// component every connectivity_sample_interval (Figures 6/7).
+  bool sample_connectivity = false;
+  sim::Duration connectivity_sample_interval = 120.0;
+
+  MaliciousParams malicious;
+};
+
+class GuessSimulation {
+ public:
+  GuessSimulation(SystemParams system, ProtocolParams protocol,
+                  SimulationOptions options);
+  ~GuessSimulation();
+
+  GuessSimulation(const GuessSimulation&) = delete;
+  GuessSimulation& operator=(const GuessSimulation&) = delete;
+
+  /// Run warmup + measurement and return the collected results. Callable
+  /// once per instance.
+  SimulationResults run();
+
+  /// Access to the underlying pieces, for examples/tests that want to poke
+  /// at the network after (or instead of) run().
+  GuessNetwork& network() { return *network_; }
+  sim::Simulator& simulator() { return simulator_; }
+  const SimulationOptions& options() const { return options_; }
+
+ private:
+  SimulationOptions options_;
+  sim::Simulator simulator_;
+  std::unique_ptr<GuessNetwork> network_;
+  bool ran_ = false;
+};
+
+/// Convenience for sweeps: run one simulation per seed (seed, seed+1, ...)
+/// and return the per-run results.
+std::vector<SimulationResults> run_seeds(const SystemParams& system,
+                                         const ProtocolParams& protocol,
+                                         SimulationOptions options,
+                                         int num_seeds);
+
+/// Aggregate of repeated runs: averages of the headline per-query metrics,
+/// plus standard errors across seeds for the two headline numbers (0 when
+/// only one seed was run).
+struct AveragedResults {
+  double probes_per_query = 0.0;
+  double good_per_query = 0.0;
+  double dead_per_query = 0.0;
+  double refused_per_query = 0.0;
+  double unsatisfied_rate = 0.0;
+  double fraction_live = 0.0;
+  double absolute_live = 0.0;
+  double good_entries = 0.0;
+  double largest_component = 0.0;
+  double response_time = 0.0;
+  double queries_completed = 0.0;
+  double probes_per_query_se = 0.0;
+  double unsatisfied_rate_se = 0.0;
+  /// End-of-run connectivity snapshots (0 unless sample_connectivity).
+  double final_largest_component = 0.0;
+  double final_largest_strong_component = 0.0;
+};
+
+AveragedResults average(const std::vector<SimulationResults>& runs);
+
+}  // namespace guess

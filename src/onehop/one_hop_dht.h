@@ -1,0 +1,108 @@
+// One-hop DHT lookups — the structured-overlay counterpart of
+// non-forwarding search (the paper's reference [1], Gupta/Liskov/Rodrigues).
+//
+// The paper positions GUESS against one-hop DHTs in §1: both avoid
+// forwarding, but the DHT buys its single-hop lookups with full membership
+// state at every peer, maintained by disseminating every join/leave to
+// everyone — and supports only search-by-identifier. This module makes the
+// contrast measurable on the same churn substrate.
+//
+// Model: peers sit on a key ring; the peer clockwise-closest to a key owns
+// it. Every peer keeps a full routing table whose content lags reality by
+// the dissemination delay D (the mean time for a membership event to reach
+// all peers). A lookup probes the *believed* owner directly:
+//   * believed owner already departed → timeout, retry with the next
+//     believed successor (each retry is a wasted probe, like GUESS's dead
+//     probes);
+//   * believed owner is alive but a newer join actually owns the key → one
+//     corrective forward hop (the "two-hop" case of [1]).
+// Maintenance traffic is the defining cost: every membership event must
+// reach all N peers, so each peer processes ~2·N/mean_lifetime messages
+// per second regardless of whether it ever looks anything up.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "churn/churn_manager.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "sim/simulator.h"
+
+namespace guess::onehop {
+
+struct OneHopParams {
+  std::size_t network_size = 1000;
+  double lifespan_multiplier = 1.0;
+  /// Lookups per peer per second (the paper's QueryRate, for comparability).
+  double lookup_rate = 9.26e-3;
+  /// Dissemination delay: how stale every peer's routing table is.
+  sim::Duration dissemination_delay = 30.0;
+};
+
+struct OneHopResults {
+  std::uint64_t lookups = 0;
+  std::uint64_t one_hop = 0;        ///< direct hit on the true owner
+  std::uint64_t corrective_hops = 0;///< believed owner alive but superseded
+  std::uint64_t timeouts = 0;       ///< probes to departed believed owners
+  RunningStat probes_per_lookup;    ///< timeouts + final probe (+ forward)
+  std::uint64_t deaths = 0;
+  std::uint64_t membership_events = 0;  ///< joins + leaves during measurement
+
+  double one_hop_fraction() const;
+  double mean_probes() const;
+  /// Membership-maintenance messages per peer per second: every event is
+  /// disseminated to every peer ([1]'s defining overhead).
+  double maintenance_msgs_per_peer_per_sec(double measure_seconds) const;
+};
+
+class OneHopDht {
+ public:
+  OneHopDht(OneHopParams params, sim::Simulator& simulator, Rng rng);
+  ~OneHopDht();
+
+  OneHopDht(const OneHopDht&) = delete;
+  OneHopDht& operator=(const OneHopDht&) = delete;
+
+  /// Create the initial population (views start synchronized). Call once.
+  void initialize();
+
+  /// Start counting lookups and membership events.
+  void begin_measurement();
+
+  OneHopResults results() const { return results_; }
+
+  /// Perform one lookup for a uniformly random key (also driven internally
+  /// by the configured lookup_rate; exposed for tests).
+  void lookup_random_key();
+
+  std::size_t alive_count() const { return ring_.size(); }
+  std::size_t view_size() const { return view_.size(); }
+
+ private:
+  using Position = std::uint64_t;
+
+  void spawn_peer(bool initial);
+  void on_peer_death(Position position);
+  void schedule_next_lookup();
+  /// Owner of `key` in a ring map (clockwise successor, wrapping).
+  static Position owner_of(const std::map<Position, std::uint64_t>& ring,
+                           Position key);
+
+  OneHopParams params_;
+  sim::Simulator& simulator_;
+  Rng rng_;
+  std::unique_ptr<churn::ChurnManager> churn_;
+
+  std::uint64_t next_node_id_ = 0;
+  /// Reality: position -> node incarnation id.
+  std::map<Position, std::uint64_t> ring_;
+  /// Everyone's (uniformly lagged) view of the ring.
+  std::map<Position, std::uint64_t> view_;
+
+  bool measuring_ = false;
+  OneHopResults results_;
+};
+
+}  // namespace guess::onehop

@@ -1,0 +1,48 @@
+#include "sim/event_queue.h"
+
+#include "common/check.h"
+
+namespace guess::sim {
+
+EventHandle EventQueue::schedule(Time at, Callback fn) {
+  GUESS_CHECK_MSG(fn != nullptr, "null event callback");
+  auto alive = std::make_shared<bool>(true);
+  EventHandle handle{std::weak_ptr<bool>(alive)};
+  heap_.push(Entry{at, next_seq_++, std::move(fn), std::move(alive)});
+  ++live_;
+  return handle;
+}
+
+void EventQueue::drop_dead() const {
+  while (!heap_.empty() && !*heap_.top().alive) {
+    heap_.pop();
+    --live_;
+  }
+}
+
+bool EventQueue::empty() const {
+  drop_dead();
+  return heap_.empty();
+}
+
+Time EventQueue::next_time() const {
+  drop_dead();
+  GUESS_CHECK(!heap_.empty());
+  return heap_.top().at;
+}
+
+EventQueue::Callback EventQueue::pop(Time& at) {
+  drop_dead();
+  GUESS_CHECK(!heap_.empty());
+  // priority_queue::top() is const; the entry is moved out via const_cast,
+  // which is safe because it is popped immediately after.
+  auto& top = const_cast<Entry&>(heap_.top());
+  at = top.at;
+  Callback fn = std::move(top.fn);
+  *top.alive = false;
+  heap_.pop();
+  --live_;
+  return fn;
+}
+
+}  // namespace guess::sim

@@ -1,0 +1,83 @@
+// Priority queue of timestamped events with stable ordering and cancellation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace guess::sim {
+
+/// Handle used to cancel a scheduled event. Default-constructed handles are
+/// inert. Cancellation is lazy: the queue drops cancelled entries on pop.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Cancel the event if it has not fired yet. Safe to call repeatedly.
+  void cancel() {
+    if (auto p = alive_.lock()) *p = false;
+  }
+
+  /// True if the event is still pending (scheduled, not fired, not cancelled).
+  bool pending() const {
+    auto p = alive_.lock();
+    return p && *p;
+  }
+
+ private:
+  friend class EventQueue;
+  friend class Simulator;
+  explicit EventHandle(std::weak_ptr<bool> alive) : alive_(std::move(alive)) {}
+  std::weak_ptr<bool> alive_;
+};
+
+/// Min-heap of (time, sequence) ordered events. Events at equal times fire in
+/// scheduling order (the sequence number breaks ties), which keeps runs
+/// deterministic.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedule `fn` to fire at absolute time `at`.
+  EventHandle schedule(Time at, Callback fn);
+
+  bool empty() const;
+
+  /// Number of scheduled-but-unfired entries. Entries cancelled while buried
+  /// in the heap are still counted until they surface, so this is an upper
+  /// bound on the number of events that will actually fire.
+  std::size_t size() const { return live_; }
+
+  /// Time of the earliest pending event; must not be empty().
+  Time next_time() const;
+
+  /// Pop and return the earliest pending event's callback, advancing past any
+  /// cancelled entries; must not be empty(). Sets `at` to its firing time.
+  Callback pop(Time& at);
+
+ private:
+  struct Entry {
+    Time at;
+    std::uint64_t seq;
+    Callback fn;
+    std::shared_ptr<bool> alive;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  void drop_dead() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  mutable std::size_t live_ = 0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace guess::sim

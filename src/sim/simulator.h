@@ -1,0 +1,48 @@
+// Single-threaded discrete-event simulator.
+//
+// The simulator owns the clock and the event queue. Components schedule
+// callbacks at absolute or relative times; run_until() executes events in
+// timestamp order until the horizon. Determinism: same seed + same schedule
+// order => identical runs (events at equal times fire in scheduling order).
+#pragma once
+
+#include <functional>
+
+#include "sim/event_queue.h"
+#include "sim/time.h"
+
+namespace guess::sim {
+
+class Simulator {
+ public:
+  Time now() const { return now_; }
+
+  /// Schedule at an absolute time (>= now).
+  EventHandle at(Time when, EventQueue::Callback fn);
+
+  /// Schedule after a relative delay (>= 0).
+  EventHandle after(Duration delay, EventQueue::Callback fn);
+
+  /// Schedule `fn` every `period` seconds starting at now + phase. The
+  /// callback may cancel the series via the returned handle's cancel() —
+  /// cancelling stops all future firings.
+  EventHandle every(Duration period, Duration phase,
+                    std::function<void()> fn);
+
+  /// Run until the queue drains or the clock reaches `horizon` (events
+  /// scheduled exactly at the horizon do fire).
+  void run_until(Time horizon);
+
+  /// Run until the queue is empty.
+  void run_all();
+
+  std::size_t pending_events() const { return queue_.size(); }
+
+ private:
+  struct PeriodicState;
+
+  Time now_ = kTimeZero;
+  EventQueue queue_;
+};
+
+}  // namespace guess::sim

@@ -1,0 +1,19 @@
+// Simulated time.
+//
+// Time is a double in seconds since simulation start. All protocol constants
+// in the paper (PingInterval = 30 s, probe slot = 0.2 s, capacity windows of
+// 1 s) are natural in these units.
+#pragma once
+
+namespace guess::sim {
+
+using Time = double;
+using Duration = double;
+
+inline constexpr Time kTimeZero = 0.0;
+
+/// Seconds per minute/hour, for readable experiment configs.
+inline constexpr Duration kMinute = 60.0;
+inline constexpr Duration kHour = 3600.0;
+
+}  // namespace guess::sim

@@ -1,0 +1,95 @@
+#include "analysis/load_analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace guess::analysis {
+namespace {
+
+TEST(Gini, UniformLoadIsZero) {
+  EXPECT_DOUBLE_EQ(gini_coefficient({5.0, 5.0, 5.0, 5.0}), 0.0);
+}
+
+TEST(Gini, SinglePeerCarryingEverything) {
+  // One-hot load over n peers has Gini (n-1)/n.
+  EXPECT_NEAR(gini_coefficient({0.0, 0.0, 0.0, 10.0}), 0.75, 1e-12);
+}
+
+TEST(Gini, KnownTwoValueCase) {
+  // loads {1, 3}: mean 2, Gini = 0.25.
+  EXPECT_NEAR(gini_coefficient({1.0, 3.0}), 0.25, 1e-12);
+}
+
+TEST(Gini, EdgeCases) {
+  EXPECT_DOUBLE_EQ(gini_coefficient({}), 0.0);
+  EXPECT_DOUBLE_EQ(gini_coefficient({0.0, 0.0}), 0.0);
+  EXPECT_DOUBLE_EQ(gini_coefficient({7.0}), 0.0);
+  EXPECT_THROW(gini_coefficient({1.0, -1.0}), CheckError);
+}
+
+TEST(Gini, MoreSkewMeansHigherGini) {
+  double even = gini_coefficient({4.0, 5.0, 6.0});
+  double skewed = gini_coefficient({1.0, 1.0, 13.0});
+  EXPECT_GT(skewed, even);
+}
+
+TEST(TopShare, ComputesHeadFraction) {
+  std::vector<double> loads = {1.0, 1.0, 1.0, 1.0, 6.0};
+  // Top 20% = 1 peer = 6 of total 10.
+  EXPECT_NEAR(top_share(loads, 0.2), 0.6, 1e-12);
+  // Top 100% is everything.
+  EXPECT_NEAR(top_share(loads, 1.0), 1.0, 1e-12);
+}
+
+TEST(TopShare, AlwaysAtLeastOnePeer) {
+  std::vector<double> loads = {2.0, 8.0};
+  EXPECT_NEAR(top_share(loads, 0.01), 0.8, 1e-12);
+  EXPECT_DOUBLE_EQ(top_share({}, 0.5), 0.0);
+  EXPECT_THROW(top_share(loads, 0.0), CheckError);
+}
+
+TEST(LoadSummary, AggregatesSample) {
+  SampleSet loads;
+  for (double v : {0.0, 1.0, 2.0, 3.0, 14.0}) loads.add(v);
+  auto summary = summarize_load(loads);
+  EXPECT_DOUBLE_EQ(summary.total, 20.0);
+  EXPECT_DOUBLE_EQ(summary.mean, 4.0);
+  EXPECT_DOUBLE_EQ(summary.max, 14.0);
+  EXPECT_GT(summary.gini, 0.3);
+  EXPECT_GT(summary.top1pct_share, 0.5);
+}
+
+TEST(LoadSummary, EmptySampleIsZeroes) {
+  auto summary = summarize_load(SampleSet{});
+  EXPECT_DOUBLE_EQ(summary.total, 0.0);
+  EXPECT_DOUBLE_EQ(summary.gini, 0.0);
+}
+
+TEST(RankedCurve, DescendingLogSpacedRanks) {
+  SampleSet loads;
+  for (int i = 1; i <= 1000; ++i) loads.add(static_cast<double>(i));
+  auto curve = ranked_curve(loads, 10);
+  ASSERT_GE(curve.size(), 5u);
+  EXPECT_EQ(curve.front().first, 1u);
+  EXPECT_DOUBLE_EQ(curve.front().second, 1000.0);  // rank 1 = heaviest
+  EXPECT_EQ(curve.back().first, 1000u);
+  EXPECT_DOUBLE_EQ(curve.back().second, 1.0);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GT(curve[i].first, curve[i - 1].first);     // ranks increase
+    EXPECT_LE(curve[i].second, curve[i - 1].second);   // loads decrease
+  }
+}
+
+TEST(RankedCurve, EmptyAndValidation) {
+  EXPECT_TRUE(ranked_curve(SampleSet{}, 10).empty());
+  SampleSet one;
+  one.add(5.0);
+  EXPECT_THROW(ranked_curve(one, 1), CheckError);
+  auto curve = ranked_curve(one, 5);
+  ASSERT_EQ(curve.size(), 1u);
+  EXPECT_EQ(curve[0].first, 1u);
+}
+
+}  // namespace
+}  // namespace guess::analysis

@@ -1,0 +1,108 @@
+#include "analysis/overlay_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace guess::analysis {
+namespace {
+
+TEST(OverlayGraph, EmptyGraph) {
+  OverlayGraph graph;
+  EXPECT_EQ(graph.node_count(), 0u);
+  EXPECT_EQ(graph.largest_weak_component(), 0u);
+  EXPECT_EQ(graph.largest_strong_component(), 0u);
+  EXPECT_DOUBLE_EQ(graph.mean_out_degree(), 0.0);
+}
+
+TEST(OverlayGraph, IsolatedNodesAreSingletons) {
+  OverlayGraph graph;
+  graph.add_node(1);
+  graph.add_node(2);
+  EXPECT_EQ(graph.node_count(), 2u);
+  EXPECT_EQ(graph.largest_weak_component(), 1u);
+  EXPECT_EQ(graph.largest_strong_component(), 1u);
+}
+
+TEST(OverlayGraph, DirectedChainIsWeaklyConnected) {
+  OverlayGraph graph;
+  graph.add_edge(1, 2);
+  graph.add_edge(2, 3);
+  graph.add_edge(3, 4);
+  EXPECT_EQ(graph.largest_weak_component(), 4u);
+  // No cycles: every strong component is a single node.
+  EXPECT_EQ(graph.largest_strong_component(), 1u);
+}
+
+TEST(OverlayGraph, CycleIsStronglyConnected) {
+  OverlayGraph graph;
+  graph.add_edge(1, 2);
+  graph.add_edge(2, 3);
+  graph.add_edge(3, 1);
+  EXPECT_EQ(graph.largest_strong_component(), 3u);
+  EXPECT_EQ(graph.largest_weak_component(), 3u);
+}
+
+TEST(OverlayGraph, DisconnectedComponentsReportLargest) {
+  OverlayGraph graph;
+  // Component A: 4 nodes weakly connected.
+  graph.add_edge(1, 2);
+  graph.add_edge(1, 3);
+  graph.add_edge(1, 4);
+  // Component B: 2 nodes.
+  graph.add_edge(10, 11);
+  // Singleton.
+  graph.add_node(20);
+  EXPECT_EQ(graph.node_count(), 7u);
+  EXPECT_EQ(graph.largest_weak_component(), 4u);
+}
+
+TEST(OverlayGraph, StrongComponentInsideLargerWeakOne) {
+  OverlayGraph graph;
+  // 1 <-> 2 cycle plus a tail 2 -> 3 -> 4.
+  graph.add_edge(1, 2);
+  graph.add_edge(2, 1);
+  graph.add_edge(2, 3);
+  graph.add_edge(3, 4);
+  EXPECT_EQ(graph.largest_weak_component(), 4u);
+  EXPECT_EQ(graph.largest_strong_component(), 2u);
+}
+
+TEST(OverlayGraph, TwoCyclesDifferentSizes) {
+  OverlayGraph graph;
+  graph.add_edge(1, 2);
+  graph.add_edge(2, 1);
+  for (int i = 10; i < 14; ++i) {
+    graph.add_edge(static_cast<OverlayGraph::NodeId>(i),
+                   static_cast<OverlayGraph::NodeId>(i + 1));
+  }
+  graph.add_edge(14, 10);  // 5-cycle
+  EXPECT_EQ(graph.largest_strong_component(), 5u);
+}
+
+TEST(OverlayGraph, ParallelEdgesAllowedAndCounted) {
+  OverlayGraph graph;
+  graph.add_edge(1, 2);
+  graph.add_edge(1, 2);
+  EXPECT_EQ(graph.edge_count(), 2u);
+  EXPECT_DOUBLE_EQ(graph.mean_out_degree(), 1.0);
+}
+
+TEST(OverlayGraph, SparseIdsHandled) {
+  OverlayGraph graph;
+  graph.add_edge(1'000'000'000ULL, 42);
+  EXPECT_EQ(graph.node_count(), 2u);
+  EXPECT_EQ(graph.largest_weak_component(), 2u);
+}
+
+TEST(OverlayGraph, DeepChainDoesNotOverflowStack) {
+  // The iterative Tarjan must handle paths far beyond thread stack depth.
+  OverlayGraph graph;
+  const std::size_t n = 200000;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    graph.add_edge(i, i + 1);
+  }
+  EXPECT_EQ(graph.largest_weak_component(), n);
+  EXPECT_EQ(graph.largest_strong_component(), 1u);
+}
+
+}  // namespace
+}  // namespace guess::analysis

@@ -1,0 +1,71 @@
+#include "baseline/fixed_extent.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace guess::baseline {
+namespace {
+
+content::ContentModel test_model() {
+  content::ContentParams params;
+  params.catalog_size = 300;
+  params.query_universe = 360;
+  return content::ContentModel(params);
+}
+
+TEST(FixedExtent, UnsatisfactionDecreasesWithExtent) {
+  auto model = test_model();
+  Rng rng(3);
+  StaticPopulation population(model, 500, rng);
+  auto curve = fixed_extent_curve(population, model, {1, 10, 100, 500}, 3000,
+                                  1, rng);
+  ASSERT_EQ(curve.size(), 4u);
+  // Monotone (up to Monte-Carlo noise, hence a small slack).
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i].unsatisfied_rate,
+              curve[i - 1].unsatisfied_rate + 0.02);
+  }
+  EXPECT_GT(curve[0].unsatisfied_rate, 0.5);  // extent 1 almost never hits
+}
+
+TEST(FixedExtent, FullExtentLeavesOnlyUnsatisfiableQueries) {
+  auto model = test_model();
+  Rng rng(5);
+  StaticPopulation population(model, 500, rng);
+  auto point = evaluate_fixed_extent(population, model, 500, 5000, 1, rng);
+  // Probing everyone fails only for nonexistent/zero-replica items: a small
+  // but strictly positive floor (the paper's ~6% effect).
+  EXPECT_GT(point.unsatisfied_rate, 0.0);
+  EXPECT_LT(point.unsatisfied_rate, 0.25);
+}
+
+TEST(FixedExtent, ExtentRecordedInPoint) {
+  auto model = test_model();
+  Rng rng(7);
+  StaticPopulation population(model, 100, rng);
+  auto point = evaluate_fixed_extent(population, model, 17, 100, 1, rng);
+  EXPECT_EQ(point.extent, 17u);
+}
+
+TEST(FixedExtent, MoreDesiredResultsIsHarder) {
+  auto model = test_model();
+  Rng rng(9);
+  StaticPopulation population(model, 500, rng);
+  auto one = evaluate_fixed_extent(population, model, 50, 4000, 1, rng);
+  auto five = evaluate_fixed_extent(population, model, 50, 4000, 5, rng);
+  EXPECT_GT(five.unsatisfied_rate, one.unsatisfied_rate);
+}
+
+TEST(FixedExtent, ZeroQueriesRejected) {
+  auto model = test_model();
+  Rng rng(11);
+  StaticPopulation population(model, 100, rng);
+  EXPECT_THROW(evaluate_fixed_extent(population, model, 10, 0, 1, rng),
+               CheckError);
+  EXPECT_THROW(evaluate_fixed_extent(population, model, 10, 10, 0, rng),
+               CheckError);
+}
+
+}  // namespace
+}  // namespace guess::baseline

@@ -1,0 +1,76 @@
+#include "baseline/iterative_deepening.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+#include "baseline/fixed_extent.h"
+
+namespace guess::baseline {
+namespace {
+
+content::ContentModel test_model() {
+  content::ContentParams params;
+  params.catalog_size = 300;
+  params.query_universe = 360;
+  return content::ContentModel(params);
+}
+
+TEST(IterativeDeepening, DefaultScheduleScalesWithNetwork) {
+  auto schedule = default_schedule(1000);
+  ASSERT_EQ(schedule.size(), 3u);
+  EXPECT_EQ(schedule[0], 200u);
+  EXPECT_EQ(schedule[1], 500u);
+  EXPECT_EQ(schedule[2], 1000u);
+}
+
+TEST(IterativeDeepening, CostBetweenFirstRingAndFullExtent) {
+  auto model = test_model();
+  Rng rng(3);
+  StaticPopulation population(model, 500, rng);
+  auto schedule = default_schedule(500);
+  auto result = evaluate_iterative_deepening(population, model, schedule,
+                                             3000, 1, rng);
+  EXPECT_GE(result.avg_cost, static_cast<double>(schedule.front()));
+  EXPECT_LE(result.avg_cost, static_cast<double>(schedule.back()));
+}
+
+TEST(IterativeDeepening, MatchesFullExtentSatisfaction) {
+  // Deepening all the way to the full network satisfies exactly the
+  // satisfiable queries, like a fixed extent of the whole network.
+  auto model = test_model();
+  Rng rng(5);
+  StaticPopulation population(model, 400, rng);
+  auto deepening = evaluate_iterative_deepening(
+      population, model, default_schedule(400), 4000, 1, rng);
+  auto full = evaluate_fixed_extent(population, model, 400, 4000, 1, rng);
+  EXPECT_NEAR(deepening.unsatisfied_rate, full.unsatisfied_rate, 0.03);
+}
+
+TEST(IterativeDeepening, CheaperThanFixedFullExtent) {
+  // The whole point of flexible extent: popular queries stop at ring one.
+  auto model = test_model();
+  Rng rng(7);
+  StaticPopulation population(model, 500, rng);
+  auto result = evaluate_iterative_deepening(
+      population, model, default_schedule(500), 3000, 1, rng);
+  EXPECT_LT(result.avg_cost, 500.0);
+}
+
+TEST(IterativeDeepening, ScheduleValidation) {
+  auto model = test_model();
+  Rng rng(9);
+  StaticPopulation population(model, 100, rng);
+  EXPECT_THROW(
+      evaluate_iterative_deepening(population, model, {}, 10, 1, rng),
+      CheckError);
+  EXPECT_THROW(evaluate_iterative_deepening(population, model, {50, 50}, 10,
+                                            1, rng),
+               CheckError);
+  EXPECT_THROW(evaluate_iterative_deepening(population, model, {50, 200}, 10,
+                                            1, rng),
+               CheckError);  // exceeds population
+}
+
+}  // namespace
+}  // namespace guess::baseline

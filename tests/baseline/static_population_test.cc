@@ -1,0 +1,81 @@
+#include "baseline/static_population.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace guess::baseline {
+namespace {
+
+content::ContentModel test_model() {
+  content::ContentParams params;
+  params.catalog_size = 300;
+  params.query_universe = 360;
+  return content::ContentModel(params);
+}
+
+TEST(StaticPopulation, MaterializesRequestedSize) {
+  auto model = test_model();
+  Rng rng(3);
+  StaticPopulation population(model, 50, rng);
+  EXPECT_EQ(population.size(), 50u);
+  for (std::size_t p = 0; p < 50; ++p) {
+    (void)population.library(p);  // must not throw
+  }
+  EXPECT_THROW(population.library(50), CheckError);
+}
+
+TEST(StaticPopulation, SampleResultsBoundedByExtent) {
+  auto model = test_model();
+  Rng rng(5);
+  StaticPopulation population(model, 100, rng);
+  for (int round = 0; round < 50; ++round) {
+    auto results = population.results_in_sample(0, 10, rng);
+    EXPECT_LE(results, 10u);
+  }
+}
+
+TEST(StaticPopulation, FullExtentEqualsTotalReplicas) {
+  auto model = test_model();
+  Rng rng(7);
+  StaticPopulation population(model, 80, rng);
+  for (content::FileId file : {0u, 5u, 100u}) {
+    EXPECT_EQ(population.results_in_sample(file, 80, rng),
+              population.total_replicas(file));
+  }
+}
+
+TEST(StaticPopulation, NonexistentFileNeverMatches) {
+  auto model = test_model();
+  Rng rng(9);
+  StaticPopulation population(model, 60, rng);
+  EXPECT_EQ(population.results_in_sample(content::kNonexistentFile, 60, rng),
+            0u);
+  EXPECT_EQ(population.total_replicas(content::kNonexistentFile), 0u);
+}
+
+TEST(StaticPopulation, PrefixCountsMatchManualScan) {
+  auto model = test_model();
+  Rng rng(11);
+  StaticPopulation population(model, 40, rng);
+  std::vector<std::size_t> order;
+  for (std::size_t i = 0; i < 40; ++i) order.push_back(i);
+  content::FileId file = 0;
+  std::uint32_t manual = 0;
+  for (std::size_t i = 10; i < 30; ++i) {
+    if (population.library(order[i]).contains(file)) ++manual;
+  }
+  EXPECT_EQ(population.results_in_prefix(file, order, 10, 30), manual);
+  EXPECT_THROW(population.results_in_prefix(file, order, 30, 10), CheckError);
+  EXPECT_THROW(population.results_in_prefix(file, order, 0, 41), CheckError);
+}
+
+TEST(StaticPopulation, PopularFileHasMoreReplicas) {
+  auto model = test_model();
+  Rng rng(13);
+  StaticPopulation population(model, 500, rng);
+  EXPECT_GT(population.total_replicas(0), population.total_replicas(299));
+}
+
+}  // namespace
+}  // namespace guess::baseline

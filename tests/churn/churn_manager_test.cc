@@ -1,0 +1,89 @@
+#include "churn/churn_manager.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+#include <vector>
+
+namespace guess::churn {
+namespace {
+
+TEST(ChurnManager, DeathFiresAtSampledLifetime) {
+  sim::Simulator simulator;
+  std::vector<std::pair<PeerId, sim::Time>> deaths;
+  ChurnManager churn(simulator, LifetimeDistribution(1.0), Rng(1),
+                     [&](PeerId id) {
+                       deaths.emplace_back(id, simulator.now());
+                     });
+  sim::Duration life = churn.register_peer(7);
+  simulator.run_until(life + 1.0);
+  ASSERT_EQ(deaths.size(), 1u);
+  EXPECT_EQ(deaths[0].first, 7u);
+  EXPECT_DOUBLE_EQ(deaths[0].second, life);
+  EXPECT_EQ(churn.deaths(), 1u);
+}
+
+TEST(ChurnManager, EachRegistrationDiesExactlyOnce) {
+  sim::Simulator simulator;
+  int deaths = 0;
+  ChurnManager churn(simulator, LifetimeDistribution(0.01), Rng(2),
+                     [&](PeerId) { ++deaths; });
+  for (PeerId id = 0; id < 50; ++id) churn.register_peer(id);
+  simulator.run_until(1e7);
+  EXPECT_EQ(deaths, 50);
+  EXPECT_EQ(churn.deaths(), 50u);
+}
+
+TEST(ChurnManager, DeathCallbackCanRebirth) {
+  // The standard usage: on_death registers a replacement, keeping the
+  // population constant forever.
+  sim::Simulator simulator;
+  int population = 0;
+  ChurnManager* churn_ptr = nullptr;
+  PeerId next_id = 0;
+  ChurnManager churn(simulator, LifetimeDistribution(0.005), Rng(3),
+                     [&](PeerId) {
+                       churn_ptr->register_peer(next_id++);
+                     });
+  churn_ptr = &churn;
+  for (int i = 0; i < 10; ++i) churn.register_peer(next_id++);
+  population = 10;
+  simulator.run_until(3600.0);
+  EXPECT_GT(churn.deaths(), 20u);  // plenty of churn at 0.005x lifetimes
+  EXPECT_EQ(population, 10);       // conceptually constant (1 birth/death)
+}
+
+TEST(ChurnManager, ScaledRegistrationShortensLifetime) {
+  sim::Simulator sim_a, sim_b;
+  std::vector<sim::Duration> full, scaled;
+  ChurnManager churn_a(sim_a, LifetimeDistribution(1.0), Rng(5),
+                       [](PeerId) {});
+  ChurnManager churn_b(sim_b, LifetimeDistribution(1.0), Rng(5),
+                       [](PeerId) {});
+  for (PeerId id = 0; id < 50; ++id) {
+    full.push_back(churn_a.register_peer(id));
+    scaled.push_back(churn_b.register_peer_scaled(id, 0.25));
+  }
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    EXPECT_NEAR(scaled[i], full[i] * 0.25, 1e-9);
+  }
+}
+
+TEST(ChurnManager, ScaledFractionValidated) {
+  sim::Simulator simulator;
+  ChurnManager churn(simulator, LifetimeDistribution(1.0), Rng(7),
+                     [](PeerId) {});
+  EXPECT_THROW(churn.register_peer_scaled(1, 0.0), CheckError);
+  EXPECT_THROW(churn.register_peer_scaled(1, 1.5), CheckError);
+}
+
+TEST(ChurnManager, NullCallbackRejected) {
+  sim::Simulator simulator;
+  EXPECT_THROW(ChurnManager(simulator, LifetimeDistribution(1.0), Rng(1),
+                            nullptr),
+               CheckError);
+}
+
+}  // namespace
+}  // namespace guess::churn

@@ -1,0 +1,82 @@
+#include "churn/lifetime.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace guess::churn {
+namespace {
+
+TEST(Lifetime, SamplesArePositive) {
+  LifetimeDistribution dist(1.0);
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GT(dist.sample(rng), 0.0);
+  }
+}
+
+TEST(Lifetime, MedianIsAboutAnHour) {
+  // The synthetic Saroiu-style table pins the median at 60 minutes.
+  LifetimeDistribution dist(1.0);
+  Rng rng(5);
+  std::vector<double> samples;
+  for (int i = 0; i < 20001; ++i) samples.push_back(dist.sample(rng));
+  std::nth_element(samples.begin(), samples.begin() + 10000, samples.end());
+  EXPECT_NEAR(samples[10000], 3600.0, 300.0);
+}
+
+TEST(Lifetime, HeavyTailPresent) {
+  LifetimeDistribution dist(1.0);
+  Rng rng(7);
+  int over_10h = 0;
+  int under_10min = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    double v = dist.sample(rng);
+    if (v > 36000.0) ++over_10h;
+    if (v < 600.0) ++under_10min;
+  }
+  // ~10% above 10 h, ~20% below 10 min (per the published shape).
+  EXPECT_NEAR(static_cast<double>(over_10h) / trials, 0.10, 0.02);
+  EXPECT_NEAR(static_cast<double>(under_10min) / trials, 0.20, 0.02);
+}
+
+class MultiplierTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(MultiplierTest, MeanScalesLinearly) {
+  double m = GetParam();
+  LifetimeDistribution base(1.0);
+  LifetimeDistribution scaled(m);
+  EXPECT_NEAR(scaled.mean(), base.mean() * m, 1e-9);
+}
+
+TEST_P(MultiplierTest, SamplesScaleLinearly) {
+  double m = GetParam();
+  LifetimeDistribution base(1.0);
+  LifetimeDistribution scaled(m);
+  Rng rng_a(11), rng_b(11);  // identical streams
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_NEAR(scaled.sample(rng_a), base.sample(rng_b) * m, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Multipliers, MultiplierTest,
+                         ::testing::Values(0.2, 0.5, 1.0, 2.0, 10.0));
+
+TEST(Lifetime, InvalidMultiplierThrows) {
+  EXPECT_THROW(LifetimeDistribution(0.0), CheckError);
+  EXPECT_THROW(LifetimeDistribution(-1.0), CheckError);
+}
+
+TEST(Lifetime, BaseDistributionMeanIsHours) {
+  // Heavy tail drags the mean far above the 1-hour median.
+  double mean = LifetimeDistribution::base_distribution().mean();
+  EXPECT_GT(mean, 2.0 * 3600.0);
+  EXPECT_LT(mean, 10.0 * 3600.0);
+}
+
+}  // namespace
+}  // namespace guess::churn

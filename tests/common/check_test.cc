@@ -1,0 +1,42 @@
+#include "common/check.h"
+
+#include <gtest/gtest.h>
+
+namespace guess {
+namespace {
+
+TEST(Check, PassingConditionDoesNothing) {
+  EXPECT_NO_THROW(GUESS_CHECK(1 + 1 == 2));
+  EXPECT_NO_THROW(GUESS_CHECK_MSG(true, "never rendered"));
+}
+
+TEST(Check, FailingConditionThrowsCheckError) {
+  EXPECT_THROW(GUESS_CHECK(false), CheckError);
+}
+
+TEST(Check, MessageIncludesConditionAndLocation) {
+  try {
+    GUESS_CHECK(2 < 1);
+    FAIL() << "should have thrown";
+  } catch (const CheckError& e) {
+    std::string what = e.what();
+    EXPECT_NE(what.find("2 < 1"), std::string::npos);
+    EXPECT_NE(what.find("check_test.cc"), std::string::npos);
+  }
+}
+
+TEST(Check, MsgVariantRendersStreamedPayload) {
+  try {
+    GUESS_CHECK_MSG(false, "value=" << 42);
+    FAIL() << "should have thrown";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("value=42"), std::string::npos);
+  }
+}
+
+TEST(Check, CheckErrorIsLogicError) {
+  EXPECT_THROW(GUESS_CHECK(false), std::logic_error);
+}
+
+}  // namespace
+}  // namespace guess

@@ -1,0 +1,84 @@
+#include "common/empirical.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace guess {
+namespace {
+
+EmpiricalDistribution simple() {
+  return EmpiricalDistribution({{0.0, 0.0}, {0.5, 10.0}, {1.0, 30.0}});
+}
+
+TEST(Empirical, QuantileInterpolatesLinearly) {
+  auto dist = simple();
+  EXPECT_DOUBLE_EQ(dist.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(dist.quantile(0.25), 5.0);
+  EXPECT_DOUBLE_EQ(dist.quantile(0.5), 10.0);
+  EXPECT_DOUBLE_EQ(dist.quantile(0.75), 20.0);
+  EXPECT_DOUBLE_EQ(dist.quantile(1.0), 30.0);
+}
+
+TEST(Empirical, MeanMatchesClosedForm) {
+  // Segment means: (0+10)/2 over width .5 plus (10+30)/2 over width .5.
+  EXPECT_DOUBLE_EQ(simple().mean(), 0.5 * 5.0 + 0.5 * 20.0);
+}
+
+TEST(Empirical, SamplesStayWithinSupport) {
+  auto dist = simple();
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    double v = dist.sample(rng);
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 30.0);
+  }
+}
+
+TEST(Empirical, SampleMeanApproachesAnalyticMean) {
+  auto dist = simple();
+  Rng rng(5);
+  double sum = 0.0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) sum += dist.sample(rng);
+  EXPECT_NEAR(sum / trials, dist.mean(), 0.1);
+}
+
+TEST(Empirical, MedianLandsAtMidQuantileValue) {
+  auto dist = simple();
+  Rng rng(7);
+  std::vector<double> samples;
+  for (int i = 0; i < 10001; ++i) samples.push_back(dist.sample(rng));
+  std::nth_element(samples.begin(), samples.begin() + 5000, samples.end());
+  EXPECT_NEAR(samples[5000], 10.0, 0.5);
+}
+
+TEST(Empirical, RejectsMalformedTables) {
+  using P = EmpiricalDistribution::Point;
+  // Too few points.
+  EXPECT_THROW(EmpiricalDistribution({P{0.0, 1.0}}), CheckError);
+  // Must start at 0 and end at 1.
+  EXPECT_THROW(EmpiricalDistribution({P{0.1, 0.0}, P{1.0, 1.0}}), CheckError);
+  EXPECT_THROW(EmpiricalDistribution({P{0.0, 0.0}, P{0.9, 1.0}}), CheckError);
+  // Quantiles must strictly increase.
+  EXPECT_THROW(EmpiricalDistribution({P{0.0, 0.0}, P{0.5, 1.0}, P{0.5, 2.0},
+                                      P{1.0, 3.0}}),
+               CheckError);
+  // Values must be non-decreasing.
+  EXPECT_THROW(EmpiricalDistribution({P{0.0, 5.0}, P{1.0, 1.0}}), CheckError);
+}
+
+TEST(Empirical, QuantileOutOfRangeThrows) {
+  auto dist = simple();
+  EXPECT_THROW(dist.quantile(-0.01), CheckError);
+  EXPECT_THROW(dist.quantile(1.01), CheckError);
+}
+
+TEST(Empirical, FlatSegmentsAllowed) {
+  EmpiricalDistribution dist({{0.0, 5.0}, {0.5, 5.0}, {1.0, 5.0}});
+  EXPECT_DOUBLE_EQ(dist.quantile(0.3), 5.0);
+  EXPECT_DOUBLE_EQ(dist.mean(), 5.0);
+}
+
+}  // namespace
+}  // namespace guess

@@ -1,0 +1,60 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace guess {
+namespace {
+
+Flags make(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv = {"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Flags, ParsesKeyValuePairs) {
+  auto flags = make({"--n=100", "--rate=0.5", "--name=test"});
+  EXPECT_EQ(flags.get_int("n", 0), 100);
+  EXPECT_DOUBLE_EQ(flags.get_double("rate", 0.0), 0.5);
+  EXPECT_EQ(flags.get_string("name", ""), "test");
+}
+
+TEST(Flags, FallbacksWhenAbsent) {
+  auto flags = make({});
+  EXPECT_EQ(flags.get_int("n", 7), 7);
+  EXPECT_DOUBLE_EQ(flags.get_double("rate", 1.5), 1.5);
+  EXPECT_EQ(flags.get_string("name", "dflt"), "dflt");
+  EXPECT_FALSE(flags.get_bool("full", false));
+  EXPECT_TRUE(flags.get_bool("full", true));
+}
+
+TEST(Flags, BooleanForms) {
+  EXPECT_TRUE(make({"--full"}).get_bool("full", false));
+  EXPECT_TRUE(make({"--full=true"}).get_bool("full", false));
+  EXPECT_TRUE(make({"--full=1"}).get_bool("full", false));
+  EXPECT_FALSE(make({"--full=false"}).get_bool("full", true));
+  EXPECT_FALSE(make({"--full=0"}).get_bool("full", true));
+  EXPECT_THROW(make({"--full=maybe"}).get_bool("full", false), CheckError);
+}
+
+TEST(Flags, PositionalArgumentsRejected) {
+  EXPECT_THROW(make({"positional"}), CheckError);
+}
+
+TEST(Flags, MalformedNumbersThrow) {
+  EXPECT_THROW(make({"--n=12x"}).get_int("n", 0), CheckError);
+  EXPECT_THROW(make({"--rate=abc"}).get_double("rate", 0.0), CheckError);
+}
+
+TEST(Flags, HarnessConventions) {
+  auto flags = make({"--seed=9", "--seeds=3", "--full"});
+  EXPECT_EQ(flags.seed(), 9u);
+  EXPECT_EQ(flags.seeds(), 3);
+  EXPECT_TRUE(flags.full());
+  EXPECT_TRUE(flags.has("seed"));
+  EXPECT_FALSE(flags.has("absent"));
+}
+
+}  // namespace
+}  // namespace guess

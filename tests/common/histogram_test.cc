@@ -1,0 +1,63 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace guess {
+namespace {
+
+TEST(Histogram, BinsValuesByRange) {
+  Histogram hist(0.0, 10.0, 5);
+  hist.add(0.5);   // bin 0
+  hist.add(3.0);   // bin 1
+  hist.add(9.99);  // bin 4
+  EXPECT_EQ(hist.count(0), 1u);
+  EXPECT_EQ(hist.count(1), 1u);
+  EXPECT_EQ(hist.count(4), 1u);
+  EXPECT_EQ(hist.total(), 3u);
+}
+
+TEST(Histogram, ClampsOutOfRangeIntoEdgeBins) {
+  Histogram hist(0.0, 10.0, 5);
+  hist.add(-100.0);
+  hist.add(1e9);
+  EXPECT_EQ(hist.count(0), 1u);
+  EXPECT_EQ(hist.count(4), 1u);
+  EXPECT_EQ(hist.total(), 2u);
+}
+
+TEST(Histogram, BinBoundsAreContiguous) {
+  Histogram hist(2.0, 12.0, 4);
+  for (std::size_t b = 0; b < hist.bins(); ++b) {
+    EXPECT_DOUBLE_EQ(hist.bin_hi(b) - hist.bin_lo(b), 2.5);
+    if (b > 0) EXPECT_DOUBLE_EQ(hist.bin_lo(b), hist.bin_hi(b - 1));
+  }
+}
+
+TEST(Histogram, InvalidConstructionThrows) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 5), CheckError);
+  EXPECT_THROW(Histogram(2.0, 1.0, 5), CheckError);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), CheckError);
+}
+
+TEST(Histogram, ToStringShowsNonEmptyBins) {
+  Histogram hist(0.0, 4.0, 4);
+  hist.add(0.5);
+  hist.add(0.6);
+  hist.add(3.5);
+  std::string text = hist.to_string();
+  EXPECT_NE(text.find("2 "), std::string::npos);
+  EXPECT_NE(text.find('#'), std::string::npos);
+  // Empty bins are suppressed: only two lines.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 2);
+}
+
+TEST(Histogram, CountOutOfRangeThrows) {
+  Histogram hist(0.0, 1.0, 2);
+  EXPECT_THROW(hist.count(2), CheckError);
+  EXPECT_THROW(hist.bin_lo(2), CheckError);
+}
+
+}  // namespace
+}  // namespace guess

@@ -1,0 +1,120 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+#include <cmath>
+
+namespace guess {
+namespace {
+
+TEST(RunningStat, EmptyIsSafe) {
+  RunningStat stat;
+  EXPECT_TRUE(stat.empty());
+  EXPECT_EQ(stat.count(), 0u);
+  EXPECT_DOUBLE_EQ(stat.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stat.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stat.min(), 0.0);
+  EXPECT_DOUBLE_EQ(stat.max(), 0.0);
+}
+
+TEST(RunningStat, MatchesDirectComputation) {
+  RunningStat stat;
+  std::vector<double> values = {1.0, 4.0, 4.0, 9.0, -2.0, 7.5};
+  double sum = 0.0;
+  for (double v : values) {
+    stat.add(v);
+    sum += v;
+  }
+  double mean = sum / static_cast<double>(values.size());
+  double m2 = 0.0;
+  for (double v : values) m2 += (v - mean) * (v - mean);
+  double variance = m2 / static_cast<double>(values.size() - 1);
+
+  EXPECT_EQ(stat.count(), values.size());
+  EXPECT_NEAR(stat.mean(), mean, 1e-12);
+  EXPECT_NEAR(stat.variance(), variance, 1e-12);
+  EXPECT_NEAR(stat.stddev(), std::sqrt(variance), 1e-12);
+  EXPECT_DOUBLE_EQ(stat.min(), -2.0);
+  EXPECT_DOUBLE_EQ(stat.max(), 9.0);
+  EXPECT_NEAR(stat.sum(), sum, 1e-12);
+}
+
+TEST(RunningStat, SingleValueHasZeroVariance) {
+  RunningStat stat;
+  stat.add(42.0);
+  EXPECT_DOUBLE_EQ(stat.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(stat.variance(), 0.0);
+}
+
+TEST(RunningStat, MergeEqualsSequential) {
+  RunningStat a, b, all;
+  for (double v : {1.0, 2.0, 3.5}) {
+    a.add(v);
+    all.add(v);
+  }
+  for (double v : {-1.0, 8.0, 2.0, 0.5}) {
+    b.add(v);
+    all.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStat, MergeWithEmptySides) {
+  RunningStat a, empty;
+  a.add(3.0);
+  a.add(5.0);
+  RunningStat copy = a;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_NEAR(a.mean(), copy.mean(), 1e-12);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_NEAR(empty.mean(), 4.0, 1e-12);
+}
+
+TEST(RatioStat, CountsAndDividesSafely) {
+  RatioStat ratio;
+  EXPECT_DOUBLE_EQ(ratio.ratio(), 0.0);
+  ratio.add(true);
+  ratio.add(false);
+  ratio.add(true);
+  ratio.add(true);
+  EXPECT_EQ(ratio.successes(), 3u);
+  EXPECT_EQ(ratio.trials(), 4u);
+  EXPECT_DOUBLE_EQ(ratio.ratio(), 0.75);
+  ratio.add_counts(1, 4);
+  EXPECT_DOUBLE_EQ(ratio.ratio(), 0.5);
+}
+
+TEST(SampleSet, PercentileNearestRank) {
+  SampleSet set;
+  for (int i = 1; i <= 100; ++i) set.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(set.percentile(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(set.percentile(50.0), 50.0);
+  EXPECT_DOUBLE_EQ(set.percentile(99.0), 99.0);
+  EXPECT_DOUBLE_EQ(set.percentile(100.0), 100.0);
+}
+
+TEST(SampleSet, PercentileOnEmptyThrows) {
+  SampleSet set;
+  EXPECT_THROW(set.percentile(50.0), CheckError);
+  EXPECT_THROW(set.max(), CheckError);
+}
+
+TEST(SampleSet, SortedDescendingAndMean) {
+  SampleSet set;
+  for (double v : {3.0, 1.0, 2.0}) set.add(v);
+  EXPECT_EQ(set.sorted_descending(), (std::vector<double>{3.0, 2.0, 1.0}));
+  EXPECT_DOUBLE_EQ(set.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(set.max(), 3.0);
+}
+
+}  // namespace
+}  // namespace guess

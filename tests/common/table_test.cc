@@ -1,0 +1,62 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+#include <sstream>
+
+namespace guess {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  TablePrinter table({"name", "value"});
+  table.add_row({std::string("alpha"), std::int64_t{42}});
+  table.add_row({std::string("b"), 3.14159});
+  std::string text = table.to_text();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("42"), std::string::npos);
+  EXPECT_NE(text.find("3.142"), std::string::npos);
+  EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  TablePrinter table({"a", "b"});
+  EXPECT_THROW(table.add_row({std::string("only-one")}), CheckError);
+}
+
+TEST(Table, EmptyHeaderThrows) {
+  EXPECT_THROW(TablePrinter({}), CheckError);
+}
+
+TEST(Table, CsvEscapesCommasAndQuotes) {
+  TablePrinter table({"k", "v"});
+  table.add_row({std::string("a,b"), std::string("say \"hi\"")});
+  std::string csv = table.to_csv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, CsvHasHeaderAndRows) {
+  TablePrinter table({"x", "y"});
+  table.add_row({std::int64_t{1}, std::int64_t{2}});
+  EXPECT_EQ(table.to_csv(), "x,y\n1,2\n");
+}
+
+TEST(Table, LargeDoublesUseOneDecimal) {
+  TablePrinter table({"v"});
+  table.add_row({12345.678});
+  EXPECT_NE(table.to_csv().find("12345.7"), std::string::npos);
+}
+
+TEST(Table, PrintIncludesTitleBanner) {
+  TablePrinter table({"v"});
+  table.add_row({std::int64_t{7}});
+  std::ostringstream os;
+  table.print(os, "my title");
+  EXPECT_NE(os.str().find("=== my title ==="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace guess

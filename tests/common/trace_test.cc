@@ -1,0 +1,72 @@
+#include "common/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/check.h"
+
+namespace guess {
+namespace {
+
+TEST(Tracer, RecordsInOrder) {
+  Tracer tracer;
+  tracer.record(TraceCategory::kQuery, 1.0, "first");
+  tracer.record(TraceCategory::kPing, 2.0, "second");
+  auto records = tracer.snapshot();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].line, "first");
+  EXPECT_EQ(records[1].line, "second");
+  EXPECT_DOUBLE_EQ(records[1].at, 2.0);
+  EXPECT_EQ(records[1].category, TraceCategory::kPing);
+}
+
+TEST(Tracer, MaskFiltersCategories) {
+  Tracer tracer(static_cast<unsigned>(TraceCategory::kQuery), 16);
+  EXPECT_TRUE(tracer.on(TraceCategory::kQuery));
+  EXPECT_FALSE(tracer.on(TraceCategory::kPing));
+  tracer.record(TraceCategory::kQuery, 1.0, "kept");
+  tracer.record(TraceCategory::kPing, 2.0, "dropped");
+  auto records = tracer.snapshot();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].line, "kept");
+}
+
+TEST(Tracer, RingDropsOldestAndKeepsChronology) {
+  Tracer tracer(kTraceAll, 4);
+  for (int i = 0; i < 10; ++i) {
+    tracer.record(TraceCategory::kChurn, static_cast<double>(i),
+                  std::to_string(i));
+  }
+  EXPECT_EQ(tracer.size(), 4u);
+  EXPECT_EQ(tracer.total_recorded(), 10u);
+  auto records = tracer.snapshot();
+  ASSERT_EQ(records.size(), 4u);
+  EXPECT_EQ(records[0].line, "6");
+  EXPECT_EQ(records[3].line, "9");
+}
+
+TEST(Tracer, DumpIsReadable) {
+  Tracer tracer;
+  tracer.record(TraceCategory::kAttack, 12.5, "blacklist peer=3 liar=9");
+  std::ostringstream os;
+  tracer.dump(os);
+  EXPECT_NE(os.str().find("attack"), std::string::npos);
+  EXPECT_NE(os.str().find("blacklist peer=3 liar=9"), std::string::npos);
+  EXPECT_NE(os.str().find("12.5"), std::string::npos);
+}
+
+TEST(Tracer, CategoryNamesCoverAll) {
+  EXPECT_STREQ(Tracer::category_name(TraceCategory::kChurn), "churn");
+  EXPECT_STREQ(Tracer::category_name(TraceCategory::kPing), "ping");
+  EXPECT_STREQ(Tracer::category_name(TraceCategory::kQuery), "query");
+  EXPECT_STREQ(Tracer::category_name(TraceCategory::kCache), "cache");
+  EXPECT_STREQ(Tracer::category_name(TraceCategory::kAttack), "attack");
+}
+
+TEST(Tracer, ZeroCapacityRejected) {
+  EXPECT_THROW(Tracer(kTraceAll, 0), CheckError);
+}
+
+}  // namespace
+}  // namespace guess

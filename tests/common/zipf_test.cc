@@ -1,0 +1,89 @@
+#include "common/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+#include <cmath>
+#include <vector>
+
+namespace guess {
+namespace {
+
+class ZipfAlphaTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfAlphaTest, PmfSumsToOne) {
+  ZipfDistribution zipf(500, GetParam());
+  double sum = 0.0;
+  for (std::size_t r = 0; r < zipf.n(); ++r) sum += zipf.pmf(r);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST_P(ZipfAlphaTest, PmfNonIncreasingInRank) {
+  ZipfDistribution zipf(200, GetParam());
+  for (std::size_t r = 1; r < zipf.n(); ++r) {
+    EXPECT_LE(zipf.pmf(r), zipf.pmf(r - 1) + 1e-12);
+  }
+}
+
+TEST_P(ZipfAlphaTest, SamplesStayInRange) {
+  ZipfDistribution zipf(50, GetParam());
+  Rng rng(5);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_LT(zipf.sample(rng), 50u);
+  }
+}
+
+TEST_P(ZipfAlphaTest, EmpiricalFrequencyTracksPmf) {
+  ZipfDistribution zipf(20, GetParam());
+  Rng rng(7);
+  std::vector<int> counts(20, 0);
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) ++counts[zipf.sample(rng)];
+  for (std::size_t r = 0; r < 20; ++r) {
+    double observed = static_cast<double>(counts[r]) / trials;
+    EXPECT_NEAR(observed, zipf.pmf(r), 0.01) << "rank " << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, ZipfAlphaTest,
+                         ::testing::Values(0.0, 0.5, 0.8, 1.0, 1.5));
+
+TEST(Zipf, AlphaZeroIsUniform) {
+  ZipfDistribution zipf(10, 0.0);
+  for (std::size_t r = 0; r < 10; ++r) {
+    EXPECT_NEAR(zipf.pmf(r), 0.1, 1e-12);
+  }
+}
+
+TEST(Zipf, HigherAlphaConcentratesHead) {
+  ZipfDistribution flat(100, 0.5);
+  ZipfDistribution skewed(100, 1.5);
+  EXPECT_GT(skewed.pmf(0), flat.pmf(0));
+  EXPECT_LT(skewed.pmf(99), flat.pmf(99));
+}
+
+TEST(Zipf, SingleRankAlwaysSamplesZero) {
+  ZipfDistribution zipf(1, 1.0);
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.sample(rng), 0u);
+}
+
+TEST(Zipf, InvalidParametersThrow) {
+  EXPECT_THROW(ZipfDistribution(0, 1.0), CheckError);
+  EXPECT_THROW(ZipfDistribution(10, -0.1), CheckError);
+  ZipfDistribution zipf(10, 1.0);
+  EXPECT_THROW(zipf.pmf(10), CheckError);
+}
+
+TEST(Zipf, NormalizerMatchesDirectSum) {
+  ZipfDistribution zipf(100, 0.8);
+  double h = 0.0;
+  for (std::size_t r = 1; r <= 100; ++r) {
+    h += std::pow(static_cast<double>(r), -0.8);
+  }
+  EXPECT_NEAR(zipf.normalizer(), h, 1e-9);
+}
+
+}  // namespace
+}  // namespace guess

@@ -1,0 +1,61 @@
+#include "content/query_stream.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace guess::content {
+namespace {
+
+TEST(QueryStream, BurstSizeWithinBounds) {
+  QueryStream stream(BurstParams{0.01, 1, 5});
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    std::size_t size = stream.next_burst_size(rng);
+    EXPECT_GE(size, 1u);
+    EXPECT_LE(size, 5u);
+  }
+}
+
+TEST(QueryStream, MeanBurstSizeIsMidpoint) {
+  QueryStream stream(BurstParams{0.01, 1, 5});
+  EXPECT_DOUBLE_EQ(stream.mean_burst_size(), 3.0);
+  QueryStream fixed(BurstParams{0.01, 4, 4});
+  EXPECT_DOUBLE_EQ(fixed.mean_burst_size(), 4.0);
+}
+
+TEST(QueryStream, BurstRateDeliversTargetQueryRate) {
+  // rate = queries/sec; bursts of mean size B arrive at rate/B.
+  BurstParams params{9.26e-3, 1, 5};
+  QueryStream stream(params);
+  EXPECT_NEAR(stream.burst_rate(), 9.26e-3 / 3.0, 1e-12);
+
+  // Empirically: total queries over simulated gaps ≈ rate × time.
+  Rng rng(7);
+  double elapsed = 0.0;
+  double queries = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    elapsed += stream.next_burst_gap(rng);
+    queries += static_cast<double>(stream.next_burst_size(rng));
+  }
+  EXPECT_NEAR(queries / elapsed, params.query_rate,
+              params.query_rate * 0.05);
+}
+
+TEST(QueryStream, GapsAreExponentialish) {
+  QueryStream stream(BurstParams{0.1, 1, 1});
+  Rng rng(9);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += stream.next_burst_gap(rng);
+  EXPECT_NEAR(sum / n, 1.0 / stream.burst_rate(), 0.3);
+}
+
+TEST(QueryStream, InvalidParamsRejected) {
+  EXPECT_THROW(QueryStream(BurstParams{0.0, 1, 5}), CheckError);
+  EXPECT_THROW(QueryStream(BurstParams{0.01, 0, 5}), CheckError);
+  EXPECT_THROW(QueryStream(BurstParams{0.01, 6, 5}), CheckError);
+}
+
+}  // namespace
+}  // namespace guess::content

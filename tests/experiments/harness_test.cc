@@ -1,0 +1,103 @@
+#include "experiments/harness.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace guess::experiments {
+namespace {
+
+Flags make(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv = {"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Scale, ReducedDefaults) {
+  auto scale = Scale::from_flags(make({}));
+  EXPECT_FALSE(scale.full);
+  EXPECT_EQ(scale.seeds, 2);
+  EXPECT_DOUBLE_EQ(scale.warmup, 400.0);
+  EXPECT_DOUBLE_EQ(scale.measure, 1600.0);
+}
+
+TEST(Scale, FullScaleIsLarger) {
+  auto reduced = Scale::from_flags(make({}));
+  auto full = Scale::from_flags(make({"--full"}));
+  EXPECT_TRUE(full.full);
+  EXPECT_GT(full.measure, reduced.measure);
+  EXPECT_GT(full.seeds, reduced.seeds);
+}
+
+TEST(Scale, SeedsOverride) {
+  auto scale = Scale::from_flags(make({"--seeds=7", "--seed=99"}));
+  EXPECT_EQ(scale.seeds, 7);
+  EXPECT_EQ(scale.base_seed, 99u);
+  auto options = scale.options();
+  EXPECT_EQ(options.seed, 99u);
+  EXPECT_DOUBLE_EQ(options.warmup, scale.warmup);
+}
+
+TEST(PolicyCombo, PaperNamesMapToPolicyTriples) {
+  auto ran = PolicyCombo::from_name("Ran");
+  EXPECT_EQ(ran.probe, Policy::kRandom);
+  EXPECT_EQ(ran.replacement, Replacement::kRandom);
+  EXPECT_FALSE(ran.reset_num_results);
+
+  auto mfs = PolicyCombo::from_name("MFS");
+  EXPECT_EQ(mfs.probe, Policy::kMFS);
+  EXPECT_EQ(mfs.pong, Policy::kMFS);
+  EXPECT_EQ(mfs.replacement, Replacement::kLFS);  // §4: evict least-files
+
+  auto mr = PolicyCombo::from_name("MR");
+  EXPECT_EQ(mr.replacement, Replacement::kLR);
+  EXPECT_FALSE(mr.reset_num_results);
+
+  auto mr_star = PolicyCombo::from_name("MR*");
+  EXPECT_EQ(mr_star.probe, Policy::kMR);
+  EXPECT_TRUE(mr_star.reset_num_results);
+
+  // §4's reversal: MRU retention = LRU eviction and vice versa.
+  EXPECT_EQ(PolicyCombo::from_name("MRU").replacement, Replacement::kLRU);
+  EXPECT_EQ(PolicyCombo::from_name("LRU").replacement, Replacement::kMRU);
+}
+
+TEST(PolicyCombo, UnknownNameThrows) {
+  EXPECT_THROW(PolicyCombo::from_name("XYZ"), CheckError);
+}
+
+TEST(PolicyCombo, ApplyLeavesPingPoliciesAlone) {
+  ProtocolParams base;
+  base.ping_probe = Policy::kMRU;
+  auto params = PolicyCombo::from_name("MFS").apply(base);
+  EXPECT_EQ(params.query_probe, Policy::kMFS);
+  EXPECT_EQ(params.query_pong, Policy::kMFS);
+  EXPECT_EQ(params.cache_replacement, Replacement::kLFS);
+  EXPECT_EQ(params.ping_probe, Policy::kMRU);  // untouched
+  EXPECT_EQ(params.ping_pong, Policy::kRandom);
+}
+
+TEST(RobustnessCombos, MatchesFigures16Through21) {
+  const auto& combos = robustness_combos();
+  ASSERT_EQ(combos.size(), 4u);
+  EXPECT_EQ(combos[0].name, "Ran");
+  EXPECT_EQ(combos[1].name, "MR");
+  EXPECT_EQ(combos[2].name, "MR*");
+  EXPECT_EQ(combos[3].name, "MFS");
+}
+
+TEST(Harness, PrintHeaderMentionsEverything) {
+  std::ostringstream os;
+  SystemParams system;
+  ProtocolParams protocol;
+  auto scale = Scale::from_flags(make({}));
+  print_header(os, "Figure 99", "test claim", system, protocol, scale);
+  std::string text = os.str();
+  EXPECT_NE(text.find("Figure 99"), std::string::npos);
+  EXPECT_NE(text.find("test claim"), std::string::npos);
+  EXPECT_NE(text.find("NetworkSize=1000"), std::string::npos);
+  EXPECT_NE(text.find("reduced"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace guess::experiments

@@ -1,0 +1,92 @@
+#include "gnutella/flood.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace guess::gnutella {
+namespace {
+
+Topology chain(std::size_t n) {
+  Topology graph(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) graph.add_edge(i, i + 1);
+  return graph;
+}
+
+TEST(Flood, TtlZeroReachesOnlyOrigin) {
+  auto graph = chain(5);
+  auto result = flood_reach(graph, 2, 0);
+  EXPECT_EQ(result.peers_reached, 1u);
+  EXPECT_EQ(result.messages, 0u);
+}
+
+TEST(Flood, ReachGrowsWithTtlOnChain) {
+  auto graph = chain(10);
+  EXPECT_EQ(flood_reach(graph, 0, 1).peers_reached, 2u);
+  EXPECT_EQ(flood_reach(graph, 0, 3).peers_reached, 4u);
+  EXPECT_EQ(flood_reach(graph, 0, 9).peers_reached, 10u);
+  EXPECT_EQ(flood_reach(graph, 0, 50).peers_reached, 10u);  // saturates
+}
+
+TEST(Flood, MiddleOriginReachesBothSides) {
+  auto graph = chain(9);
+  EXPECT_EQ(flood_reach(graph, 4, 2).peers_reached, 5u);
+}
+
+TEST(Flood, DuplicateTransmissionsCounted) {
+  // Triangle: flooding from node 0 with TTL 2 sends the query along every
+  // edge it encounters, including back-edges to already-seen peers.
+  Topology graph(3);
+  graph.add_edge(0, 1);
+  graph.add_edge(1, 2);
+  graph.add_edge(2, 0);
+  auto result = flood_reach(graph, 0, 2);
+  EXPECT_EQ(result.peers_reached, 3u);
+  // 0 -> {1, 2}: 2 messages; 1 -> {0, 2}: 2 messages; 2 -> {1, 0}:
+  // 2 messages. All at depth <= 1 forward.
+  EXPECT_EQ(result.messages, 6u);
+}
+
+TEST(Flood, AmplificationOnDenseGraphs) {
+  Rng rng(3);
+  auto graph = random_topology(500, 4, rng);
+  auto result = flood_reach(graph, 0, 4);
+  // Messages exceed peers reached — the §3.3 amplification effect.
+  EXPECT_GT(result.messages, static_cast<std::uint64_t>(result.peers_reached));
+}
+
+TEST(Flood, QueryResultsCountMatchesReachedOwners) {
+  content::ContentParams params;
+  params.catalog_size = 100;
+  params.query_universe = 120;
+  content::ContentModel model(params);
+  Rng rng(5);
+  baseline::StaticPopulation population(model, 50, rng);
+  auto graph = chain(50);
+  // Full reach: results must equal the total replica count.
+  auto full = flood_query(graph, population, 0, 0, 49);
+  EXPECT_EQ(full.results, population.total_replicas(0));
+  // Nonexistent file never matches.
+  auto none =
+      flood_query(graph, population, 0, content::kNonexistentFile, 49);
+  EXPECT_EQ(none.results, 0u);
+}
+
+TEST(Flood, PopulationSizeMustMatchTopology) {
+  content::ContentParams params;
+  params.catalog_size = 100;
+  params.query_universe = 120;
+  content::ContentModel model(params);
+  Rng rng(7);
+  baseline::StaticPopulation population(model, 10, rng);
+  auto graph = chain(5);
+  EXPECT_THROW(flood_query(graph, population, 0, 0, 2), CheckError);
+}
+
+TEST(Flood, InvalidOriginThrows) {
+  auto graph = chain(5);
+  EXPECT_THROW(flood_reach(graph, 5, 1), CheckError);
+}
+
+}  // namespace
+}  // namespace guess::gnutella

@@ -1,0 +1,368 @@
+// Tests for the protocol extensions grounded in the paper's discussion
+// sections: selfish peers + probe payments (§3.3), adaptive ping (§6.1),
+// adaptive parallel probes (§6.2), malicious-referral detection (§6.4),
+// and the query-cache ablation knob (§2.3).
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "guess/simulation.h"
+
+namespace guess {
+namespace {
+
+SystemParams base_system(std::size_t n = 200) {
+  SystemParams system;
+  system.network_size = n;
+  system.content.catalog_size = 600;
+  system.content.query_universe = 750;
+  return system;
+}
+
+SimulationOptions quick(std::uint64_t seed = 42) {
+  SimulationOptions options;
+  options.seed = seed;
+  options.warmup = 150.0;
+  options.measure = 700.0;
+  return options;
+}
+
+// --- Peer-level units -------------------------------------------------------
+
+TEST(Credit, SpendAndEarnRespectBounds) {
+  Peer peer(1, 0.0, content::Library{}, 10, false);
+  peer.set_credit(5.0);
+  EXPECT_TRUE(peer.can_afford(5.0));
+  EXPECT_FALSE(peer.can_afford(5.1));
+  peer.spend_credit(3.0);
+  EXPECT_DOUBLE_EQ(peer.credit(), 2.0);
+  EXPECT_THROW(peer.spend_credit(2.5), CheckError);
+  peer.earn_credit(100.0, /*cap=*/50.0);
+  EXPECT_DOUBLE_EQ(peer.credit(), 50.0);
+}
+
+TEST(AdaptivePing, HighDeadFractionShrinksInterval) {
+  Peer peer(1, 0.0, content::Library{}, 10, false);
+  peer.set_ping_interval(60.0);
+  AdaptivePingParams params;
+  params.enabled = true;
+  params.window = 4;
+  for (int i = 0; i < 4; ++i) peer.note_ping_result(true, params);
+  EXPECT_DOUBLE_EQ(peer.ping_interval(), 30.0);
+  // Again, clamped at min_interval eventually.
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 4; ++i) peer.note_ping_result(true, params);
+  }
+  EXPECT_DOUBLE_EQ(peer.ping_interval(), params.min_interval);
+}
+
+TEST(AdaptivePing, AllLiveGrowsIntervalToCap) {
+  Peer peer(1, 0.0, content::Library{}, 10, false);
+  peer.set_ping_interval(60.0);
+  AdaptivePingParams params;
+  params.enabled = true;
+  params.window = 4;
+  for (int round = 0; round < 20; ++round) {
+    for (int i = 0; i < 4; ++i) peer.note_ping_result(false, params);
+  }
+  EXPECT_DOUBLE_EQ(peer.ping_interval(), params.max_interval);
+}
+
+TEST(AdaptivePing, ModerateDeadFractionHoldsSteady) {
+  Peer peer(1, 0.0, content::Library{}, 10, false);
+  peer.set_ping_interval(60.0);
+  AdaptivePingParams params;
+  params.enabled = true;
+  params.window = 10;
+  // 20% dead: between dead_low (5%) and dead_high (30%).
+  for (int i = 0; i < 8; ++i) peer.note_ping_result(false, params);
+  for (int i = 0; i < 2; ++i) peer.note_ping_result(true, params);
+  EXPECT_DOUBLE_EQ(peer.ping_interval(), 60.0);
+}
+
+TEST(AdaptivePing, DisabledIsInert) {
+  Peer peer(1, 0.0, content::Library{}, 10, false);
+  peer.set_ping_interval(60.0);
+  AdaptivePingParams params;  // enabled = false
+  for (int i = 0; i < 100; ++i) peer.note_ping_result(true, params);
+  EXPECT_DOUBLE_EQ(peer.ping_interval(), 60.0);
+}
+
+TEST(Detection, BlacklistsAfterThreshold) {
+  Peer peer(1, 0.0, content::Library{}, 10, false);
+  DetectionParams params;
+  params.enabled = true;
+  params.min_referrals = 5;
+  params.bad_threshold = 0.6;
+  // 4 bad referrals: below min sample count, no decision yet.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_FALSE(peer.note_referral(7, true, params));
+  }
+  EXPECT_FALSE(peer.blacklisted(7));
+  // 5th bad referral: 100% > 60% threshold.
+  EXPECT_TRUE(peer.note_referral(7, true, params));
+  EXPECT_TRUE(peer.blacklisted(7));
+  // Further referrals from a blacklisted source are ignored.
+  EXPECT_FALSE(peer.note_referral(7, true, params));
+}
+
+TEST(Detection, HonestReferrerStaysClean) {
+  Peer peer(1, 0.0, content::Library{}, 10, false);
+  DetectionParams params;
+  params.enabled = true;
+  params.min_referrals = 5;
+  params.bad_threshold = 0.6;
+  // 30% bad — typical honest staleness, below the threshold.
+  for (int i = 0; i < 70; ++i) EXPECT_FALSE(peer.note_referral(7, false, params));
+  for (int i = 0; i < 30; ++i) EXPECT_FALSE(peer.note_referral(7, true, params));
+  EXPECT_FALSE(peer.blacklisted(7));
+}
+
+TEST(Detection, DisabledNeverBlacklists) {
+  Peer peer(1, 0.0, content::Library{}, 10, false);
+  DetectionParams params;  // enabled = false
+  for (int i = 0; i < 100; ++i) peer.note_referral(7, true, params);
+  EXPECT_FALSE(peer.blacklisted(7));
+  EXPECT_EQ(peer.blacklist_size(), 0u);
+}
+
+TEST(Detection, UnknownSourceIgnored) {
+  Peer peer(1, 0.0, content::Library{}, 10, false);
+  DetectionParams params;
+  params.enabled = true;
+  params.min_referrals = 1;
+  EXPECT_FALSE(peer.note_referral(kInvalidPeer, true, params));
+}
+
+TEST(AdaptiveParallelUnit, DoublesAfterTriggerAndCaps) {
+  QueryExecution query(1, 7, 1, Policy::kRandom, 0.0, /*parallel=*/1);
+  EXPECT_EQ(query.slot_parallel(), 1u);
+  for (int i = 0; i < 3; ++i) query.note_slot(false, true, 3, 8);
+  EXPECT_EQ(query.slot_parallel(), 2u);
+  for (int i = 0; i < 3; ++i) query.note_slot(false, true, 3, 8);
+  EXPECT_EQ(query.slot_parallel(), 4u);
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 3; ++i) query.note_slot(false, true, 3, 8);
+  }
+  EXPECT_EQ(query.slot_parallel(), 8u);  // capped
+}
+
+TEST(AdaptiveParallelUnit, ResultsResetTheCounter) {
+  QueryExecution query(1, 7, 1, Policy::kRandom, 0.0, 1);
+  query.note_slot(false, true, 3, 8);
+  query.note_slot(false, true, 3, 8);
+  query.note_slot(true, true, 3, 8);  // progress resets
+  query.note_slot(false, true, 3, 8);
+  query.note_slot(false, true, 3, 8);
+  EXPECT_EQ(query.slot_parallel(), 1u);
+}
+
+TEST(AdaptiveParallelUnit, NeverShrinksBelowStartingWidth) {
+  QueryExecution query(1, 7, 1, Policy::kRandom, 0.0, /*parallel=*/100);
+  for (int i = 0; i < 10; ++i) query.note_slot(false, true, 1, 32);
+  EXPECT_GE(query.slot_parallel(), 100u);
+}
+
+TEST(QueryExecutionSource, ProvenanceCarriedThroughHeap) {
+  QueryExecution query(1, 7, 1, Policy::kMFS, 0.0);
+  Rng rng(1);
+  query.add_candidate(CacheEntry{2, 0.0, 10, 0}, /*source=*/9, rng);
+  query.add_candidate(CacheEntry{3, 0.0, 99, 0}, rng);  // own link cache
+  auto first = query.next_candidate();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->entry.id, 3u);
+  EXPECT_EQ(first->source, kInvalidPeer);
+  auto second = query.next_candidate();
+  EXPECT_EQ(second->entry.id, 2u);
+  EXPECT_EQ(second->source, 9u);
+}
+
+// --- End-to-end behaviour ---------------------------------------------------
+
+TEST(Selfish, SelfishPeersGetFasterAnswersAndLoadTheNetwork) {
+  SystemParams system = base_system(300);
+  system.percent_selfish_peers = 20.0;
+  system.selfish_parallel_probes = 50;
+  GuessSimulation sim(system, ProtocolParams{}, quick());
+  auto results = sim.run();
+  ASSERT_GT(results.selfish.queries_completed, 0u);
+  ASSERT_GT(results.honest.queries_completed, 0u);
+  // Blasting wide is the whole point: much faster responses...
+  EXPECT_LT(results.selfish.response_time.mean(),
+            results.honest.response_time.mean() * 0.3);
+  // ...at a higher per-query probe cost than serial probing.
+  EXPECT_GT(results.selfish.probes_per_query(),
+            results.honest.probes_per_query());
+}
+
+TEST(Selfish, PaymentsContainSelfishBlasting) {
+  SystemParams system = base_system(300);
+  system.percent_selfish_peers = 20.0;
+  system.selfish_parallel_probes = 50;
+  ProtocolParams with_payments;
+  with_payments.payments.enabled = true;
+  GuessSimulation unpaid(system, ProtocolParams{}, quick());
+  GuessSimulation paid(system, with_payments, quick());
+  auto free_ride = unpaid.run();
+  auto economy = paid.run();
+  // Free riding: blasting answers essentially instantly.
+  EXPECT_LT(free_ride.selfish.response_time.mean(),
+            free_ride.honest.response_time.mean() * 0.3);
+  // The credit budget removes the advantage: once the endowment is burned,
+  // a blaster waits on its serve income and ends up no faster than honest
+  // serial probing, with its probe volume reduced.
+  EXPECT_GE(economy.selfish.response_time.mean(),
+            economy.honest.response_time.mean());
+  EXPECT_LT(economy.selfish.probes_per_query(),
+            free_ride.selfish.probes_per_query());
+}
+
+TEST(Selfish, RolesPreservedThroughChurn) {
+  SystemParams system = base_system(200);
+  system.percent_selfish_peers = 15.0;
+  system.lifespan_multiplier = 0.05;
+  GuessSimulation sim(system, ProtocolParams{}, quick());
+  auto& network = sim.network();
+  sim.run();
+  std::size_t selfish = 0;
+  for (PeerId id : network.alive_ids()) {
+    if (network.find(id)->selfish()) ++selfish;
+  }
+  EXPECT_EQ(selfish, 30u);
+}
+
+TEST(Payments, CreditConservedPlusEndowments) {
+  SystemParams system = base_system(150);
+  ProtocolParams protocol;
+  protocol.payments.enabled = true;
+  protocol.payments.credit_cap = 1e18;   // no burning at the cap
+  protocol.payments.serve_reward = 1.0;  // zero-sum transfers
+  GuessSimulation sim(system, protocol, quick());
+  auto& network = sim.network();
+  sim.run();
+  // Every transfer is zero-sum; credit leaves the system only when peers
+  // die. Alive peers' total can therefore never exceed endowments issued.
+  double total = 0.0;
+  for (PeerId id : network.alive_ids()) {
+    total += network.find(id)->credit();
+  }
+  double issued = protocol.payments.initial_credit *
+                  static_cast<double>(150 + network.deaths());
+  EXPECT_LE(total, issued + 1e-6);
+  EXPECT_GT(total, 0.0);
+}
+
+TEST(Payments, StalledQueriesAreAbandonedNotStuck) {
+  SystemParams system = base_system(200);
+  ProtocolParams protocol;
+  protocol.payments.enabled = true;
+  protocol.payments.initial_credit = 0.0;  // nobody can ever probe
+  protocol.payments.max_stalled_slots = 10;
+  GuessSimulation sim(system, protocol, quick());
+  auto results = sim.run();
+  EXPECT_GT(results.queries_stalled_out, 0u);
+  EXPECT_EQ(results.queries_satisfied, 0u);
+  EXPECT_EQ(results.probes.total(), 0u);
+}
+
+TEST(AdaptiveParallel, ImprovesWorstCaseResponseTime) {
+  auto run = [](bool adaptive) {
+    ProtocolParams protocol;
+    protocol.adaptive_parallel = adaptive;
+    protocol.adaptive_parallel_trigger = 5;
+    GuessSimulation sim(base_system(300), protocol, quick());
+    return sim.run();
+  };
+  auto fixed = run(false);
+  auto adaptive = run(true);
+  // Rare-item queries dominate the response-time tail; ramping the probe
+  // rate compresses it.
+  EXPECT_LT(adaptive.response_time.max(), fixed.response_time.max() * 0.7);
+  EXPECT_LE(adaptive.response_time.mean(), fixed.response_time.mean());
+}
+
+TEST(AdaptivePingE2E, MatchesMaintenanceToChurn) {
+  auto run = [](double multiplier, bool adaptive) {
+    SystemParams system = base_system(200);
+    system.lifespan_multiplier = multiplier;
+    ProtocolParams protocol;
+    protocol.adaptive_ping.enabled = adaptive;
+    protocol.adaptive_ping.window = 5;   // adapt fast enough for the test
+    protocol.adaptive_ping.dead_low = 0.25;  // back off below 25% dead pings
+    SimulationOptions options = quick();
+    options.enable_queries = false;
+    options.warmup = 300.0;
+    options.measure = 3000.0;
+    GuessSimulation sim(system, protocol, options);
+    return sim.run();
+  };
+  // Stable network: the adaptive controller backs off (1.5x per window up
+  // to the cap), sending far fewer pings than the fixed 30-second schedule
+  // at similar cache health.
+  auto fixed_stable = run(5.0, false);
+  auto adaptive_stable = run(5.0, true);
+  EXPECT_LT(static_cast<double>(adaptive_stable.pings_sent),
+            static_cast<double>(fixed_stable.pings_sent) * 0.6);
+  // The controller trades a little freshness for much less overhead.
+  EXPECT_GT(adaptive_stable.cache_health.fraction_live, 0.7);
+}
+
+TEST(DetectionE2E, DetectionPlusBootstrapSaveMrFromCollusion) {
+  SystemParams system = base_system(400);
+  system.percent_bad_peers = 20.0;
+  system.bad_pong_behavior = BadPongBehavior::kBad;
+  ProtocolParams mr;
+  mr.query_probe = Policy::kMR;
+  mr.query_pong = Policy::kMR;
+  mr.cache_replacement = Replacement::kLR;
+  mr.cache_size = 40;  // paper-like cache:network ratio
+
+  ProtocolParams detect_only = mr;
+  detect_only.detection.enabled = true;
+  ProtocolParams full_defense = detect_only;
+  full_defense.bootstrap.pong_server_reseed = true;
+
+  SimulationOptions options = quick();
+  options.warmup = 1200.0;  // let the attack and the defense reach steady state
+  options.measure = 1200.0;
+  auto run = [&](const ProtocolParams& protocol) {
+    GuessSimulation sim(system, protocol, options);
+    return sim.run();
+  };
+  auto undefended = run(mr);
+  auto detected = run(detect_only);
+  auto defended = run(full_defense);
+
+  // Collusion kills plain MR outright (§6.4).
+  EXPECT_GT(undefended.unsatisfied_rate(), 0.9);
+  // Detection alone identifies attackers (probes stop being wasted on
+  // them) but cannot rebuild a collapsed overlay...
+  EXPECT_LT(detected.probes_per_query(),
+            undefended.probes_per_query() * 0.5);
+  EXPECT_GT(detected.unsatisfied_rate(), 0.5);
+  // ...the §6.1 pong-server rebootstrap restores service.
+  EXPECT_LT(defended.unsatisfied_rate(), 0.3);
+  EXPECT_GT(defended.cache_health.good_entries,
+            undefended.cache_health.good_entries + 10.0);
+}
+
+TEST(QueryCacheAblation, WithoutQueryCacheRareItemsFail) {
+  auto run = [](bool use_query_cache) {
+    ProtocolParams protocol;
+    protocol.use_query_cache = use_query_cache;
+    // Paper-like cache:network ratio so the link cache alone cannot cover
+    // the network (the whole point of the query cache, §2.3).
+    protocol.cache_size = 30;
+    GuessSimulation sim(base_system(300), protocol, quick());
+    return sim.run();
+  };
+  auto with = run(true);
+  auto without = run(false);
+  // Without the query cache the extent is capped by the link cache, so
+  // fewer probes but many more unsatisfied queries (§2.3's rationale).
+  EXPECT_LT(without.probes_per_query(), with.probes_per_query());
+  EXPECT_GT(without.unsatisfied_rate(), with.unsatisfied_rate() * 1.5);
+  EXPECT_LE(without.query_cache_population.max(), 30.0);
+}
+
+}  // namespace
+}  // namespace guess

@@ -1,0 +1,222 @@
+#include "guess/link_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+#include <set>
+
+namespace guess {
+namespace {
+
+constexpr PeerId kOwner = 999;
+
+CacheEntry entry(PeerId id, sim::Time ts = 0.0, std::uint32_t files = 0,
+                 std::uint32_t res = 0) {
+  return CacheEntry{id, ts, files, res};
+}
+
+TEST(LinkCache, InsertAndLookup) {
+  LinkCache cache(kOwner, 4);
+  cache.insert_free(entry(1, 5.0, 10, 2));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_TRUE(cache.contains(1));
+  auto got = cache.get(1);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->ts, 5.0);
+  EXPECT_EQ(got->num_files, 10u);
+  EXPECT_EQ(got->num_res, 2u);
+  EXPECT_FALSE(cache.get(2).has_value());
+}
+
+TEST(LinkCache, InsertFreePreconditions) {
+  LinkCache cache(kOwner, 1);
+  EXPECT_THROW(cache.insert_free(entry(kOwner)), CheckError);  // self
+  cache.insert_free(entry(1));
+  EXPECT_THROW(cache.insert_free(entry(2)), CheckError);  // full
+  LinkCache cache2(kOwner, 2);
+  cache2.insert_free(entry(1));
+  EXPECT_THROW(cache2.insert_free(entry(1)), CheckError);  // duplicate
+}
+
+TEST(LinkCache, OfferFillsFreeSpace) {
+  LinkCache cache(kOwner, 2);
+  Rng rng(1);
+  EXPECT_TRUE(cache.offer(entry(1), Replacement::kLFS, rng));
+  EXPECT_TRUE(cache.offer(entry(2), Replacement::kLFS, rng));
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(LinkCache, OfferRejectsSelfAndDuplicates) {
+  LinkCache cache(kOwner, 4);
+  Rng rng(1);
+  EXPECT_FALSE(cache.offer(entry(kOwner), Replacement::kRandom, rng));
+  EXPECT_TRUE(cache.offer(entry(1, 1.0), Replacement::kRandom, rng));
+  // Second offer for the same id is ignored; fields stay as first stored.
+  EXPECT_FALSE(cache.offer(entry(1, 99.0), Replacement::kRandom, rng));
+  EXPECT_EQ(cache.get(1)->ts, 1.0);
+}
+
+TEST(LinkCache, LfsReplacementKeepsBigSharers) {
+  LinkCache cache(kOwner, 3);
+  Rng rng(1);
+  cache.insert_free(entry(1, 0.0, 10, 0));
+  cache.insert_free(entry(2, 0.0, 50, 0));
+  cache.insert_free(entry(3, 0.0, 100, 0));
+  // Candidate with more files than the minimum replaces the minimum.
+  EXPECT_TRUE(cache.offer(entry(4, 0.0, 60, 0), Replacement::kLFS, rng));
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_TRUE(cache.contains(4));
+  // Candidate weaker than every entry is rejected.
+  EXPECT_FALSE(cache.offer(entry(5, 0.0, 5, 0), Replacement::kLFS, rng));
+  EXPECT_EQ(cache.size(), 3u);
+}
+
+TEST(LinkCache, LrReplacementKeepsProductivePeers) {
+  LinkCache cache(kOwner, 2);
+  Rng rng(1);
+  cache.insert_free(entry(1, 0.0, 0, 5));
+  cache.insert_free(entry(2, 0.0, 0, 1));
+  EXPECT_TRUE(cache.offer(entry(3, 0.0, 0, 3), Replacement::kLR, rng));
+  EXPECT_FALSE(cache.contains(2));
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_TRUE(cache.contains(3));
+}
+
+TEST(LinkCache, LruReplacementEvictsStalest) {
+  LinkCache cache(kOwner, 2);
+  Rng rng(1);
+  cache.insert_free(entry(1, 10.0));
+  cache.insert_free(entry(2, 90.0));
+  EXPECT_TRUE(cache.offer(entry(3, 50.0), Replacement::kLRU, rng));
+  EXPECT_FALSE(cache.contains(1));
+}
+
+TEST(LinkCache, MruReplacementEvictsFreshest) {
+  // The paper's pathological "fairness" policy: stale entries survive.
+  LinkCache cache(kOwner, 2);
+  Rng rng(1);
+  cache.insert_free(entry(1, 10.0));
+  cache.insert_free(entry(2, 90.0));
+  EXPECT_TRUE(cache.offer(entry(3, 50.0), Replacement::kMRU, rng));
+  EXPECT_FALSE(cache.contains(2));
+  EXPECT_TRUE(cache.contains(1));
+}
+
+TEST(LinkCache, RandomReplacementAlwaysInserts) {
+  LinkCache cache(kOwner, 5);
+  Rng rng(1);
+  for (PeerId id = 1; id <= 5; ++id) cache.insert_free(entry(id));
+  for (PeerId id = 100; id < 150; ++id) {
+    EXPECT_TRUE(cache.offer(entry(id), Replacement::kRandom, rng));
+    EXPECT_EQ(cache.size(), 5u);
+    EXPECT_TRUE(cache.contains(id));
+  }
+}
+
+TEST(LinkCache, EvictRemovesAndReports) {
+  LinkCache cache(kOwner, 3);
+  cache.insert_free(entry(1));
+  cache.insert_free(entry(2));
+  EXPECT_TRUE(cache.evict(1));
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_FALSE(cache.evict(1));  // already gone
+  EXPECT_TRUE(cache.contains(2));
+}
+
+TEST(LinkCache, TouchAndSetNumResUpdateFields) {
+  LinkCache cache(kOwner, 2);
+  cache.insert_free(entry(1, 0.0, 10, 0));
+  cache.touch(1, 42.0);
+  cache.set_num_res(1, 3);
+  EXPECT_EQ(cache.get(1)->ts, 42.0);
+  EXPECT_EQ(cache.get(1)->num_res, 3u);
+  // No-ops for absent ids.
+  cache.touch(9, 1.0);
+  cache.set_num_res(9, 1);
+}
+
+TEST(LinkCache, SelectBestFollowsPolicy) {
+  LinkCache cache(kOwner, 4);
+  Rng rng(1);
+  cache.insert_free(entry(1, 10.0, 5, 1));
+  cache.insert_free(entry(2, 90.0, 50, 0));
+  cache.insert_free(entry(3, 50.0, 20, 9));
+  EXPECT_EQ(cache.select_best(Policy::kMRU, rng)->id, 2u);
+  EXPECT_EQ(cache.select_best(Policy::kLRU, rng)->id, 1u);
+  EXPECT_EQ(cache.select_best(Policy::kMFS, rng)->id, 2u);
+  EXPECT_EQ(cache.select_best(Policy::kMR, rng)->id, 3u);
+}
+
+TEST(LinkCache, SelectBestOnEmptyReturnsNothing) {
+  LinkCache cache(kOwner, 2);
+  Rng rng(1);
+  EXPECT_FALSE(cache.select_best(Policy::kRandom, rng).has_value());
+}
+
+TEST(LinkCache, SelectTopReturnsDescendingByPolicy) {
+  LinkCache cache(kOwner, 5);
+  Rng rng(1);
+  for (PeerId id = 1; id <= 5; ++id) {
+    cache.insert_free(entry(id, 0.0, static_cast<std::uint32_t>(id * 10), 0));
+  }
+  auto top = cache.select_top(Policy::kMFS, 3, rng);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].id, 5u);
+  EXPECT_EQ(top[1].id, 4u);
+  EXPECT_EQ(top[2].id, 3u);
+}
+
+TEST(LinkCache, SelectTopClampsToSize) {
+  LinkCache cache(kOwner, 4);
+  Rng rng(1);
+  cache.insert_free(entry(1));
+  auto top = cache.select_top(Policy::kRandom, 10, rng);
+  EXPECT_EQ(top.size(), 1u);
+  EXPECT_TRUE(cache.select_top(Policy::kRandom, 0, rng).empty());
+}
+
+TEST(LinkCache, SelectTopRandomIsDistinct) {
+  LinkCache cache(kOwner, 10);
+  Rng rng(1);
+  for (PeerId id = 1; id <= 10; ++id) cache.insert_free(entry(id));
+  for (int round = 0; round < 50; ++round) {
+    auto top = cache.select_top(Policy::kRandom, 5, rng);
+    std::set<PeerId> ids;
+    for (const auto& e : top) ids.insert(e.id);
+    EXPECT_EQ(ids.size(), 5u);
+  }
+}
+
+TEST(LinkCache, RandomSelectionIsRoughlyUniform) {
+  LinkCache cache(kOwner, 4);
+  Rng rng(1);
+  for (PeerId id = 0; id < 4; ++id) cache.insert_free(entry(id + 1));
+  std::map<PeerId, int> counts;
+  for (int i = 0; i < 8000; ++i) {
+    ++counts[cache.select_best(Policy::kRandom, rng)->id];
+  }
+  for (const auto& [id, count] : counts) {
+    EXPECT_NEAR(static_cast<double>(count) / 8000.0, 0.25, 0.03)
+        << "peer " << id;
+  }
+}
+
+TEST(LinkCache, CountIfMatchesPredicate) {
+  LinkCache cache(kOwner, 4);
+  cache.insert_free(entry(1, 0.0, 10, 0));
+  cache.insert_free(entry(2, 0.0, 30, 0));
+  cache.insert_free(entry(3, 0.0, 50, 0));
+  EXPECT_EQ(cache.count_if([](const CacheEntry& e) {
+    return e.num_files >= 30;
+  }),
+            2u);
+}
+
+TEST(LinkCache, ZeroCapacityRejected) {
+  EXPECT_THROW(LinkCache(kOwner, 0), CheckError);
+}
+
+}  // namespace
+}  // namespace guess

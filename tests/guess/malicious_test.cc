@@ -1,0 +1,91 @@
+#include "guess/malicious.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+#include <set>
+
+namespace guess {
+namespace {
+
+MaliciousParams params() {
+  MaliciousParams p;
+  p.claimed_num_files = 5000;
+  p.claimed_num_res = 20;
+  return p;
+}
+
+TEST(Poison, DeadBehaviorDrawsFromPool) {
+  PoisonGenerator poison(params(), BadPongBehavior::kDead);
+  poison.set_dead_pool({100, 101, 102});
+  Rng rng(1);
+  auto pong = poison.make_pong(1, 5, 42.0, rng);
+  ASSERT_EQ(pong.size(), 5u);
+  for (const auto& e : pong) {
+    EXPECT_GE(e.id, 100u);
+    EXPECT_LE(e.id, 102u);
+    EXPECT_DOUBLE_EQ(e.ts, 42.0);
+    EXPECT_EQ(e.num_files, 5000u);
+    EXPECT_EQ(e.num_res, 20u);
+  }
+}
+
+TEST(Poison, DeadBehaviorWithoutPoolIsEmpty) {
+  PoisonGenerator poison(params(), BadPongBehavior::kDead);
+  Rng rng(1);
+  EXPECT_TRUE(poison.make_pong(1, 5, 0.0, rng).empty());
+}
+
+TEST(Poison, CollusionNamesOtherAttackers) {
+  PoisonGenerator poison(params(), BadPongBehavior::kBad);
+  poison.add_bad_peer(1);
+  poison.add_bad_peer(2);
+  poison.add_bad_peer(3);
+  Rng rng(1);
+  for (int round = 0; round < 50; ++round) {
+    auto pong = poison.make_pong(1, 5, 0.0, rng);
+    ASSERT_EQ(pong.size(), 5u);
+    for (const auto& e : pong) {
+      EXPECT_NE(e.id, 1u);  // never advertises itself
+      EXPECT_TRUE(e.id == 2 || e.id == 3);
+      EXPECT_EQ(e.num_files, 5000u);
+    }
+  }
+}
+
+TEST(Poison, LoneColluderHasNothingToSay) {
+  PoisonGenerator poison(params(), BadPongBehavior::kBad);
+  poison.add_bad_peer(1);
+  Rng rng(1);
+  EXPECT_TRUE(poison.make_pong(1, 5, 0.0, rng).empty());
+}
+
+TEST(Poison, BadPeerSetMaintainedThroughChurn) {
+  PoisonGenerator poison(params(), BadPongBehavior::kBad);
+  poison.add_bad_peer(1);
+  poison.add_bad_peer(2);
+  poison.add_bad_peer(3);
+  EXPECT_EQ(poison.bad_peer_count(), 3u);
+  poison.remove_bad_peer(2);
+  EXPECT_EQ(poison.bad_peer_count(), 2u);
+  poison.add_bad_peer(4);
+  Rng rng(1);
+  std::set<PeerId> advertised;
+  for (int round = 0; round < 100; ++round) {
+    for (const auto& e : poison.make_pong(1, 5, 0.0, rng)) {
+      advertised.insert(e.id);
+    }
+  }
+  EXPECT_EQ(advertised, (std::set<PeerId>{3, 4}));
+}
+
+TEST(Poison, DoubleAddOrBadRemoveThrows) {
+  PoisonGenerator poison(params(), BadPongBehavior::kBad);
+  poison.add_bad_peer(1);
+  EXPECT_THROW(poison.add_bad_peer(1), CheckError);
+  EXPECT_THROW(poison.remove_bad_peer(9), CheckError);
+}
+
+}  // namespace
+}  // namespace guess

@@ -1,0 +1,79 @@
+#include "guess/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "guess/simulation.h"
+
+namespace guess {
+namespace {
+
+TEST(Metrics, DerivedRatesFromCounters) {
+  SimulationResults results;
+  results.queries_completed = 10;
+  results.queries_satisfied = 9;
+  results.probes.good = 70;
+  results.probes.dead = 25;
+  results.probes.refused = 5;
+  EXPECT_DOUBLE_EQ(results.unsatisfied_rate(), 0.1);
+  EXPECT_DOUBLE_EQ(results.probes_per_query(), 10.0);
+  EXPECT_DOUBLE_EQ(results.good_probes_per_query(), 7.0);
+  EXPECT_DOUBLE_EQ(results.dead_probes_per_query(), 2.5);
+  EXPECT_DOUBLE_EQ(results.refused_probes_per_query(), 0.5);
+}
+
+TEST(Metrics, ZeroQueriesAreSafe) {
+  SimulationResults results;
+  EXPECT_DOUBLE_EQ(results.unsatisfied_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(results.probes_per_query(), 0.0);
+  ClassMetrics cls;
+  EXPECT_DOUBLE_EQ(cls.unsatisfied_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(cls.probes_per_query(), 0.0);
+}
+
+TEST(Metrics, ClassMetricsMirrorGlobalDerivations) {
+  ClassMetrics cls;
+  cls.queries_completed = 4;
+  cls.queries_satisfied = 3;
+  cls.probes.good = 8;
+  cls.probes.dead = 4;
+  EXPECT_DOUBLE_EQ(cls.unsatisfied_rate(), 0.25);
+  EXPECT_DOUBLE_EQ(cls.probes_per_query(), 3.0);
+}
+
+TEST(Metrics, AverageComputesStandardErrors) {
+  SimulationResults a, b;
+  a.queries_completed = 10;
+  a.queries_satisfied = 10;
+  a.probes.good = 100;  // 10 probes/query
+  b.queries_completed = 10;
+  b.queries_satisfied = 5;  // 0.5 unsat
+  b.probes.good = 200;      // 20 probes/query
+  auto avg = average({a, b});
+  EXPECT_DOUBLE_EQ(avg.probes_per_query, 15.0);
+  EXPECT_DOUBLE_EQ(avg.unsatisfied_rate, 0.25);
+  // SE of {10, 20}: stddev = sqrt(50), / sqrt(2) = 5.
+  EXPECT_NEAR(avg.probes_per_query_se, 5.0, 1e-12);
+  // SE of {0, .5}: stddev ≈ .3536, / sqrt(2) = .25.
+  EXPECT_NEAR(avg.unsatisfied_rate_se, 0.25, 1e-12);
+}
+
+TEST(Metrics, SingleRunHasZeroStandardError) {
+  SimulationResults a;
+  a.queries_completed = 10;
+  a.probes.good = 100;
+  auto avg = average({a});
+  EXPECT_DOUBLE_EQ(avg.probes_per_query_se, 0.0);
+  EXPECT_DOUBLE_EQ(avg.unsatisfied_rate_se, 0.0);
+}
+
+TEST(Metrics, CacheHealthDefaultsZeroed) {
+  CacheHealth health;
+  EXPECT_DOUBLE_EQ(health.fraction_live, 0.0);
+  EXPECT_DOUBLE_EQ(health.absolute_live, 0.0);
+  EXPECT_DOUBLE_EQ(health.good_entries, 0.0);
+  EXPECT_EQ(health.samples, 0u);
+}
+
+}  // namespace
+}  // namespace guess

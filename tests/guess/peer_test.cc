@@ -1,0 +1,100 @@
+#include "guess/peer.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace guess {
+namespace {
+
+Peer make_peer(std::vector<content::FileId> files = {}, bool malicious = false,
+               PeerId id = 1) {
+  std::sort(files.begin(), files.end());
+  return Peer(id, 0.0, content::Library(std::move(files)), 10, malicious);
+}
+
+TEST(Peer, AnswersQueryForOwnedFile) {
+  Peer peer = make_peer({3, 7, 9});
+  EXPECT_EQ(peer.answer_query(7, 1), 1u);
+  EXPECT_EQ(peer.answer_query(8, 1), 0u);
+  EXPECT_EQ(peer.answer_query(content::kNonexistentFile, 1), 0u);
+}
+
+TEST(Peer, AnswerCappedByMaxResults) {
+  Peer peer = make_peer({5});
+  EXPECT_EQ(peer.answer_query(5, 0), 0u);
+  EXPECT_EQ(peer.answer_query(5, 3), 1u);  // one copy per peer
+}
+
+TEST(Peer, MaliciousPeersReturnNothing) {
+  Peer peer = make_peer({5}, /*malicious=*/true);
+  EXPECT_EQ(peer.answer_query(5, 1), 0u);
+  EXPECT_TRUE(peer.malicious());
+}
+
+TEST(Peer, CapacityWindowLimitsProbes) {
+  Peer peer = make_peer();
+  // 3 probes/sec: the 4th within the same second is refused.
+  EXPECT_TRUE(peer.accept_probe(10.1, 3));
+  EXPECT_TRUE(peer.accept_probe(10.5, 3));
+  EXPECT_TRUE(peer.accept_probe(10.9, 3));
+  EXPECT_FALSE(peer.accept_probe(10.95, 3));
+  // A new 1-second window resets the counter.
+  EXPECT_TRUE(peer.accept_probe(11.0, 3));
+}
+
+TEST(Peer, CapacityWindowsAreWallClockSeconds) {
+  Peer peer = make_peer();
+  EXPECT_TRUE(peer.accept_probe(10.9, 1));
+  EXPECT_FALSE(peer.accept_probe(10.99, 1));
+  EXPECT_TRUE(peer.accept_probe(11.01, 1));  // floor(t) changed
+}
+
+TEST(Peer, BackoffExpires) {
+  Peer peer = make_peer();
+  peer.set_backoff(5, 100.0);
+  EXPECT_TRUE(peer.backed_off(5, 50.0));
+  EXPECT_TRUE(peer.backed_off(5, 99.9));
+  EXPECT_FALSE(peer.backed_off(5, 100.0));
+  EXPECT_FALSE(peer.backed_off(6, 50.0));  // other peers unaffected
+}
+
+TEST(Peer, LoadCountersAccumulate) {
+  Peer peer = make_peer();
+  EXPECT_EQ(peer.probes_received(), 0u);
+  peer.count_received_probe();
+  peer.count_received_probe();
+  peer.count_received_ping();
+  EXPECT_EQ(peer.probes_received(), 2u);
+  EXPECT_EQ(peer.pings_received(), 1u);
+}
+
+TEST(Peer, QueryQueueIsFifo) {
+  Peer peer = make_peer();
+  EXPECT_FALSE(peer.has_pending_query());
+  peer.enqueue_query(10);
+  peer.enqueue_query(20);
+  EXPECT_TRUE(peer.has_pending_query());
+  EXPECT_EQ(peer.pop_pending_query(), 10u);
+  EXPECT_EQ(peer.pop_pending_query(), 20u);
+  EXPECT_FALSE(peer.has_pending_query());
+  EXPECT_THROW(peer.pop_pending_query(), CheckError);
+}
+
+TEST(Peer, QueryActiveFlag) {
+  Peer peer = make_peer();
+  EXPECT_FALSE(peer.query_active());
+  peer.set_query_active(true);
+  EXPECT_TRUE(peer.query_active());
+}
+
+TEST(Peer, ReportsLibraryMetadata) {
+  Peer peer = make_peer({1, 2, 3}, false, 77);
+  EXPECT_EQ(peer.id(), 77u);
+  EXPECT_EQ(peer.num_files(), 3u);
+  EXPECT_DOUBLE_EQ(peer.birth_time(), 0.0);
+  EXPECT_EQ(peer.cache().capacity(), 10u);
+}
+
+}  // namespace
+}  // namespace guess

@@ -1,0 +1,98 @@
+// Determinism across every simulator in the repository: identical
+// (parameters, seed) must give identical results, the property that makes
+// trace-based debugging and CI regression pinning possible.
+#include <gtest/gtest.h>
+
+#include "gnutella/dynamic_overlay.h"
+#include "guess/simulation.h"
+#include "onehop/one_hop_dht.h"
+
+namespace guess {
+namespace {
+
+TEST(Determinism, DynamicGnutellaOverlay) {
+  auto run = [](std::uint64_t seed) {
+    gnutella::DynamicParams params;
+    params.network_size = 150;
+    params.lifespan_multiplier = 0.2;
+    params.content.catalog_size = 400;
+    params.content.query_universe = 500;
+    sim::Simulator simulator;
+    gnutella::DynamicOverlay overlay(params, simulator, Rng(seed));
+    overlay.initialize();
+    simulator.run_until(200.0);
+    overlay.begin_measurement();
+    simulator.run_until(900.0);
+    return overlay.results();
+  };
+  auto a = run(11);
+  auto b = run(11);
+  EXPECT_EQ(a.queries_completed, b.queries_completed);
+  EXPECT_EQ(a.queries_satisfied, b.queries_satisfied);
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.deaths, b.deaths);
+  EXPECT_EQ(a.repairs, b.repairs);
+  auto c = run(12);
+  EXPECT_NE(a.messages, c.messages);
+}
+
+TEST(Determinism, OneHopDht) {
+  auto run = [](std::uint64_t seed) {
+    onehop::OneHopParams params;
+    params.network_size = 150;
+    params.lifespan_multiplier = 0.1;
+    sim::Simulator simulator;
+    onehop::OneHopDht dht(params, simulator, Rng(seed));
+    dht.initialize();
+    simulator.run_until(300.0);
+    dht.begin_measurement();
+    simulator.run_until(2000.0);
+    return dht.results();
+  };
+  auto a = run(21);
+  auto b = run(21);
+  EXPECT_EQ(a.lookups, b.lookups);
+  EXPECT_EQ(a.one_hop, b.one_hop);
+  EXPECT_EQ(a.timeouts, b.timeouts);
+  EXPECT_EQ(a.membership_events, b.membership_events);
+}
+
+TEST(Determinism, GuessWithEveryExtensionEnabled) {
+  auto run = [](std::uint64_t seed) {
+    SystemParams system;
+    system.network_size = 200;
+    system.content.catalog_size = 400;
+    system.content.query_universe = 500;
+    system.percent_bad_peers = 10.0;
+    system.bad_pong_behavior = BadPongBehavior::kBad;
+    system.percent_selfish_peers = 10.0;
+    ProtocolParams protocol;
+    protocol.query_probe = Policy::kMR;
+    protocol.query_pong = Policy::kMR;
+    protocol.cache_replacement = Replacement::kLR;
+    protocol.payments.enabled = true;
+    protocol.detection.enabled = true;
+    protocol.bootstrap.pong_server_reseed = true;
+    protocol.adaptive_ping.enabled = true;
+    protocol.adaptive_parallel = true;
+    protocol.do_backoff = true;
+    SimulationOptions options;
+    options.seed = seed;
+    options.warmup = 150.0;
+    options.measure = 600.0;
+    GuessSimulation sim(system, protocol, options);
+    return sim.run();
+  };
+  auto a = run(31);
+  auto b = run(31);
+  EXPECT_EQ(a.queries_completed, b.queries_completed);
+  EXPECT_EQ(a.probes.good, b.probes.good);
+  EXPECT_EQ(a.probes.dead, b.probes.dead);
+  EXPECT_EQ(a.probes.refused, b.probes.refused);
+  EXPECT_EQ(a.queries_stalled_out, b.queries_stalled_out);
+  EXPECT_EQ(a.deaths, b.deaths);
+  EXPECT_DOUBLE_EQ(a.cache_health.good_entries, b.cache_health.good_entries);
+}
+
+}  // namespace
+}  // namespace guess

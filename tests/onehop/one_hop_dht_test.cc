@@ -1,0 +1,125 @@
+#include "onehop/one_hop_dht.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace guess::onehop {
+namespace {
+
+OneHopParams small_params(std::size_t n = 200) {
+  OneHopParams params;
+  params.network_size = n;
+  return params;
+}
+
+struct Fixture {
+  explicit Fixture(OneHopParams params = small_params(),
+                   std::uint64_t seed = 7)
+      : dht(params, simulator, Rng(seed)) {
+    dht.initialize();
+  }
+  sim::Simulator simulator;
+  OneHopDht dht;
+};
+
+TEST(OneHopDht, InitializeSynchronizesViews) {
+  Fixture f;
+  EXPECT_EQ(f.dht.alive_count(), 200u);
+  EXPECT_EQ(f.dht.view_size(), 200u);
+}
+
+TEST(OneHopDht, NoChurnMeansAllLookupsAreOneHop) {
+  OneHopParams params = small_params();
+  params.lifespan_multiplier = 10000.0;  // effectively no churn
+  Fixture f(params);
+  f.dht.begin_measurement();
+  f.simulator.run_until(3600.0);
+  auto results = f.dht.results();
+  ASSERT_GT(results.lookups, 100u);
+  EXPECT_EQ(results.one_hop, results.lookups);
+  EXPECT_EQ(results.timeouts, 0u);
+  EXPECT_EQ(results.corrective_hops, 0u);
+  EXPECT_DOUBLE_EQ(results.mean_probes(), 1.0);
+}
+
+TEST(OneHopDht, ChurnCausesTimeoutsAndCorrectiveHops) {
+  OneHopParams params = small_params();
+  params.lifespan_multiplier = 0.02;       // heavy churn
+  params.dissemination_delay = 120.0;      // very stale views
+  Fixture f(params);
+  f.dht.begin_measurement();
+  f.simulator.run_until(3600.0);
+  auto results = f.dht.results();
+  ASSERT_GT(results.lookups, 100u);
+  EXPECT_GT(results.timeouts + results.corrective_hops, 0u);
+  EXPECT_LT(results.one_hop_fraction(), 1.0);
+  EXPECT_GT(results.mean_probes(), 1.0);
+  EXPECT_GT(results.membership_events, 100u);
+}
+
+TEST(OneHopDht, FasterDisseminationImprovesOneHopFraction) {
+  auto run = [](double delay) {
+    OneHopParams params = small_params();
+    params.lifespan_multiplier = 0.05;
+    params.dissemination_delay = delay;
+    Fixture f(params);
+    f.dht.begin_measurement();
+    f.simulator.run_until(3600.0);
+    return f.dht.results();
+  };
+  auto fresh = run(5.0);
+  auto stale = run(300.0);
+  EXPECT_GT(fresh.one_hop_fraction(), stale.one_hop_fraction());
+  EXPECT_LT(fresh.mean_probes(), stale.mean_probes());
+}
+
+TEST(OneHopDht, PopulationStaysConstant) {
+  OneHopParams params = small_params();
+  params.lifespan_multiplier = 0.05;
+  Fixture f(params);
+  f.simulator.run_until(1800.0);
+  EXPECT_EQ(f.dht.alive_count(), 200u);
+}
+
+TEST(OneHopDht, MaintenanceScalesWithChurn) {
+  auto run = [](double multiplier) {
+    OneHopParams params = small_params();
+    params.lifespan_multiplier = multiplier;
+    Fixture f(params);
+    f.dht.begin_measurement();
+    f.simulator.run_until(1800.0);
+    return f.dht.results();
+  };
+  auto stable = run(1.0);
+  auto churny = run(0.1);
+  EXPECT_GT(churny.maintenance_msgs_per_peer_per_sec(1800.0),
+            stable.maintenance_msgs_per_peer_per_sec(1800.0) * 3.0);
+}
+
+TEST(OneHopDht, ManualLookupCountsOnlyWhenMeasuring) {
+  Fixture f;
+  f.dht.lookup_random_key();  // pre-measurement: not counted
+  EXPECT_EQ(f.dht.results().lookups, 0u);
+  f.dht.begin_measurement();
+  f.dht.lookup_random_key();
+  EXPECT_EQ(f.dht.results().lookups, 1u);
+}
+
+TEST(OneHopDht, ParameterValidation) {
+  sim::Simulator simulator;
+  OneHopParams params;
+  params.network_size = 1;
+  EXPECT_THROW(OneHopDht(params, simulator, Rng(1)), CheckError);
+  params = OneHopParams{};
+  params.dissemination_delay = -1.0;
+  EXPECT_THROW(OneHopDht(params, simulator, Rng(1)), CheckError);
+}
+
+TEST(OneHopDht, InitializeTwiceThrows) {
+  Fixture f;
+  EXPECT_THROW(f.dht.initialize(), CheckError);
+}
+
+}  // namespace
+}  // namespace guess::onehop

@@ -1,0 +1,104 @@
+// Model-based fuzzing of the event queue: random schedules and
+// cancellations must pop in exactly (time, insertion-order) order.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "sim/event_queue.h"
+
+namespace guess::sim {
+namespace {
+
+class EventQueueFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(EventQueueFuzz, PopsInTimeThenInsertionOrder) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  EventQueue queue;
+
+  struct Expected {
+    Time at;
+    int tag;
+    bool cancelled = false;
+  };
+  std::vector<Expected> model;
+  std::vector<EventHandle> handles;
+  std::vector<int> fired;
+
+  const int events = 500;
+  for (int i = 0; i < events; ++i) {
+    // Coarse times force plenty of ties.
+    Time at = static_cast<Time>(rng.uniform_int(0, 40));
+    model.push_back({at, i});
+    handles.push_back(queue.schedule(at, [&fired, i]() {
+      fired.push_back(i);
+    }));
+  }
+  // Cancel a random third.
+  for (int i = 0; i < events; ++i) {
+    if (rng.bernoulli(0.33)) {
+      handles[static_cast<std::size_t>(i)].cancel();
+      model[static_cast<std::size_t>(i)].cancelled = true;
+    }
+  }
+
+  // Expected firing order: stable sort by time (insertion order breaks
+  // ties), cancelled events skipped.
+  std::vector<Expected> expected = model;
+  std::stable_sort(expected.begin(), expected.end(),
+                   [](const Expected& a, const Expected& b) {
+                     return a.at < b.at;
+                   });
+
+  while (!queue.empty()) {
+    Time at = 0.0;
+    queue.pop(at)();
+  }
+
+  std::vector<int> want;
+  for (const Expected& e : expected) {
+    if (!e.cancelled) want.push_back(e.tag);
+  }
+  EXPECT_EQ(fired, want);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventQueueFuzz,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(EventQueueFuzz2, InterleavedScheduleAndPop) {
+  // Schedule while popping: popped times must be non-decreasing relative to
+  // the pop clock, and nothing is lost.
+  Rng rng(7);
+  EventQueue queue;
+  int scheduled = 0;
+  int fired = 0;
+  Time clock = 0.0;
+  for (int round = 0; round < 200; ++round) {
+    int burst = static_cast<int>(rng.uniform_int(0, 5));
+    for (int i = 0; i < burst; ++i) {
+      queue.schedule(clock + rng.uniform(0.0, 10.0), [&fired]() { ++fired; });
+      ++scheduled;
+    }
+    int pops = static_cast<int>(rng.uniform_int(0, 4));
+    for (int i = 0; i < pops && !queue.empty(); ++i) {
+      Time at = 0.0;
+      auto fn = queue.pop(at);
+      ASSERT_GE(at + 1e-12, clock);
+      clock = at;
+      fn();
+    }
+  }
+  while (!queue.empty()) {
+    Time at = 0.0;
+    auto fn = queue.pop(at);
+    ASSERT_GE(at + 1e-12, clock);
+    clock = at;
+    fn();
+  }
+  EXPECT_EQ(fired, scheduled);
+}
+
+}  // namespace
+}  // namespace guess::sim

@@ -1,0 +1,116 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+#include <vector>
+
+namespace guess::sim {
+namespace {
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> fired;
+  queue.schedule(3.0, [&] { fired.push_back(3); });
+  queue.schedule(1.0, [&] { fired.push_back(1); });
+  queue.schedule(2.0, [&] { fired.push_back(2); });
+  while (!queue.empty()) {
+    Time at = 0.0;
+    queue.pop(at)();
+  }
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, EqualTimesFireInScheduleOrder) {
+  EventQueue queue;
+  std::vector<int> fired;
+  for (int i = 0; i < 10; ++i) {
+    queue.schedule(5.0, [&fired, i] { fired.push_back(i); });
+  }
+  while (!queue.empty()) {
+    Time at = 0.0;
+    queue.pop(at)();
+    EXPECT_DOUBLE_EQ(at, 5.0);
+  }
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(fired[i], i);
+}
+
+TEST(EventQueue, CancelledEventsAreSkipped) {
+  EventQueue queue;
+  bool fired = false;
+  auto handle = queue.schedule(1.0, [&] { fired = true; });
+  EXPECT_TRUE(handle.pending());
+  handle.cancel();
+  EXPECT_FALSE(handle.pending());
+  EXPECT_TRUE(queue.empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelOneAmongMany) {
+  EventQueue queue;
+  std::vector<int> fired;
+  queue.schedule(1.0, [&] { fired.push_back(1); });
+  auto handle = queue.schedule(2.0, [&] { fired.push_back(2); });
+  queue.schedule(3.0, [&] { fired.push_back(3); });
+  handle.cancel();
+  while (!queue.empty()) {
+    Time at = 0.0;
+    queue.pop(at)();
+  }
+  EXPECT_EQ(fired, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, CancelIsIdempotentAndSafeAfterFire) {
+  EventQueue queue;
+  auto handle = queue.schedule(1.0, [] {});
+  Time at = 0.0;
+  queue.pop(at)();
+  EXPECT_FALSE(handle.pending());
+  handle.cancel();  // no-op
+  handle.cancel();
+}
+
+TEST(EventQueue, DefaultHandleIsInert) {
+  EventHandle handle;
+  EXPECT_FALSE(handle.pending());
+  handle.cancel();
+}
+
+TEST(EventQueue, NextTimePeeksEarliestPending) {
+  EventQueue queue;
+  auto early = queue.schedule(1.0, [] {});
+  queue.schedule(2.0, [] {});
+  EXPECT_DOUBLE_EQ(queue.next_time(), 1.0);
+  early.cancel();
+  EXPECT_DOUBLE_EQ(queue.next_time(), 2.0);
+}
+
+TEST(EventQueue, SizeTracksLiveEntries) {
+  EventQueue queue;
+  EXPECT_EQ(queue.size(), 0u);
+  auto a = queue.schedule(1.0, [] {});
+  queue.schedule(2.0, [] {});
+  EXPECT_EQ(queue.size(), 2u);
+  a.cancel();
+  // Lazy drop: surfaces through empty()/pop; size is an upper bound.
+  EXPECT_TRUE(!queue.empty());
+  Time at = 0.0;
+  queue.pop(at)();
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(EventQueue, PopOnEmptyThrows) {
+  EventQueue queue;
+  Time at = 0.0;
+  EXPECT_THROW(queue.pop(at), CheckError);
+  EXPECT_THROW(queue.next_time(), CheckError);
+}
+
+TEST(EventQueue, NullCallbackRejected) {
+  EventQueue queue;
+  EXPECT_THROW(queue.schedule(1.0, EventQueue::Callback{}), CheckError);
+}
+
+}  // namespace
+}  // namespace guess::sim

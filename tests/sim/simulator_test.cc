@@ -1,0 +1,110 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+#include <vector>
+
+namespace guess::sim {
+namespace {
+
+TEST(Simulator, ClockAdvancesWithEvents) {
+  Simulator sim;
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+  std::vector<Time> seen;
+  sim.at(2.0, [&] { seen.push_back(sim.now()); });
+  sim.after(1.0, [&] { seen.push_back(sim.now()); });
+  sim.run_all();
+  EXPECT_EQ(seen, (std::vector<Time>{1.0, 2.0}));
+}
+
+TEST(Simulator, RunUntilStopsAtHorizon) {
+  Simulator sim;
+  int fired = 0;
+  sim.at(1.0, [&] { ++fired; });
+  sim.at(5.0, [&] { ++fired; });
+  sim.at(10.0, [&] { ++fired; });
+  sim.run_until(5.0);  // events exactly at the horizon fire
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+  sim.run_until(20.0);
+  EXPECT_EQ(fired, 3);
+  EXPECT_DOUBLE_EQ(sim.now(), 20.0);
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  std::vector<Time> ticks;
+  std::function<void()> chain = [&]() {
+    ticks.push_back(sim.now());
+    if (ticks.size() < 5) sim.after(1.0, chain);
+  };
+  sim.after(1.0, chain);
+  sim.run_until(100.0);
+  EXPECT_EQ(ticks, (std::vector<Time>{1.0, 2.0, 3.0, 4.0, 5.0}));
+}
+
+TEST(Simulator, SchedulingIntoThePastThrows) {
+  Simulator sim;
+  sim.at(5.0, [] {});
+  sim.run_until(5.0);
+  EXPECT_THROW(sim.at(4.0, [] {}), CheckError);
+  EXPECT_THROW(sim.after(-1.0, [] {}), CheckError);
+}
+
+TEST(Simulator, PeriodicFiresAtPeriod) {
+  Simulator sim;
+  std::vector<Time> ticks;
+  sim.every(2.0, 1.0, [&] { ticks.push_back(sim.now()); });
+  sim.run_until(7.5);
+  EXPECT_EQ(ticks, (std::vector<Time>{1.0, 3.0, 5.0, 7.0}));
+}
+
+TEST(Simulator, PeriodicCancelStopsFutureFirings) {
+  Simulator sim;
+  int count = 0;
+  auto handle = sim.every(1.0, 1.0, [&] { ++count; });
+  sim.run_until(3.5);
+  EXPECT_EQ(count, 3);
+  handle.cancel();
+  sim.run_until(10.0);
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Simulator, PeriodicCanCancelItselfFromCallback) {
+  Simulator sim;
+  int count = 0;
+  EventHandle handle;
+  handle = sim.every(1.0, 0.0, [&] {
+    ++count;
+    if (count == 2) handle.cancel();
+  });
+  sim.run_until(10.0);
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulator, InvalidPeriodicParamsThrow) {
+  Simulator sim;
+  EXPECT_THROW(sim.every(0.0, 0.0, [] {}), CheckError);
+  EXPECT_THROW(sim.every(-1.0, 0.0, [] {}), CheckError);
+  EXPECT_THROW(sim.every(1.0, -0.5, [] {}), CheckError);
+}
+
+TEST(Simulator, RunUntilBackwardsThrows) {
+  Simulator sim;
+  sim.run_until(5.0);
+  EXPECT_THROW(sim.run_until(4.0), CheckError);
+}
+
+TEST(Simulator, PendingEventsCount) {
+  Simulator sim;
+  sim.at(1.0, [] {});
+  sim.at(2.0, [] {});
+  EXPECT_EQ(sim.pending_events(), 2u);
+  sim.run_all();
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+}  // namespace
+}  // namespace guess::sim
