@@ -3,6 +3,8 @@
 // maintenance (§6.1). Each block isolates one mechanism under the default
 // Table 1/2 configuration.
 #include <iostream>
+#include <iterator>
+#include <vector>
 
 #include "common/table.h"
 #include "experiments/harness.h"
@@ -40,14 +42,20 @@ int main(int argc, char** argv) {
 
   // --- IntroProb sweep (§2.2) ---
   {
-    TablePrinter table({"IntroProb", "Probes/Query", "Unsatisfied",
-                        "fraction live"});
-    for (double p_intro : {0.0, 0.05, 0.1, 0.3, 1.0}) {
+    const double intro_probs[] = {0.0, 0.05, 0.1, 0.3, 1.0};
+    std::vector<experiments::ConfigJob> jobs;
+    for (double p_intro : intro_probs) {
       ProtocolParams p = base;
       p.intro_prob = p_intro;
-      auto avg = experiments::run_config(system, p, scale);
-      table.add_row({p_intro, avg.probes_per_query, avg.unsatisfied_rate,
-                     avg.fraction_live});
+      jobs.push_back({system, p, scale.options()});
+    }
+    auto averages = experiments::run_configs(jobs, scale);
+    TablePrinter table({"IntroProb", "Probes/Query", "Unsatisfied",
+                        "fraction live"});
+    for (std::size_t i = 0; i < std::size(intro_probs); ++i) {
+      const auto& avg = averages[i];
+      table.add_row({intro_probs[i], avg.probes_per_query,
+                     avg.unsatisfied_rate, avg.fraction_live});
     }
     table.print(std::cout,
                 "ablation: IntroProb (how new peers enter circulation)");
@@ -55,14 +63,21 @@ int main(int argc, char** argv) {
 
   // --- PongSize sweep (§2.2/§2.3) ---
   {
-    TablePrinter table({"PongSize", "Probes/Query", "Unsatisfied",
-                        "fraction live"});
-    for (std::size_t pong : {1u, 2u, 5u, 10u, 20u}) {
+    const std::size_t pong_sizes[] = {1, 2, 5, 10, 20};
+    std::vector<experiments::ConfigJob> jobs;
+    for (std::size_t pong : pong_sizes) {
       ProtocolParams p = base;
       p.pong_size = pong;
-      auto avg = experiments::run_config(system, p, scale);
-      table.add_row({static_cast<std::int64_t>(pong), avg.probes_per_query,
-                     avg.unsatisfied_rate, avg.fraction_live});
+      jobs.push_back({system, p, scale.options()});
+    }
+    auto averages = experiments::run_configs(jobs, scale);
+    TablePrinter table({"PongSize", "Probes/Query", "Unsatisfied",
+                        "fraction live"});
+    for (std::size_t i = 0; i < std::size(pong_sizes); ++i) {
+      const auto& avg = averages[i];
+      table.add_row({static_cast<std::int64_t>(pong_sizes[i]),
+                     avg.probes_per_query, avg.unsatisfied_rate,
+                     avg.fraction_live});
     }
     table.print(std::cout, "ablation: PongSize (entry-sharing bandwidth)");
   }

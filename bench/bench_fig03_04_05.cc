@@ -10,6 +10,8 @@
 //           peak at a moderate cache size (N=1000 slice).
 #include <algorithm>
 #include <iostream>
+#include <utility>
+#include <vector>
 
 #include "common/table.h"
 #include "experiments/harness.h"
@@ -39,6 +41,11 @@ int main(int argc, char** argv) {
                       "Unsatisfied", "Good/Query", "Dead/Query"});
   TablePrinter fig5({"CacheSize", "Good Probes/Query", "Dead Probes/Query"});
 
+  // Collect the whole 34-point sweep, then run every replication on one
+  // shared worker pool (the sweep parallelizes across configs, so even the
+  // default single-seed run saturates the machine).
+  std::vector<experiments::ConfigJob> jobs;
+  std::vector<std::pair<std::size_t, std::size_t>> points;  // (n, c)
   for (std::size_t n : network_sizes) {
     SystemParams system = base;
     system.network_size = n;
@@ -52,15 +59,20 @@ int main(int argc, char** argv) {
       SimulationOptions options = scale.options();
       double shrink = std::min(1.0, 1000.0 / static_cast<double>(n));
       options.measure = std::max(scale.measure * shrink, 300.0);
-      auto avg = experiments::run_config(system, p, scale, options);
-      fig34.add_row({static_cast<std::int64_t>(n),
-                     static_cast<std::int64_t>(c), avg.probes_per_query,
-                     avg.unsatisfied_rate, avg.good_per_query,
-                     avg.dead_per_query});
-      if (n == 1000) {
-        fig5.add_row({static_cast<std::int64_t>(c), avg.good_per_query,
-                      avg.dead_per_query});
-      }
+      jobs.push_back({system, p, options});
+      points.emplace_back(n, c);
+    }
+  }
+  auto averages = experiments::run_configs(jobs, scale);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    auto [n, c] = points[i];
+    const auto& avg = averages[i];
+    fig34.add_row({static_cast<std::int64_t>(n), static_cast<std::int64_t>(c),
+                   avg.probes_per_query, avg.unsatisfied_rate,
+                   avg.good_per_query, avg.dead_per_query});
+    if (n == 1000) {
+      fig5.add_row({static_cast<std::int64_t>(c), avg.good_per_query,
+                    avg.dead_per_query});
     }
   }
 

@@ -8,6 +8,7 @@
 //   Fig 7 — (CacheSize=20) the RELATIVE largest component at a given
 //           PingInterval is nearly independent of network size.
 #include <iostream>
+#include <vector>
 
 #include "common/table.h"
 #include "experiments/harness.h"
@@ -27,12 +28,7 @@ int main(int argc, char** argv) {
       "fragment first; relative connectivity is independent of network size",
       base, protocol, scale);
 
-  struct Connectivity {
-    double weak_mean;
-    double final_weak;
-    double final_strong;
-  };
-  auto run_connectivity = [&](std::size_t n, std::size_t cache,
+  auto connectivity_job = [&](std::size_t n, std::size_t cache,
                               double interval) {
     SystemParams system = base;
     system.network_size = n;
@@ -48,33 +44,49 @@ int main(int argc, char** argv) {
     options.warmup = 2400.0;
     options.measure = scale.full ? 9600.0 : 3600.0;
     options.connectivity_sample_interval = 600.0;
-    auto avg = experiments::run_config(system, p, scale, options);
-    return Connectivity{avg.largest_component, avg.final_largest_component,
-                        avg.final_largest_strong_component};
+    return experiments::ConfigJob{system, p, options};
   };
 
   const double intervals[] = {10, 60, 120, 240, 480, 600};
+  const std::size_t fig6_caches[] = {10, 20, 50, 100, 200, 500};
+  const std::size_t fig7_sizes[] = {200, 500, 1000, 2000};
+
+  // Both figures' sweeps go to one shared worker pool.
+  std::vector<experiments::ConfigJob> jobs;
+  for (std::size_t cache : fig6_caches) {
+    for (double interval : intervals) {
+      jobs.push_back(connectivity_job(1000, cache, interval));
+    }
+  }
+  for (std::size_t n : fig7_sizes) {
+    for (double interval : intervals) {
+      jobs.push_back(connectivity_job(n, 20, interval));
+    }
+  }
+  auto averages = experiments::run_configs(jobs, scale);
+  std::size_t next = 0;
 
   TablePrinter fig6({"PingInterval", "CacheSize", "LCC", "LCC fraction",
                      "strong LCC (final)"});
-  for (std::size_t cache : {10u, 20u, 50u, 100u, 200u, 500u}) {
+  for (std::size_t cache : fig6_caches) {
     for (double interval : intervals) {
-      auto lcc = run_connectivity(1000, cache, interval);
+      const auto& avg = averages[next++];
       fig6.add_row({interval, static_cast<std::int64_t>(cache),
-                    lcc.weak_mean, lcc.weak_mean / 1000.0,
-                    lcc.final_strong});
+                    avg.largest_component, avg.largest_component / 1000.0,
+                    avg.final_largest_strong_component});
     }
   }
   fig6.print(std::cout, "Figure 6 (NetworkSize=1000)");
 
   TablePrinter fig7({"PingInterval", "NetworkSize", "LCC", "LCC fraction",
                      "strong LCC (final)"});
-  for (std::size_t n : {200u, 500u, 1000u, 2000u}) {
+  for (std::size_t n : fig7_sizes) {
     for (double interval : intervals) {
-      auto lcc = run_connectivity(n, 20, interval);
-      fig7.add_row({interval, static_cast<std::int64_t>(n), lcc.weak_mean,
-                    lcc.weak_mean / static_cast<double>(n),
-                    lcc.final_strong});
+      const auto& avg = averages[next++];
+      fig7.add_row({interval, static_cast<std::int64_t>(n),
+                    avg.largest_component,
+                    avg.largest_component / static_cast<double>(n),
+                    avg.final_largest_strong_component});
     }
   }
   fig7.print(std::cout, "Figure 7 (CacheSize=20)");

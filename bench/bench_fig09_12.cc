@@ -8,6 +8,8 @@
 //            (mostly dead probes);
 //   Fig 12 — unsatisfaction stays in the 6-14% band for QueryPong policies.
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "common/table.h"
 #include "experiments/harness.h"
@@ -26,48 +28,53 @@ int main(int argc, char** argv) {
       "QueryProbe barely matters; MRU replacement wastes probes on the dead",
       system, base, scale);
 
-  auto run = [&](ProtocolParams p) {
-    return experiments::run_config(system, p, scale);
+  // All 15 configurations (3 policy types × 5 policies) share one worker
+  // pool; rows are emitted from the ordered results afterwards.
+  const Policy policies[] = {Policy::kRandom, Policy::kMRU, Policy::kLRU,
+                             Policy::kMFS, Policy::kMR};
+  const Replacement replacements[] = {Replacement::kRandom, Replacement::kLRU,
+                                      Replacement::kMRU, Replacement::kLFS,
+                                      Replacement::kLR};
+  std::vector<experiments::ConfigJob> jobs;
+  for (Policy policy : policies) {
+    ProtocolParams p = base;
+    p.query_probe = policy;
+    jobs.push_back({system, p, scale.options()});
+  }
+  for (Policy policy : policies) {
+    ProtocolParams p = base;
+    p.query_pong = policy;
+    jobs.push_back({system, p, scale.options()});
+  }
+  for (Replacement policy : replacements) {
+    ProtocolParams p = base;
+    p.cache_replacement = policy;
+    jobs.push_back({system, p, scale.options()});
+  }
+  auto averages = experiments::run_configs(jobs, scale);
+  std::size_t next = 0;
+
+  auto policy_row = [&](TablePrinter& table, const std::string& name) {
+    const auto& avg = averages[next++];
+    table.add_row({name, avg.probes_per_query, avg.good_per_query,
+                   avg.dead_per_query, avg.unsatisfied_rate});
   };
 
   TablePrinter fig9({"QueryProbe", "Probes/Query", "Good", "DeadIPs",
                      "Unsatisfied"});
-  for (Policy policy : {Policy::kRandom, Policy::kMRU, Policy::kLRU,
-                        Policy::kMFS, Policy::kMR}) {
-    ProtocolParams p = base;
-    p.query_probe = policy;
-    auto avg = run(p);
-    fig9.add_row({to_string(policy), avg.probes_per_query, avg.good_per_query,
-                  avg.dead_per_query, avg.unsatisfied_rate});
-  }
+  for (Policy policy : policies) policy_row(fig9, to_string(policy));
   fig9.print(std::cout, "Figure 9 (QueryProbe varied)");
 
   TablePrinter fig10({"QueryPong", "Probes/Query", "Good", "DeadIPs",
                       "Unsatisfied"});
-  for (Policy policy : {Policy::kRandom, Policy::kMRU, Policy::kLRU,
-                        Policy::kMFS, Policy::kMR}) {
-    ProtocolParams p = base;
-    p.query_pong = policy;
-    auto avg = run(p);
-    fig10.add_row({to_string(policy), avg.probes_per_query,
-                   avg.good_per_query, avg.dead_per_query,
-                   avg.unsatisfied_rate});
-  }
+  for (Policy policy : policies) policy_row(fig10, to_string(policy));
   fig10.print(std::cout, "Figure 10 (QueryPong varied) — also Figure 12's "
                          "unsatisfaction column");
 
   TablePrinter fig11({"CacheReplacement", "Probes/Query", "Good", "DeadIPs",
                       "Unsatisfied"});
-  for (Replacement policy :
-       {Replacement::kRandom, Replacement::kLRU, Replacement::kMRU,
-        Replacement::kLFS, Replacement::kLR}) {
-    ProtocolParams p = base;
-    p.cache_replacement = policy;
-    auto avg = run(p);
-    fig11.add_row({to_string(policy), avg.probes_per_query,
-                   avg.good_per_query, avg.dead_per_query,
-                   avg.unsatisfied_rate});
-  }
+  for (Replacement policy : replacements)
+    policy_row(fig11, to_string(policy));
   fig11.print(std::cout, "Figure 11 (CacheReplacement varied)");
 
   std::cout << "\nPaper anchors: Fig 10 MFS ~4x cheaper than Random; Fig 11 "

@@ -9,6 +9,7 @@
 //            are refused (the implicit throttle reroutes load).
 #include <algorithm>
 #include <iostream>
+#include <vector>
 
 #include "common/table.h"
 #include "experiments/harness.h"
@@ -31,15 +32,25 @@ int main(int argc, char** argv) {
   TablePrinter table({"NetworkSize", "MaxProbes/s", "Good/Query",
                       "Refused/Query", "DeadIPs/Query", "Unsatisfied"});
 
-  for (std::size_t n : {500u, 1000u, 2000u, 5000u}) {
-    for (std::uint32_t cap : {50u, 10u, 5u, 1u}) {
+  const std::size_t network_sizes[] = {500, 1000, 2000, 5000};
+  const std::uint32_t caps[] = {50, 10, 5, 1};
+  std::vector<experiments::ConfigJob> jobs;
+  for (std::size_t n : network_sizes) {
+    for (std::uint32_t cap : caps) {
       SystemParams system = base;
       system.network_size = n;
       system.max_probes_per_second = cap;
       SimulationOptions options = scale.options();
       double shrink = std::min(1.0, 1000.0 / static_cast<double>(n));
       options.measure = std::max(scale.measure * shrink, 300.0);
-      auto avg = experiments::run_config(system, protocol, scale, options);
+      jobs.push_back({system, protocol, options});
+    }
+  }
+  auto averages = experiments::run_configs(jobs, scale);
+  std::size_t next = 0;
+  for (std::size_t n : network_sizes) {
+    for (std::uint32_t cap : caps) {
+      const auto& avg = averages[next++];
       table.add_row({static_cast<std::int64_t>(n),
                      static_cast<std::int64_t>(cap), avg.good_per_query,
                      avg.refused_per_query, avg.dead_per_query,

@@ -9,6 +9,7 @@
 //   and at 0% bad peers the efficiency order is MFS < MR < MR* (the paper
 //   quotes ~4, ~7 and ~17 probes/query).
 #include <iostream>
+#include <vector>
 
 #include "common/table.h"
 #include "experiments/harness.h"
@@ -29,12 +30,21 @@ int main(int argc, char** argv) {
 
   TablePrinter table({"combo", "PercentBad", "Probes/Query", "+-",
                       "Unsatisfied", "+-", "Good Cache Entries"});
+  const double bad_levels[] = {0.0, 5.0, 10.0, 15.0, 20.0};
+  std::vector<experiments::ConfigJob> jobs;
   for (const auto& combo : experiments::robustness_combos()) {
     ProtocolParams protocol = combo.apply(ProtocolParams{});
-    for (double bad : {0.0, 5.0, 10.0, 15.0, 20.0}) {
+    for (double bad : bad_levels) {
       SystemParams system = base;
       system.percent_bad_peers = bad;
-      auto avg = experiments::run_config(system, protocol, scale);
+      jobs.push_back({system, protocol, scale.options()});
+    }
+  }
+  auto averages = experiments::run_configs(jobs, scale);
+  std::size_t next = 0;
+  for (const auto& combo : experiments::robustness_combos()) {
+    for (double bad : bad_levels) {
+      const auto& avg = averages[next++];
       table.add_row({combo.name, bad, avg.probes_per_query,
                      avg.probes_per_query_se, avg.unsatisfied_rate,
                      avg.unsatisfied_rate_se, avg.good_entries});

@@ -41,16 +41,21 @@ int main(int argc, char** argv) {
   const double paper_absolute[] = {8.0, 14.8, 28.5, 36.2, 41.9, 41.9};
   const std::size_t cache_sizes[] = {10, 20, 50, 100, 200, 500};
 
-  for (std::size_t i = 0; i < std::size(cache_sizes); ++i) {
+  std::vector<experiments::ConfigJob> jobs;
+  for (std::size_t cache : cache_sizes) {
     ProtocolParams p = protocol;
-    p.cache_size = cache_sizes[i];
+    p.cache_size = cache;
     // Maintenance-only, with a long window: large caches take several mean
     // lifetimes to reach their (stale) steady state. Cheap without queries.
     SimulationOptions options = scale.options();
     options.enable_queries = false;
     options.warmup = scale.full ? 4000.0 : 2000.0;
     options.measure = scale.full ? 12000.0 : 4000.0;
-    auto avg = experiments::run_config(system, p, scale, options);
+    jobs.push_back({system, p, options});
+  }
+  auto averages = experiments::run_configs(jobs, scale);
+  for (std::size_t i = 0; i < std::size(cache_sizes); ++i) {
+    const auto& avg = averages[i];
     table.add_row({static_cast<std::int64_t>(cache_sizes[i]),
                    avg.fraction_live, avg.absolute_live,
                    avg.absolute_live / std::max(avg.fraction_live, 1e-9),

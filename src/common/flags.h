@@ -1,7 +1,8 @@
 // Minimal --key=value command-line parsing for bench and example binaries.
 //
 // Every harness accepts the same small vocabulary (--full, --seed=, --seeds=,
-// plus harness-specific overrides); this keeps them dependency-free.
+// --threads=, --progress, --csv, plus harness-specific overrides); this keeps
+// them dependency-free.
 #pragma once
 
 #include <cstdint>
@@ -33,6 +34,13 @@ class Flags {
     return static_cast<std::uint64_t>(get_int("seed", 42));
   }
   int seeds() const { return static_cast<int>(get_int("seeds", 0)); }
+
+  /// Worker threads for seed sweeps. 0 (the default) = auto: the
+  /// GUESS_THREADS environment variable when set, else all hardware threads.
+  int threads() const { return static_cast<int>(get_int("threads", 0)); }
+
+  /// Report sweep progress (replications completed / total) to stderr.
+  bool progress() const { return get_bool("progress", false); }
 
  private:
   std::optional<std::string> raw(const std::string& name) const;

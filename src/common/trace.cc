@@ -50,11 +50,19 @@ const char* Tracer::category_name(TraceCategory category) {
 }
 
 void Tracer::dump(std::ostream& os) const {
+  // std::fixed/setprecision are sticky stream state; restore the caller's
+  // formatting so dumping a trace never changes how later output (bench
+  // tables, test logs) renders. Found by the parallel-runner reentrancy
+  // audit: stream format flags are global mutable state.
+  std::ios_base::fmtflags flags = os.flags();
+  std::streamsize precision = os.precision();
   for (const TraceRecord& record : snapshot()) {
     os << std::fixed << std::setprecision(3) << std::setw(10) << record.at
        << "  " << std::setw(6) << category_name(record.category) << "  "
        << record.line << "\n";
   }
+  os.flags(flags);
+  os.precision(precision);
 }
 
 }  // namespace guess

@@ -1,8 +1,12 @@
 #include "experiments/harness.h"
 
+#include <iostream>
 #include <ostream>
 
+#include "churn/lifetime.h"
 #include "common/check.h"
+#include "content/content_model.h"
+#include "experiments/parallel_runner.h"
 
 namespace guess::experiments {
 
@@ -17,6 +21,8 @@ Scale Scale::from_flags(const Flags& flags) {
   scale.base_seed = flags.seed();
   if (flags.seeds() > 0) scale.seeds = flags.seeds();
   scale.csv = flags.get_bool("csv", false);
+  scale.threads = flags.threads();
+  scale.progress = flags.progress();
   return scale;
 }
 
@@ -25,6 +31,7 @@ SimulationOptions Scale::options() const {
   options.seed = base_seed;
   options.warmup = warmup;
   options.measure = measure;
+  options.threads = threads;
   return options;
 }
 
@@ -91,17 +98,76 @@ const std::vector<PolicyCombo>& robustness_combos() {
   return combos;
 }
 
+namespace {
+
+/// Progress callback printing "replications done/total" to stderr (carriage
+/// return, newline once complete); empty when reporting is off.
+std::function<void(int, int)> progress_reporter(bool enabled) {
+  if (!enabled) return {};
+  return [](int done, int total) {
+    std::cerr << "\r  replications " << done << "/" << total << std::flush;
+    if (done == total) std::cerr << "\n";
+  };
+}
+
+}  // namespace
+
 AveragedResults run_config(const SystemParams& system,
                            const ProtocolParams& protocol,
                            const Scale& scale,
                            SimulationOptions options_override) {
-  return average(run_seeds(system, protocol, options_override, scale.seeds));
+  if (options_override.threads == 0) options_override.threads = scale.threads;
+  return average(run_seeds(system, protocol, options_override, scale.seeds,
+                           progress_reporter(scale.progress)));
 }
 
 AveragedResults run_config(const SystemParams& system,
                            const ProtocolParams& protocol,
                            const Scale& scale) {
   return run_config(system, protocol, scale, scale.options());
+}
+
+std::vector<AveragedResults> run_configs(const std::vector<ConfigJob>& jobs,
+                                         const Scale& scale) {
+  GUESS_CHECK(scale.seeds >= 1);
+  if (jobs.empty()) return {};
+  const int seeds = scale.seeds;
+  const int total = static_cast<int>(jobs.size()) * seeds;
+  // Flattened jobs.size() × seeds replications; slot i is replication
+  // (i % seeds) of config (i / seeds), so results land in config-then-seed
+  // order no matter which worker finishes first.
+  std::vector<SimulationResults> flat(static_cast<std::size_t>(total));
+  auto run_one = [&](int i) {
+    const ConfigJob& job = jobs[static_cast<std::size_t>(i / seeds)];
+    SimulationOptions opt = job.options;
+    opt.seed = job.options.seed + static_cast<std::uint64_t>(i % seeds);
+    GuessSimulation sim(job.system, job.protocol, opt);
+    flat[static_cast<std::size_t>(i)] = sim.run();
+  };
+
+  auto progress = progress_reporter(scale.progress);
+  int threads = resolve_thread_count(scale.threads);
+  if (threads == 1) {
+    for (int i = 0; i < total; ++i) {
+      run_one(i);
+      if (progress) progress(i + 1, total);
+    }
+  } else {
+    // Warm the shared immutable quantile tables before workers start (see
+    // run_seeds).
+    content::ContentModel::sharing_distribution();
+    churn::LifetimeDistribution::base_distribution();
+    ParallelRunner runner(threads);
+    runner.run(total, run_one, progress);
+  }
+
+  std::vector<AveragedResults> out;
+  out.reserve(jobs.size());
+  for (std::size_t c = 0; c < jobs.size(); ++c) {
+    auto begin = flat.begin() + static_cast<std::ptrdiff_t>(c) * seeds;
+    out.push_back(average({begin, begin + seeds}));
+  }
+  return out;
 }
 
 void print_header(std::ostream& os, const std::string& experiment,
@@ -114,7 +180,8 @@ void print_header(std::ostream& os, const std::string& experiment,
      << "Protocol: " << describe(protocol) << "\n"
      << "Scale:    " << (scale.full ? "full" : "reduced")
      << " (warmup=" << scale.warmup << "s measure=" << scale.measure
-     << "s seeds=" << scale.seeds << ")\n"
+     << "s seeds=" << scale.seeds
+     << " threads=" << resolve_thread_count(scale.threads) << ")\n"
      << "==============================================================\n";
 }
 

@@ -4,9 +4,15 @@
 //   --full          paper-scale runs (longer windows, more seeds)
 //   --seed=N        base RNG seed (default 42)
 //   --seeds=N       override number of seeds averaged
+//   --threads=N     worker threads for replications (default: GUESS_THREADS
+//                   env var, else all hardware threads; 1 = serial)
+//   --progress      report replications completed / total on stderr
 //   --csv           additionally emit CSV blocks for plotting
 // The default (reduced) scale preserves every shape the paper reports while
 // finishing in seconds-to-minutes; EXPERIMENTS.md records both scales.
+// Replications are independent and run concurrently on a ParallelRunner
+// pool; thread count never changes any reported number (results come back
+// in deterministic seed order — see DESIGN.md "Threading model").
 #pragma once
 
 #include <iosfwd>
@@ -26,6 +32,10 @@ struct Scale {
   bool full = false;
   std::uint64_t base_seed = 42;
   bool csv = false;
+  /// Worker threads for replications (0 = auto, see Flags::threads()).
+  int threads = 0;
+  /// Report sweep progress to stderr.
+  bool progress = false;
 
   static Scale from_flags(const Flags& flags);
 
@@ -54,6 +64,7 @@ struct PolicyCombo {
 const std::vector<PolicyCombo>& robustness_combos();
 
 /// Average results for one (system, protocol) configuration across seeds.
+/// Replications run on a worker pool of scale.threads threads (0 = auto).
 AveragedResults run_config(const SystemParams& system,
                            const ProtocolParams& protocol,
                            const Scale& scale,
@@ -62,6 +73,23 @@ AveragedResults run_config(const SystemParams& system,
 AveragedResults run_config(const SystemParams& system,
                            const ProtocolParams& protocol,
                            const Scale& scale);
+
+/// One point of a sweep: a (system, protocol, options) combination whose
+/// seed sweep is averaged into one AveragedResults.
+struct ConfigJob {
+  SystemParams system;
+  ProtocolParams protocol;
+  SimulationOptions options;
+};
+
+/// Run every configuration's seed sweep on ONE shared worker pool and return
+/// the per-configuration averages, in job order. Equivalent to calling
+/// run_config(job.system, job.protocol, scale, job.options) for each job —
+/// same seed derivation, bitwise-identical averages — but all jobs.size() ×
+/// scale.seeds replications are interleaved across the pool, so a multi-
+/// config sweep saturates the machine even at seeds=1.
+std::vector<AveragedResults> run_configs(const std::vector<ConfigJob>& jobs,
+                                         const Scale& scale);
 
 /// Standard bench header: figure id, claim being reproduced, parameters.
 void print_header(std::ostream& os, const std::string& experiment,

@@ -1,0 +1,97 @@
+#include "experiments/parallel_runner.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace guess::experiments {
+
+int resolve_thread_count(int requested) {
+  GUESS_CHECK_MSG(requested >= 0, "thread count must be >= 0 (0 = auto)");
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("GUESS_THREADS")) {
+    char* end = nullptr;
+    long parsed = std::strtol(env, &end, 10);
+    GUESS_CHECK_MSG(end != env && *end == '\0' && parsed > 0,
+                    "GUESS_THREADS must be a positive integer, got: " << env);
+    return static_cast<int>(parsed);
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ParallelRunner::ParallelRunner(int threads) {
+  int count = resolve_thread_count(threads);
+  workers_.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ParallelRunner::~ParallelRunner() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ParallelRunner::worker_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [this] {
+      return stop_ || (batch_ != nullptr && batch_->next < batch_->total);
+    });
+    if (stop_) return;
+    Batch* batch = batch_;
+    int index = batch->next++;
+    lock.unlock();
+
+    std::exception_ptr error;
+    try {
+      (*batch->job)(index);
+    } catch (...) {
+      error = std::current_exception();
+    }
+
+    lock.lock();
+    if (error) batch->errors.emplace_back(index, error);
+    ++batch->done;
+    if (batch->progress && *batch->progress) {
+      (*batch->progress)(batch->done, batch->total);
+    }
+    if (batch->done == batch->total) done_cv_.notify_all();
+  }
+}
+
+void ParallelRunner::run(int total, const std::function<void(int)>& job,
+                         const ProgressFn& progress) {
+  GUESS_CHECK(total >= 0);
+  if (total == 0) return;
+
+  Batch batch;
+  batch.total = total;
+  batch.job = &job;
+  batch.progress = &progress;
+
+  std::unique_lock<std::mutex> lock(mu_);
+  GUESS_CHECK_MSG(batch_ == nullptr,
+                  "ParallelRunner::run is not reentrant (did a job or "
+                  "progress callback call back into the runner?)");
+  batch_ = &batch;
+  work_cv_.notify_all();
+  done_cv_.wait(lock, [&batch] { return batch.done == batch.total; });
+  batch_ = nullptr;
+  lock.unlock();
+
+  if (!batch.errors.empty()) {
+    // Every job ran; surface the failure of the lowest-indexed job so the
+    // reported error does not depend on scheduling.
+    auto first = std::min_element(
+        batch.errors.begin(), batch.errors.end(),
+        [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::rethrow_exception(first->second);
+  }
+}
+
+}  // namespace guess::experiments

@@ -3,7 +3,10 @@
 #include <cmath>
 
 #include "analysis/overlay_graph.h"
+#include "churn/lifetime.h"
 #include "common/check.h"
+#include "content/content_model.h"
+#include "experiments/parallel_runner.h"
 
 namespace guess {
 
@@ -55,20 +58,36 @@ SimulationResults GuessSimulation::run() {
   return results;
 }
 
-std::vector<SimulationResults> run_seeds(const SystemParams& system,
-                                         const ProtocolParams& protocol,
-                                         SimulationOptions options,
-                                         int num_seeds) {
+std::vector<SimulationResults> run_seeds(
+    const SystemParams& system, const ProtocolParams& protocol,
+    SimulationOptions options, int num_seeds,
+    const std::function<void(int, int)>& progress) {
   GUESS_CHECK(num_seeds >= 1);
-  std::vector<SimulationResults> runs;
-  runs.reserve(static_cast<std::size_t>(num_seeds));
-  for (int i = 0; i < num_seeds; ++i) {
+  auto run_one = [&](int i) {
     SimulationOptions opt = options;
     opt.seed = options.seed + static_cast<std::uint64_t>(i);
     GuessSimulation sim(system, protocol, opt);
-    runs.push_back(sim.run());
+    return sim.run();
+  };
+
+  int threads = experiments::resolve_thread_count(options.threads);
+  if (threads == 1 || num_seeds == 1) {
+    std::vector<SimulationResults> runs;
+    runs.reserve(static_cast<std::size_t>(num_seeds));
+    for (int i = 0; i < num_seeds; ++i) {
+      runs.push_back(run_one(i));
+      if (progress) progress(i + 1, num_seeds);
+    }
+    return runs;
   }
-  return runs;
+
+  // Warm the shared immutable quantile tables on this thread so workers read
+  // fully-constructed statics instead of serializing on their init guards.
+  content::ContentModel::sharing_distribution();
+  churn::LifetimeDistribution::base_distribution();
+
+  experiments::ParallelRunner runner(threads);
+  return runner.map<SimulationResults>(num_seeds, run_one, progress);
 }
 
 AveragedResults average(const std::vector<SimulationResults>& runs) {

@@ -13,7 +13,9 @@
 // construct the pieces directly: sim::Simulator + GuessNetwork.
 #pragma once
 
+#include <functional>
 #include <memory>
+#include <vector>
 
 #include "guess/metrics.h"
 #include "guess/network.h"
@@ -42,6 +44,13 @@ struct SimulationOptions {
   /// component every connectivity_sample_interval (Figures 6/7).
   bool sample_connectivity = false;
   sim::Duration connectivity_sample_interval = 120.0;
+
+  /// Worker threads for run_seeds (replications run concurrently, one per
+  /// thread). 0 = auto: the GUESS_THREADS environment variable when set,
+  /// else all hardware threads. 1 = serial in the calling thread. Thread
+  /// count never changes results — replications are independent and are
+  /// returned in seed order (see DESIGN.md "Threading model").
+  int threads = 0;
 
   MaliciousParams malicious;
 };
@@ -73,11 +82,17 @@ class GuessSimulation {
 };
 
 /// Convenience for sweeps: run one simulation per seed (seed, seed+1, ...)
-/// and return the per-run results.
-std::vector<SimulationResults> run_seeds(const SystemParams& system,
-                                         const ProtocolParams& protocol,
-                                         SimulationOptions options,
-                                         int num_seeds);
+/// and return the per-run results, in seed order.
+///
+/// Replications execute on a worker pool of options.threads threads (0 =
+/// auto; see SimulationOptions::threads). Results are bitwise-identical to
+/// the serial loop for any thread count. `progress`, when set, is called
+/// after each completed replication with (completed, num_seeds); it runs on
+/// worker threads, serialized, in completion order.
+std::vector<SimulationResults> run_seeds(
+    const SystemParams& system, const ProtocolParams& protocol,
+    SimulationOptions options, int num_seeds,
+    const std::function<void(int, int)>& progress = {});
 
 /// Aggregate of repeated runs: averages of the headline per-query metrics,
 /// plus standard errors across seeds for the two headline numbers (0 when

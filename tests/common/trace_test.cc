@@ -56,6 +56,24 @@ TEST(Tracer, DumpIsReadable) {
   EXPECT_NE(os.str().find("12.5"), std::string::npos);
 }
 
+// Regression: dump() used to leave std::fixed + setprecision(3) set on the
+// caller's stream, silently reformatting every number printed afterwards
+// (e.g. bench tables emitted after a trace dump to std::cout).
+TEST(Tracer, DumpRestoresStreamFormatting) {
+  Tracer tracer;
+  tracer.record(TraceCategory::kQuery, 1.23456789, "probe peer=1");
+  std::ostringstream reference;
+  reference << 1234.56789 << " " << 0.25;
+
+  std::ostringstream os;
+  tracer.dump(os);
+  os.str("");
+  os << 1234.56789 << " " << 0.25;
+  EXPECT_EQ(os.str(), reference.str());
+  EXPECT_EQ(os.flags(), reference.flags());
+  EXPECT_EQ(os.precision(), reference.precision());
+}
+
 TEST(Tracer, CategoryNamesCoverAll) {
   EXPECT_STREQ(Tracer::category_name(TraceCategory::kChurn), "churn");
   EXPECT_STREQ(Tracer::category_name(TraceCategory::kPing), "ping");

@@ -6,6 +6,7 @@
 #include "gnutella/dynamic_overlay.h"
 #include "guess/simulation.h"
 #include "onehop/one_hop_dht.h"
+#include "../testsupport/simulation_results_eq.h"
 
 namespace guess {
 namespace {
@@ -92,6 +93,36 @@ TEST(Determinism, GuessWithEveryExtensionEnabled) {
   EXPECT_EQ(a.queries_stalled_out, b.queries_stalled_out);
   EXPECT_EQ(a.deaths, b.deaths);
   EXPECT_DOUBLE_EQ(a.cache_health.good_entries, b.cache_health.good_entries);
+}
+
+// run_seeds (which now dispatches replications onto a worker pool) must be
+// indistinguishable from n completely independent single-seed simulations,
+// entry for entry — the contract that makes the parallel path safe to use
+// for every figure and table in the paper reproduction.
+TEST(Determinism, RunSeedsEqualsIndependentRuns) {
+  SystemParams system;
+  system.network_size = 150;
+  system.content.catalog_size = 400;
+  system.content.query_universe = 500;
+  ProtocolParams protocol;
+  SimulationOptions options;
+  options.seed = 99;
+  options.warmup = 120.0;
+  options.measure = 480.0;
+  options.threads = 0;  // auto: exercises the default (parallel) path
+
+  const int kSeeds = 4;
+  auto sweep = run_seeds(system, protocol, options, kSeeds);
+  ASSERT_EQ(sweep.size(), static_cast<std::size_t>(kSeeds));
+  for (int i = 0; i < kSeeds; ++i) {
+    SCOPED_TRACE("seed index " + std::to_string(i));
+    SimulationOptions one = options;
+    one.seed = options.seed + static_cast<std::uint64_t>(i);
+    GuessSimulation sim(system, protocol, one);
+    auto independent = sim.run();
+    testsupport::expect_identical(sweep[static_cast<std::size_t>(i)],
+                                  independent);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,72 @@
+// Bitwise-equality assertions over SimulationResults, shared by the
+// cross-thread determinism tests (tests/experiments/parallel_runner_test.cc)
+// and the integration determinism suite.
+//
+// "Bitwise" is meant literally: a replication is the same sequence of
+// floating-point operations no matter which thread runs it, so every double
+// must compare == (not just within a tolerance). EXPECT_EQ on doubles does
+// exactly that.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "guess/metrics.h"
+
+namespace guess::testsupport {
+
+inline void expect_identical(const RunningStat& a, const RunningStat& b) {
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_EQ(a.mean(), b.mean());
+  EXPECT_EQ(a.variance(), b.variance());
+  EXPECT_EQ(a.min(), b.min());
+  EXPECT_EQ(a.max(), b.max());
+  EXPECT_EQ(a.sum(), b.sum());
+}
+
+inline void expect_identical(const ProbeCounters& a, const ProbeCounters& b) {
+  EXPECT_EQ(a.good, b.good);
+  EXPECT_EQ(a.dead, b.dead);
+  EXPECT_EQ(a.refused, b.refused);
+}
+
+inline void expect_identical(const ClassMetrics& a, const ClassMetrics& b) {
+  EXPECT_EQ(a.queries_completed, b.queries_completed);
+  EXPECT_EQ(a.queries_satisfied, b.queries_satisfied);
+  expect_identical(a.probes, b.probes);
+  expect_identical(a.response_time, b.response_time);
+}
+
+inline void expect_identical(const CacheHealth& a, const CacheHealth& b) {
+  EXPECT_EQ(a.fraction_live, b.fraction_live);
+  EXPECT_EQ(a.absolute_live, b.absolute_live);
+  EXPECT_EQ(a.good_entries, b.good_entries);
+  EXPECT_EQ(a.entries, b.entries);
+  EXPECT_EQ(a.samples, b.samples);
+}
+
+/// Every field of SimulationResults, entry-for-entry.
+inline void expect_identical(const SimulationResults& a,
+                             const SimulationResults& b) {
+  EXPECT_EQ(a.queries_completed, b.queries_completed);
+  EXPECT_EQ(a.queries_satisfied, b.queries_satisfied);
+  expect_identical(a.probes, b.probes);
+  expect_identical(a.honest, b.honest);
+  expect_identical(a.selfish, b.selfish);
+  expect_identical(a.response_time, b.response_time);
+  expect_identical(a.query_cache_population, b.query_cache_population);
+  ASSERT_EQ(a.peer_loads.size(), b.peer_loads.size());
+  EXPECT_EQ(a.peer_loads.values(), b.peer_loads.values());
+  expect_identical(a.cache_health, b.cache_health);
+  expect_identical(a.largest_component, b.largest_component);
+  EXPECT_EQ(a.final_largest_component, b.final_largest_component);
+  EXPECT_EQ(a.final_largest_strong_component,
+            b.final_largest_strong_component);
+  EXPECT_EQ(a.deaths, b.deaths);
+  EXPECT_EQ(a.pings_sent, b.pings_sent);
+  EXPECT_EQ(a.pings_to_dead, b.pings_to_dead);
+  EXPECT_EQ(a.queries_stalled_out, b.queries_stalled_out);
+  EXPECT_EQ(a.measure_duration, b.measure_duration);
+  EXPECT_EQ(a.network_size, b.network_size);
+}
+
+}  // namespace guess::testsupport
