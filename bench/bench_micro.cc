@@ -95,10 +95,17 @@ void BM_QueryCandidateChurn(benchmark::State& state) {
 }
 BENCHMARK(BM_QueryCandidateChurn);
 
+// Event-queue benchmarks run under both backends: range(0) selects the
+// scheduler (0 = heap, 1 = calendar).
+sim::Scheduler bench_scheduler(const benchmark::State& state) {
+  return state.range(0) == 0 ? sim::Scheduler::kHeap
+                             : sim::Scheduler::kCalendar;
+}
+
 void BM_EventQueueScheduleAndPop(benchmark::State& state) {
   Rng rng(1);
   for (auto _ : state) {
-    sim::EventQueue queue;
+    sim::EventQueue queue(bench_scheduler(state));
     for (int i = 0; i < 1000; ++i) {
       queue.schedule(rng.uniform(0.0, 100.0), [] {});
     }
@@ -108,7 +115,68 @@ void BM_EventQueueScheduleAndPop(benchmark::State& state) {
     }
   }
 }
-BENCHMARK(BM_EventQueueScheduleAndPop);
+BENCHMARK(BM_EventQueueScheduleAndPop)
+    ->Arg(0)->Arg(1)
+    ->ArgName("scheduler");
+
+// Steady-state hold-and-replace: the simulator's dominant pattern (every
+// pop schedules a successor), measured per event at a fixed population.
+void BM_EventQueueSteadyState(benchmark::State& state) {
+  Rng rng(1);
+  sim::EventQueue queue(bench_scheduler(state));
+  sim::Time now = 0.0;
+  for (int i = 0; i < 4096; ++i) {
+    queue.schedule(now + rng.uniform(0.0, 10.0), [] {});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(queue.pop(now));
+    queue.schedule(now + rng.uniform(0.0, 10.0), [] {});
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventQueueSteadyState)->Arg(0)->Arg(1)->ArgName("scheduler");
+
+// Cancellation-heavy: half the scheduled events are cancelled before they
+// can fire, the footprint of churn (peer death revokes its timers).
+void BM_EventQueueScheduleCancelPop(benchmark::State& state) {
+  Rng rng(1);
+  sim::EventQueue queue(bench_scheduler(state));
+  sim::Time now = 0.0;
+  std::vector<sim::EventHandle> handles;
+  for (int i = 0; i < 2048; ++i) {
+    handles.push_back(queue.schedule(now + rng.uniform(0.0, 10.0), [] {}));
+  }
+  std::size_t victim = 0;
+  for (auto _ : state) {
+    auto& h = handles[victim++ % handles.size()];
+    // The victim may already have fired via pop; replace it only when the
+    // cancel actually removed an event, keeping the population constant.
+    bool was_pending = h.pending();
+    h.cancel();
+    benchmark::DoNotOptimize(queue.pop(now));
+    h = queue.schedule(now + rng.uniform(0.0, 10.0), [] {});
+    if (!was_pending) continue;
+    queue.schedule(now + rng.uniform(0.0, 10.0), [] {});
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventQueueScheduleCancelPop)
+    ->Arg(0)->Arg(1)
+    ->ArgName("scheduler");
+
+// Periodic series firing from slab-resident slots: no slot churn at all.
+void BM_EventQueuePeriodicFire(benchmark::State& state) {
+  sim::EventQueue queue(bench_scheduler(state));
+  for (int i = 0; i < 256; ++i) {
+    queue.schedule_periodic(1.0 + 0.01 * i, 1.0, [] {});
+  }
+  sim::Time now = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(queue.pop(now));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventQueuePeriodicFire)->Arg(0)->Arg(1)->ArgName("scheduler");
 
 void BM_OverlayLargestWeakComponent(benchmark::State& state) {
   Rng rng(1);

@@ -29,11 +29,18 @@ sim::Duration ChurnManager::register_peer_scaled(PeerId id, double fraction) {
   return life;
 }
 
+struct ChurnManager::DeathFired {
+  ChurnManager* manager;
+  PeerId id;
+  void operator()() const {
+    ++manager->deaths_;
+    manager->on_death_(id);
+  }
+};
+
 void ChurnManager::schedule_death(PeerId id, sim::Duration in) {
-  simulator_.after(in, [this, id]() {
-    ++deaths_;
-    on_death_(id);
-  });
+  static_assert(sim::EventQueue::Callback::stores_inline<DeathFired>());
+  simulator_.after(in, DeathFired{this, id});
 }
 
 }  // namespace guess::churn

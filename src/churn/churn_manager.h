@@ -41,6 +41,10 @@ class ChurnManager {
   const LifetimeDistribution& lifetimes() const { return lifetimes_; }
 
  private:
+  /// Fixed-size death-event callable (stays within the event queue's inline
+  /// buffer, so scheduling a death never allocates).
+  struct DeathFired;
+
   void schedule_death(PeerId id, sim::Duration in);
 
   sim::Simulator& simulator_;

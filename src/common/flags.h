@@ -39,6 +39,10 @@ class Flags {
   /// GUESS_THREADS environment variable when set, else all hardware threads.
   int threads() const { return static_cast<int>(get_int("threads", 0)); }
 
+  /// Event-queue backend name: "heap" (default) or "calendar". Parsed into
+  /// sim::Scheduler by the harness (sim::parse_scheduler).
+  std::string scheduler() const { return get_string("scheduler", "heap"); }
+
   /// Report sweep progress (replications completed / total) to stderr.
   bool progress() const { return get_bool("progress", false); }
 

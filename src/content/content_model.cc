@@ -58,6 +58,14 @@ ContentModel::ContentModel(ContentParams params)
   GUESS_CHECK(params_.free_rider_fraction >= 0.0 &&
               params_.free_rider_fraction < 1.0);
   GUESS_CHECK(max_library_ >= 1);
+  // Precomputed once: summing the O(query_universe) pmf tail on every call
+  // made this the dominant cost for harnesses that report the floor per
+  // configuration.
+  double mass = 0.0;
+  for (std::size_t r = params_.catalog_size; r < params_.query_universe; ++r) {
+    mass += query_popularity_.pmf(r);
+  }
+  nonexistent_query_mass_ = mass;
 }
 
 std::size_t ContentModel::sample_file_count(Rng& rng) const {
@@ -93,11 +101,7 @@ FileId ContentModel::draw_query(Rng& rng) const {
 }
 
 double ContentModel::nonexistent_query_mass() const {
-  double mass = 0.0;
-  for (std::size_t r = params_.catalog_size; r < params_.query_universe; ++r) {
-    mass += query_popularity_.pmf(r);
-  }
-  return mass;
+  return nonexistent_query_mass_;
 }
 
 }  // namespace guess::content

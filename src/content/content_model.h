@@ -77,7 +77,7 @@ class ContentModel {
   FileId draw_query(Rng& rng) const;
 
   /// Fraction of query popularity mass outside the catalog (a lower bound on
-  /// the unsatisfiable-query rate).
+  /// the unsatisfiable-query rate). Precomputed at construction; O(1).
   double nonexistent_query_mass() const;
 
   /// The files-per-peer distribution for sharing (non-free-rider) peers,
@@ -89,6 +89,7 @@ class ContentModel {
   ZipfDistribution file_popularity_;
   ZipfDistribution query_popularity_;
   std::size_t max_library_;
+  double nonexistent_query_mass_ = 0.0;
 };
 
 }  // namespace guess::content

@@ -23,6 +23,7 @@ Scale Scale::from_flags(const Flags& flags) {
   scale.csv = flags.get_bool("csv", false);
   scale.threads = flags.threads();
   scale.progress = flags.progress();
+  scale.scheduler = sim::parse_scheduler(flags.scheduler());
   return scale;
 }
 
@@ -32,6 +33,7 @@ SimulationOptions Scale::options() const {
   options.warmup = warmup;
   options.measure = measure;
   options.threads = threads;
+  options.scheduler = scheduler;
   return options;
 }
 
@@ -181,7 +183,8 @@ void print_header(std::ostream& os, const std::string& experiment,
      << "Scale:    " << (scale.full ? "full" : "reduced")
      << " (warmup=" << scale.warmup << "s measure=" << scale.measure
      << "s seeds=" << scale.seeds
-     << " threads=" << resolve_thread_count(scale.threads) << ")\n"
+     << " threads=" << resolve_thread_count(scale.threads)
+     << " scheduler=" << sim::scheduler_name(scale.scheduler) << ")\n"
      << "==============================================================\n";
 }
 

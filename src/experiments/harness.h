@@ -36,6 +36,9 @@ struct Scale {
   int threads = 0;
   /// Report sweep progress to stderr.
   bool progress = false;
+  /// Event-queue backend (--scheduler={heap,calendar}); never changes
+  /// results, only simulator speed.
+  sim::Scheduler scheduler = sim::Scheduler::kHeap;
 
   static Scale from_flags(const Flags& flags);
 

@@ -131,9 +131,13 @@ std::vector<CacheEntry> LinkCache::select_top(Policy policy,
     scored.emplace_back(
         selection_score(policy, entries_[i], rng, first_hand_only_), i);
   }
+  // Equal scores tie-break by entry index: partial_sort is not stable, so
+  // without the index the order of equal-score entries would depend on the
+  // stdlib implementation (and could differ across platforms/versions).
   std::partial_sort(scored.begin(), scored.begin() + static_cast<long>(count),
                     scored.end(), [](const auto& a, const auto& b) {
-                      return a.first > b.first;
+                      if (a.first != b.first) return a.first > b.first;
+                      return a.second < b.second;
                     });
   std::vector<CacheEntry> out;
   out.reserve(count);

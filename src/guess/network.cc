@@ -42,6 +42,24 @@ class UnionFind {
 };
 }  // namespace
 
+// Event thunks for the hot self-rescheduling chains. Each is a fixed
+// two-word callable, and the static_asserts pin them to the event queue's
+// inline buffer: scheduling a ping, burst, or probe slot is allocation-free.
+struct GuessNetwork::PingFired {
+  GuessNetwork* net;
+  PeerId id;
+  void operator()() const { net->ping_timer_fired(id); }
+};
+struct GuessNetwork::BurstFired {
+  GuessNetwork* net;
+  PeerId id;
+  void operator()() const { net->burst_timer_fired(id); }
+};
+struct GuessNetwork::QueryStepFired {
+  GuessNetwork* net;
+  PeerId id;
+  void operator()() const { net->query_step(id); }
+};
 GuessNetwork::GuessNetwork(SystemParams system, ProtocolParams protocol,
                            MaliciousParams malicious, bool enable_queries,
                            sim::Simulator& simulator, Rng rng)
@@ -246,13 +264,15 @@ void GuessNetwork::start_ping_timer(Peer& peer) {
 // Self-rescheduling ping chain: re-reads the peer's (possibly adapted,
 // §6.1) interval after every ping.
 void GuessNetwork::schedule_next_ping(Peer& peer, sim::Duration delay) {
-  PeerId id = peer.id();
-  peer.ping_timer = simulator_.after(delay, [this, id]() {
-    do_ping(id);
-    Peer* p = find(id);
-    if (p == nullptr) return;
-    schedule_next_ping(*p, p->ping_interval());
-  });
+  static_assert(sim::EventQueue::Callback::stores_inline<PingFired>());
+  peer.ping_timer = simulator_.after(delay, PingFired{this, peer.id()});
+}
+
+void GuessNetwork::ping_timer_fired(PeerId id) {
+  do_ping(id);
+  Peer* p = find(id);
+  if (p == nullptr) return;
+  schedule_next_ping(*p, p->ping_interval());
 }
 
 void GuessNetwork::do_ping(PeerId pinger_id) {
@@ -352,18 +372,20 @@ void GuessNetwork::start_query_workload(Peer& peer) {
 // re-arms itself after a fresh exponential gap (§5.1). The handle stored on
 // the peer lets death cancel the chain.
 void GuessNetwork::schedule_next_burst(Peer& peer) {
-  PeerId id = peer.id();
-  peer.burst_timer =
-      simulator_.after(query_stream_.next_burst_gap(rng_), [this, id]() {
-        Peer* p = find(id);
-        if (p == nullptr) return;
-        std::size_t burst = query_stream_.next_burst_size(rng_);
-        for (std::size_t i = 0; i < burst; ++i) {
-          p->enqueue_query(content_.draw_query(rng_));
-        }
-        if (!p->query_active()) start_next_query(*p);
-        schedule_next_burst(*p);
-      });
+  static_assert(sim::EventQueue::Callback::stores_inline<BurstFired>());
+  peer.burst_timer = simulator_.after(query_stream_.next_burst_gap(rng_),
+                                      BurstFired{this, peer.id()});
+}
+
+void GuessNetwork::burst_timer_fired(PeerId id) {
+  Peer* p = find(id);
+  if (p == nullptr) return;
+  std::size_t burst = query_stream_.next_burst_size(rng_);
+  for (std::size_t i = 0; i < burst; ++i) {
+    p->enqueue_query(content_.draw_query(rng_));
+  }
+  if (!p->query_active()) start_next_query(*p);
+  schedule_next_burst(*p);
 }
 
 void GuessNetwork::submit_query(PeerId origin, content::FileId file) {
@@ -398,7 +420,8 @@ void GuessNetwork::start_next_query(Peer& origin) {
   });
   active_queries_[id] = std::move(query);
   // First probe fires immediately; later probes pace at the probe slot.
-  simulator_.after(0.0, [this, id]() { query_step(id); });
+  static_assert(sim::EventQueue::Callback::stores_inline<QueryStepFired>());
+  simulator_.after(0.0, QueryStepFired{this, id});
 }
 
 void GuessNetwork::query_step(PeerId origin_id) {
@@ -559,8 +582,7 @@ void GuessNetwork::query_step(PeerId origin_id) {
                   protocol_.adaptive_parallel,
                   protocol_.adaptive_parallel_trigger,
                   protocol_.adaptive_parallel_max);
-  simulator_.after(protocol_.probe_interval,
-                   [this, origin_id]() { query_step(origin_id); });
+  simulator_.after(protocol_.probe_interval, QueryStepFired{this, origin_id});
 }
 
 void GuessNetwork::offer_query_pong(Peer& origin, QueryExecution& query,

@@ -90,6 +90,15 @@ class GuessNetwork {
   void set_tracer(Tracer* tracer) { tracer_ = tracer; }
 
  private:
+  // --- event thunks ---
+  // The per-event callables of the three hot self-rescheduling chains
+  // (pings, query bursts, probe slots). Named structs instead of per-call
+  // lambdas so network.cc can static_assert they stay within the event
+  // queue's inline-callback buffer: scheduling them never allocates.
+  struct PingFired;
+  struct BurstFired;
+  struct QueryStepFired;
+
   // --- lifecycle ---
   PeerId spawn_peer(bool malicious, bool selfish, bool initial);
   void on_peer_death(PeerId id);
@@ -97,8 +106,10 @@ class GuessNetwork {
   void seed_from_friend(Peer& newborn);
   void start_ping_timer(Peer& peer);
   void schedule_next_ping(Peer& peer, sim::Duration delay);
+  void ping_timer_fired(PeerId id);
   void start_query_workload(Peer& peer);
   void schedule_next_burst(Peer& peer);
+  void burst_timer_fired(PeerId id);
 
   // --- protocol messages ---
   void do_ping(PeerId pinger_id);

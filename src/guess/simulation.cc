@@ -12,7 +12,7 @@ namespace guess {
 
 GuessSimulation::GuessSimulation(SystemParams system, ProtocolParams protocol,
                                  SimulationOptions options)
-    : options_(options) {
+    : options_(options), simulator_(options.scheduler) {
   network_ = std::make_unique<GuessNetwork>(
       system, protocol, options.malicious, options.enable_queries,
       simulator_, Rng(options.seed));

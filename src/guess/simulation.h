@@ -52,6 +52,12 @@ struct SimulationOptions {
   /// returned in seed order (see DESIGN.md "Threading model").
   int threads = 0;
 
+  /// Event-queue backend (--scheduler={heap,calendar}). Both schedulers pop
+  /// events in identical (time, seq) order, so the choice never changes
+  /// results — only how fast the simulator processes events (see DESIGN.md
+  /// "Event core").
+  sim::Scheduler scheduler = sim::Scheduler::kHeap;
+
   MaliciousParams malicious;
 };
 

@@ -1,48 +1,255 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 
 namespace guess::sim {
 
-EventHandle EventQueue::schedule(Time at, Callback fn) {
-  GUESS_CHECK_MSG(fn != nullptr, "null event callback");
-  auto alive = std::make_shared<bool>(true);
-  EventHandle handle{std::weak_ptr<bool>(alive)};
-  heap_.push(Entry{at, next_seq_++, std::move(fn), std::move(alive)});
-  ++live_;
-  return handle;
+namespace {
+// Calendar sizing bounds: the ring starts at kMinBuckets and doubles while
+// the live population exceeds 2× the bucket count (shrinks below 1/8th), so
+// average occupancy stays at a few entries per bucket.
+constexpr std::size_t kMinBuckets = 64;
+constexpr std::size_t kMaxBuckets = std::size_t{1} << 20;
+}  // namespace
+
+const char* scheduler_name(Scheduler scheduler) {
+  return scheduler == Scheduler::kHeap ? "heap" : "calendar";
 }
 
-void EventQueue::drop_dead() const {
-  while (!heap_.empty() && !*heap_.top().alive) {
-    heap_.pop();
-    --live_;
+Scheduler parse_scheduler(const std::string& name) {
+  if (name == "heap") return Scheduler::kHeap;
+  if (name == "calendar") return Scheduler::kCalendar;
+  GUESS_CHECK_MSG(false, "unknown scheduler: " << name
+                             << " (expected heap or calendar)");
+  return Scheduler::kHeap;
+}
+
+EventQueue::EventQueue(Scheduler scheduler) : scheduler_(scheduler) {
+  if (scheduler_ == Scheduler::kCalendar) buckets_.assign(kMinBuckets, {});
+}
+
+EventHandle EventQueue::schedule(Time at, Callback fn) {
+  GUESS_CHECK_MSG(fn != nullptr, "null event callback");
+  return arm(at, 0.0, std::move(fn));
+}
+
+EventHandle EventQueue::schedule_periodic(Time first, Duration period,
+                                          Callback fn) {
+  GUESS_CHECK_MSG(fn != nullptr, "null event callback");
+  GUESS_CHECK_MSG(period > 0.0, "period must be positive");
+  return arm(first, period, std::move(fn));
+}
+
+EventHandle EventQueue::arm(Time at, Duration period, Callback fn) {
+  std::uint32_t s = acquire_slot();
+  Slot& slot = slots_[s];
+  slot.fn = std::move(fn);
+  slot.period = period;
+  slot.armed = true;
+  insert(Entry{at, next_seq_++, slot.generation, s});
+  ++live_;
+  if (scheduler_ == Scheduler::kCalendar) calendar_maybe_resize();
+  return EventHandle{this, s, slot.generation};
+}
+
+std::uint32_t EventQueue::acquire_slot() {
+  if (free_head_ != kNilSlot) {
+    std::uint32_t s = free_head_;
+    free_head_ = slots_[s].next_free;
+    return s;
+  }
+  GUESS_CHECK_MSG(slots_.size() < kNilSlot, "event slab full");
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void EventQueue::release_slot(std::uint32_t s) {
+  Slot& slot = slots_[s];
+  slot.fn = Callback();
+  slot.period = 0.0;
+  ++slot.generation;  // stale handles and index entries become inert
+  slot.armed = false;
+  slot.next_free = free_head_;
+  free_head_ = s;
+}
+
+void EventQueue::cancel(std::uint32_t s, std::uint64_t generation) {
+  if (s >= slots_.size()) return;
+  Slot& slot = slots_[s];
+  if (!slot.armed || slot.generation != generation) return;
+  release_slot(s);
+  --live_;
+  if (scheduler_ == Scheduler::kCalendar) calendar_maybe_resize();
+}
+
+bool EventQueue::pending(std::uint32_t s, std::uint64_t generation) const {
+  return s < slots_.size() && slots_[s].armed &&
+         slots_[s].generation == generation;
+}
+
+void EventQueue::insert(const Entry& entry) {
+  if (scheduler_ == Scheduler::kHeap) {
+    heap_.push_back(entry);
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+  } else {
+    calendar_insert(entry);
   }
 }
 
-bool EventQueue::empty() const {
-  drop_dead();
-  return heap_.empty();
+const EventQueue::Entry& EventQueue::find_min() const {
+  if (scheduler_ == Scheduler::kHeap) {
+    // live_ > 0 (checked by callers) guarantees a live entry exists.
+    for (;;) {
+      const Entry& top = heap_.front();
+      if (live(top)) return top;
+      std::pop_heap(heap_.begin(), heap_.end(), Later{});
+      heap_.pop_back();
+    }
+  }
+  return calendar_find_min();
+}
+
+EventQueue::Entry EventQueue::take_min() {
+  Entry out = find_min();
+  auto& heap = scheduler_ == Scheduler::kHeap ? heap_ : day_bucket();
+  std::pop_heap(heap.begin(), heap.end(), Later{});
+  heap.pop_back();
+  return out;
 }
 
 Time EventQueue::next_time() const {
-  drop_dead();
-  GUESS_CHECK(!heap_.empty());
-  return heap_.top().at;
+  GUESS_CHECK(live_ > 0);
+  return find_min().at;
 }
 
 EventQueue::Callback EventQueue::pop(Time& at) {
-  drop_dead();
-  GUESS_CHECK(!heap_.empty());
-  // priority_queue::top() is const; the entry is moved out via const_cast,
-  // which is safe because it is popped immediately after.
-  auto& top = const_cast<Entry&>(heap_.top());
-  at = top.at;
-  Callback fn = std::move(top.fn);
-  *top.alive = false;
-  heap_.pop();
-  --live_;
+  GUESS_CHECK(live_ > 0);
+  Entry entry = take_min();
+  Slot& slot = slots_[entry.slot];
+  at = entry.at;
+  Callback fn;
+  if (slot.period > 0.0) {
+    // The series keeps its callback and slot; fire from a copy so the
+    // callback may cancel its own series (or grow the slab) safely.
+    fn = slot.fn;
+    insert(Entry{entry.at + slot.period, next_seq_++, entry.generation,
+                 entry.slot});
+  } else {
+    fn = std::move(slot.fn);
+    release_slot(entry.slot);
+    --live_;
+    if (scheduler_ == Scheduler::kCalendar) calendar_maybe_resize();
+  }
   return fn;
+}
+
+// --- calendar backend ------------------------------------------------------
+
+void EventQueue::calendar_insert(const Entry& entry) {
+  std::uint64_t day = day_of(entry.at);
+  if (day < day_) {
+    // Behind the cursor (only possible before the first pop, or when a
+    // caller schedules into the past): pull the window back.
+    day_ = day;
+    day_heaped_ = false;
+  }
+  auto& bucket = buckets_[day & (buckets_.size() - 1)];
+  bucket.push_back(entry);
+  if (day_heaped_ && &bucket == &day_bucket()) {
+    std::push_heap(bucket.begin(), bucket.end(), Later{});
+  }
+}
+
+const EventQueue::Entry& EventQueue::calendar_find_min() const {
+  std::size_t scanned = 0;
+  for (;;) {
+    auto& bucket = day_bucket();
+    if (!day_heaped_) {
+      std::make_heap(bucket.begin(), bucket.end(), Later{});
+      day_heaped_ = true;
+    }
+    while (!bucket.empty() && !live(bucket.front())) {
+      std::pop_heap(bucket.begin(), bucket.end(), Later{});
+      bucket.pop_back();
+    }
+    // Bucket membership and eligibility use the same day_of() computation,
+    // so boundary rounding can never strand an entry: the front is the
+    // global minimum iff it belongs to the cursor's day (or an earlier one,
+    // after a pull-back).
+    if (!bucket.empty() && day_of(bucket.front().at) <= day_) {
+      return bucket.front();
+    }
+    ++day_;
+    day_heaped_ = false;
+    if (++scanned >= buckets_.size()) {
+      // A full rotation of empty days: every pending event is more than one
+      // rotation ahead. Jump straight to the earliest.
+      calendar_jump_to_min();
+      scanned = 0;
+    }
+  }
+}
+
+void EventQueue::calendar_jump_to_min() const {
+  const Entry* best = nullptr;
+  for (auto& bucket : buckets_) {
+    std::erase_if(bucket, [this](const Entry& e) { return !live(e); });
+    for (const Entry& e : bucket) {
+      if (best == nullptr || e.at < best->at ||
+          (e.at == best->at && e.seq < best->seq)) {
+        best = &e;
+      }
+    }
+  }
+  GUESS_CHECK_MSG(best != nullptr, "calendar jump with no live entries");
+  day_ = day_of(best->at);
+  day_heaped_ = false;
+}
+
+void EventQueue::calendar_maybe_resize() {
+  const std::size_t n = buckets_.size();
+  if (live_ > n * 2 && n < kMaxBuckets) {
+    calendar_rebuild(n * 2);
+  } else if (n > kMinBuckets && live_ < n / 8) {
+    calendar_rebuild(n / 2);
+  }
+}
+
+void EventQueue::calendar_rebuild(std::size_t nbuckets) {
+  std::vector<Entry> entries;
+  entries.reserve(live_);
+  for (auto& bucket : buckets_) {
+    for (const Entry& e : bucket) {
+      if (live(e)) entries.push_back(e);
+    }
+    bucket.clear();
+  }
+  buckets_.assign(nbuckets, {});
+  day_heaped_ = false;
+  if (entries.empty()) {
+    width_ = 1.0;
+    day_ = 0;
+    return;
+  }
+  Time lo = entries.front().at;
+  Time hi = lo;
+  for (const Entry& e : entries) {
+    lo = std::min(lo, e.at);
+    hi = std::max(hi, e.at);
+  }
+  // Brown's rule of thumb: a few events per bucket on average. Span 0 (all
+  // events simultaneous) degenerates to one bucket, which is still correct.
+  double span = hi - lo;
+  width_ = span > 0.0
+               ? std::max(3.0 * span / static_cast<double>(entries.size()),
+                          1e-9)
+               : 1.0;
+  day_ = day_of(lo);
+  for (const Entry& e : entries) {
+    buckets_[day_of(e.at) & (nbuckets - 1)].push_back(e);
+  }
 }
 
 }  // namespace guess::sim

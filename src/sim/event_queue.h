@@ -1,71 +1,129 @@
-// Priority queue of timestamped events with stable ordering and cancellation.
+// The simulation's event core: a slab-backed arena of pending events with a
+// pluggable ordering backend.
+//
+// Events live in a contiguous free-list slab; scheduling in steady state
+// (slab warm, callback within the small-buffer size) performs zero heap
+// allocations. Handles are POD {slot, generation} pairs: cancellation bumps
+// the slot's generation, which makes every outstanding reference to the old
+// occupant — handles and index entries alike — inert. The index over the
+// slab is one of two schedulers:
+//
+//  * kHeap      — binary min-heap of (time, seq), the classic choice.
+//  * kCalendar  — a calendar queue (bucketed timing wheel, Brown 1988):
+//                 O(1) expected schedule/pop for the mostly-periodic traffic
+//                 (pings, probe slots, churn) these simulations generate.
+//
+// Both backends pop in exactly (time, seq) order — equal-time events fire in
+// scheduling order — so they produce bit-identical simulations.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <memory>
-#include <queue>
+#include <string>
 #include <vector>
 
+#include "sim/inline_function.h"
 #include "sim/time.h"
 
 namespace guess::sim {
 
-/// Handle used to cancel a scheduled event. Default-constructed handles are
-/// inert. Cancellation is lazy: the queue drops cancelled entries on pop.
+/// Ordering backend for the event queue (SimulationOptions::scheduler,
+/// --scheduler={heap,calendar}).
+enum class Scheduler { kHeap, kCalendar };
+
+/// "heap" / "calendar".
+const char* scheduler_name(Scheduler scheduler);
+
+/// Inverse of scheduler_name; throws CheckError on anything else.
+Scheduler parse_scheduler(const std::string& name);
+
+class EventQueue;
+
+/// Handle used to cancel a scheduled event: a POD (queue, slot, generation)
+/// triple. Default-constructed handles are inert. A stale handle — one whose
+/// slot has since fired, been cancelled, or been reused by a later event —
+/// compares generations and is also inert. Handles must not outlive their
+/// queue.
 class EventHandle {
  public:
   EventHandle() = default;
 
-  /// Cancel the event if it has not fired yet. Safe to call repeatedly.
-  void cancel() {
-    if (auto p = alive_.lock()) *p = false;
-  }
+  /// Cancel the event if it has not fired yet. Safe to call repeatedly, on
+  /// stale handles, and on default-constructed handles.
+  void cancel();
 
-  /// True if the event is still pending (scheduled, not fired, not cancelled).
-  bool pending() const {
-    auto p = alive_.lock();
-    return p && *p;
-  }
+  /// True if the event is still pending (scheduled, not fired, not
+  /// cancelled). For a periodic series: true until the series is cancelled.
+  bool pending() const;
 
  private:
   friend class EventQueue;
-  friend class Simulator;
-  explicit EventHandle(std::weak_ptr<bool> alive) : alive_(std::move(alive)) {}
-  std::weak_ptr<bool> alive_;
+  EventHandle(EventQueue* queue, std::uint32_t slot, std::uint64_t generation)
+      : queue_(queue), slot_(slot), generation_(generation) {}
+
+  EventQueue* queue_ = nullptr;
+  std::uint32_t slot_ = 0;
+  std::uint64_t generation_ = 0;
 };
 
-/// Min-heap of (time, sequence) ordered events. Events at equal times fire in
-/// scheduling order (the sequence number breaks ties), which keeps runs
-/// deterministic.
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  /// Event callback: any copyable void() callable. Callables up to
+  /// kInlineCallbackSize bytes are stored inline (no heap allocation);
+  /// larger ones fall back to the heap.
+  static constexpr std::size_t kInlineCallbackSize = 48;
+  using Callback = InlineCallback<kInlineCallbackSize>;
 
-  /// Schedule `fn` to fire at absolute time `at`.
+  explicit EventQueue(Scheduler scheduler = Scheduler::kHeap);
+
+  Scheduler scheduler() const { return scheduler_; }
+
+  /// Schedule `fn` to fire once at absolute time `at`.
   EventHandle schedule(Time at, Callback fn);
 
-  bool empty() const;
+  /// Schedule `fn` to fire at `first`, then every `period` thereafter. The
+  /// series occupies one slot for its whole life; each firing re-arms the
+  /// next occurrence without touching the slab. Cancelling the returned
+  /// handle stops all future firings.
+  EventHandle schedule_periodic(Time first, Duration period, Callback fn);
 
-  /// Number of scheduled-but-unfired entries. Entries cancelled while buried
-  /// in the heap are still counted until they surface, so this is an upper
-  /// bound on the number of events that will actually fire.
+  bool empty() const { return live_ == 0; }
+
+  /// Number of pending occurrences (cancellation takes effect immediately;
+  /// a periodic series counts as one).
   std::size_t size() const { return live_; }
 
   /// Time of the earliest pending event; must not be empty().
   Time next_time() const;
 
-  /// Pop and return the earliest pending event's callback, advancing past any
-  /// cancelled entries; must not be empty(). Sets `at` to its firing time.
+  /// Pop and return the earliest pending event's callback; must not be
+  /// empty(). Sets `at` to its firing time. A periodic event returns a copy
+  /// of its callback and re-arms itself at `at + period`.
   Callback pop(Time& at);
 
  private:
+  friend class EventHandle;
+
+  static constexpr std::uint32_t kNilSlot = 0xffffffffu;
+
+  struct Slot {
+    Callback fn;
+    Duration period = 0.0;  // 0 = one-shot
+    std::uint64_t generation = 0;
+    std::uint32_t next_free = kNilSlot;
+    bool armed = false;
+  };
+
+  /// Index entry: POD reference into the slab. Stale entries (generation
+  /// mismatch after cancel/reuse) are dropped lazily when they surface.
   struct Entry {
     Time at;
     std::uint64_t seq;
-    Callback fn;
-    std::shared_ptr<bool> alive;
+    std::uint64_t generation;
+    std::uint32_t slot;
   };
+
+  /// Heap comparator: `a < b` iff a fires later — makes the std heap
+  /// algorithms yield the earliest (time, seq) on top.
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
       if (a.at != b.at) return a.at > b.at;
@@ -73,11 +131,63 @@ class EventQueue {
     }
   };
 
-  void drop_dead() const;
+  // --- slab ---
+  EventHandle arm(Time at, Duration period, Callback fn);
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t slot);
+  bool live(const Entry& entry) const {
+    return slots_[entry.slot].generation == entry.generation;
+  }
+  void cancel(std::uint32_t slot, std::uint64_t generation);
+  bool pending(std::uint32_t slot, std::uint64_t generation) const;
 
-  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  mutable std::size_t live_ = 0;
+  // --- backend dispatch ---
+  void insert(const Entry& entry);
+  /// Position the backend so its earliest live entry is accessible and
+  /// return it. Requires live_ > 0. Mutable work only (drops stale entries,
+  /// advances the calendar cursor) — observable state is unchanged.
+  const Entry& find_min() const;
+  Entry take_min();
+
+  // --- calendar backend ---
+  std::uint64_t day_of(Time at) const {
+    return static_cast<std::uint64_t>(at / width_);
+  }
+  std::vector<Entry>& day_bucket() const {
+    return buckets_[day_ & (buckets_.size() - 1)];
+  }
+  const Entry& calendar_find_min() const;
+  void calendar_insert(const Entry& entry);
+  void calendar_jump_to_min() const;
+  void calendar_maybe_resize();
+  void calendar_rebuild(std::size_t nbuckets);
+
+  Scheduler scheduler_;
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNilSlot;
+  std::size_t live_ = 0;
   std::uint64_t next_seq_ = 0;
+
+  // kHeap: binary heap over Entry (std::push_heap/pop_heap with Later).
+  // Mutable: find_min drops stale entries from a const context.
+  mutable std::vector<Entry> heap_;
+
+  // kCalendar: power-of-two ring of buckets, each a vector of entries for
+  // the times `t` with `day_of(t) % nbuckets == index`. Only the cursor's
+  // bucket is kept heap-ordered (day_heaped_); others are unsorted until the
+  // cursor reaches them. See DESIGN.md "Calendar scheduler".
+  mutable std::vector<std::vector<Entry>> buckets_;
+  mutable double width_ = 1.0;     // bucket width in simulated seconds
+  mutable std::uint64_t day_ = 0;  // absolute bucket number of the cursor
+  mutable bool day_heaped_ = false;
 };
+
+inline void EventHandle::cancel() {
+  if (queue_ != nullptr) queue_->cancel(slot_, generation_);
+}
+
+inline bool EventHandle::pending() const {
+  return queue_ != nullptr && queue_->pending(slot_, generation_);
+}
 
 }  // namespace guess::sim

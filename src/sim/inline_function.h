@@ -1,0 +1,140 @@
+// Small-buffer-optimized type-erased callable for the event core.
+//
+// InlineCallback<N> stores any copyable `void()` callable of up to N bytes
+// inside the object itself — scheduling an event with such a callback
+// performs no heap allocation. Larger callables transparently fall back to
+// the heap (correct, just not allocation-free); `stores_inline<F>()` lets
+// hot call sites assert at compile time that they stay on the fast path.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace guess::sim {
+
+template <std::size_t BufferSize>
+class InlineCallback {
+ public:
+  /// True if callables of type F live in the inline buffer (no allocation).
+  template <typename F>
+  static constexpr bool stores_inline() {
+    return sizeof(F) <= BufferSize &&
+           alignof(F) <= alignof(std::max_align_t);
+  }
+
+  InlineCallback() = default;
+  InlineCallback(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineCallback> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  InlineCallback(F&& fn) {  // NOLINT(google-explicit-constructor)
+    using D = std::decay_t<F>;
+    static_assert(std::is_copy_constructible_v<D>,
+                  "event callbacks must be copyable (periodic events are "
+                  "re-fired from a copy)");
+    if constexpr (stores_inline<D>()) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(fn));
+      ops_ = &inline_ops<D>;
+    } else {
+      ::new (static_cast<void*>(buf_)) D*(new D(std::forward<F>(fn)));
+      ops_ = &heap_ops<D>;
+    }
+  }
+
+  InlineCallback(const InlineCallback& other) : ops_(other.ops_) {
+    if (ops_ != nullptr) ops_->copy(buf_, other.buf_);
+  }
+
+  InlineCallback(InlineCallback&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(buf_, other.buf_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  InlineCallback& operator=(const InlineCallback& other) {
+    if (this != &other) {
+      reset();
+      if (other.ops_ != nullptr) {
+        other.ops_->copy(buf_, other.buf_);
+        ops_ = other.ops_;
+      }
+    }
+    return *this;
+  }
+
+  InlineCallback& operator=(InlineCallback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      if (other.ops_ != nullptr) {
+        other.ops_->relocate(buf_, other.buf_);
+        ops_ = other.ops_;
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  ~InlineCallback() { reset(); }
+
+  void operator()() { ops_->invoke(buf_); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+  friend bool operator==(const InlineCallback& f, std::nullptr_t) {
+    return f.ops_ == nullptr;
+  }
+  friend bool operator!=(const InlineCallback& f, std::nullptr_t) {
+    return f.ops_ != nullptr;
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* self);
+    void (*copy)(void* dst, const void* src);
+    /// Move-construct dst from src and destroy src (full transfer).
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void* self);
+  };
+
+  template <typename D>
+  static constexpr Ops inline_ops = {
+      [](void* self) { (*static_cast<D*>(self))(); },
+      [](void* dst, const void* src) {
+        ::new (dst) D(*static_cast<const D*>(src));
+      },
+      [](void* dst, void* src) {
+        ::new (dst) D(std::move(*static_cast<D*>(src)));
+        static_cast<D*>(src)->~D();
+      },
+      [](void* self) { static_cast<D*>(self)->~D(); },
+  };
+
+  template <typename D>
+  static constexpr Ops heap_ops = {
+      [](void* self) { (**static_cast<D**>(self))(); },
+      [](void* dst, const void* src) {
+        ::new (dst) D*(new D(**static_cast<D* const*>(src)));
+      },
+      [](void* dst, void* src) {
+        ::new (dst) D*(*static_cast<D**>(src));
+      },
+      [](void* self) { delete *static_cast<D**>(self); },
+  };
+
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[BufferSize];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace guess::sim

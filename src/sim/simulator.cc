@@ -1,50 +1,25 @@
 #include "sim/simulator.h"
 
-#include <memory>
-
 #include "common/check.h"
 
 namespace guess::sim {
 
-EventHandle Simulator::at(Time when, EventQueue::Callback fn) {
+EventHandle Simulator::at(Time when, Callback fn) {
   GUESS_CHECK_MSG(when >= now_, "scheduling into the past");
   return queue_.schedule(when, std::move(fn));
 }
 
-EventHandle Simulator::after(Duration delay, EventQueue::Callback fn) {
+EventHandle Simulator::after(Duration delay, Callback fn) {
   GUESS_CHECK_MSG(delay >= 0.0, "negative delay");
   return queue_.schedule(now_ + delay, std::move(fn));
 }
 
-// Periodic events re-arm themselves; a shared control block lets the caller's
-// single handle govern every future firing.
-struct Simulator::PeriodicState {
-  std::function<void()> fn;
-  Duration period;
-  std::shared_ptr<bool> alive = std::make_shared<bool>(true);
-};
-
-EventHandle Simulator::every(Duration period, Duration phase,
-                             std::function<void()> fn) {
+EventHandle Simulator::every(Duration period, Duration phase, Callback fn) {
   GUESS_CHECK_MSG(period > 0.0, "period must be positive");
   GUESS_CHECK_MSG(phase >= 0.0, "negative phase");
-  auto state = std::make_shared<PeriodicState>();
-  state->fn = std::move(fn);
-  state->period = period;
-  // Self-rescheduling callable: holds the shared control block so the
-  // caller's handle can stop all future firings.
-  struct Rearm {
-    Simulator* sim;
-    std::shared_ptr<PeriodicState> state;
-    void operator()() const {
-      if (!*state->alive) return;
-      state->fn();
-      if (!*state->alive) return;
-      sim->queue_.schedule(sim->now_ + state->period, Rearm{sim, state});
-    }
-  };
-  queue_.schedule(now_ + phase, Rearm{this, state});
-  return EventHandle{std::weak_ptr<bool>(state->alive)};
+  // Periodic series are native to the event queue: one slab slot for the
+  // series' whole life, re-armed on each pop with no allocation.
+  return queue_.schedule_periodic(now_ + phase, period, std::move(fn));
 }
 
 void Simulator::run_until(Time horizon) {
@@ -53,6 +28,7 @@ void Simulator::run_until(Time horizon) {
     Time at = kTimeZero;
     auto fn = queue_.pop(at);
     now_ = at;
+    ++fired_;
     fn();
   }
   now_ = horizon;
@@ -63,6 +39,7 @@ void Simulator::run_all() {
     Time at = kTimeZero;
     auto fn = queue_.pop(at);
     now_ = at;
+    ++fired_;
     fn();
   }
 }

@@ -3,10 +3,12 @@
 // The simulator owns the clock and the event queue. Components schedule
 // callbacks at absolute or relative times; run_until() executes events in
 // timestamp order until the horizon. Determinism: same seed + same schedule
-// order => identical runs (events at equal times fire in scheduling order).
+// order => identical runs (events at equal times fire in scheduling order),
+// under either scheduler backend — kHeap and kCalendar pop in the same
+// (time, seq) order, so they produce bit-identical simulations.
 #pragma once
 
-#include <functional>
+#include <cstdint>
 
 #include "sim/event_queue.h"
 #include "sim/time.h"
@@ -15,19 +17,24 @@ namespace guess::sim {
 
 class Simulator {
  public:
+  using Callback = EventQueue::Callback;
+
+  explicit Simulator(Scheduler scheduler = Scheduler::kHeap)
+      : queue_(scheduler) {}
+
   Time now() const { return now_; }
+  Scheduler scheduler() const { return queue_.scheduler(); }
 
   /// Schedule at an absolute time (>= now).
-  EventHandle at(Time when, EventQueue::Callback fn);
+  EventHandle at(Time when, Callback fn);
 
   /// Schedule after a relative delay (>= 0).
-  EventHandle after(Duration delay, EventQueue::Callback fn);
+  EventHandle after(Duration delay, Callback fn);
 
   /// Schedule `fn` every `period` seconds starting at now + phase. The
   /// callback may cancel the series via the returned handle's cancel() —
   /// cancelling stops all future firings.
-  EventHandle every(Duration period, Duration phase,
-                    std::function<void()> fn);
+  EventHandle every(Duration period, Duration phase, Callback fn);
 
   /// Run until the queue drains or the clock reaches `horizon` (events
   /// scheduled exactly at the horizon do fire).
@@ -38,10 +45,12 @@ class Simulator {
 
   std::size_t pending_events() const { return queue_.size(); }
 
- private:
-  struct PeriodicState;
+  /// Number of events executed so far (the denominator of events/sec).
+  std::uint64_t events_fired() const { return fired_; }
 
+ private:
   Time now_ = kTimeZero;
+  std::uint64_t fired_ = 0;
   EventQueue queue_;
 };
 

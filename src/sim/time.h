@@ -5,12 +5,17 @@
 // 1 s) are natural in these units.
 #pragma once
 
+#include <limits>
+
 namespace guess::sim {
 
 using Time = double;
 using Duration = double;
 
 inline constexpr Time kTimeZero = 0.0;
+
+/// Sentinel horizon: later than any event ("run to exhaustion").
+inline constexpr Time kTimeInfinity = std::numeric_limits<double>::infinity();
 
 /// Seconds per minute/hour, for readable experiment configs.
 inline constexpr Duration kMinute = 60.0;

@@ -168,6 +168,38 @@ TEST(LinkCache, SelectTopReturnsDescendingByPolicy) {
   EXPECT_EQ(top[2].id, 3u);
 }
 
+TEST(LinkCache, SelectTopBreaksScoreTiesByInsertionIndex) {
+  // Duplicate scores: partial_sort is unstable, so without an explicit
+  // index tie-break the winners among equal-score entries would depend on
+  // the stdlib's pivot choices. Insertion (index) order is the contract.
+  LinkCache cache(kOwner, 6);
+  Rng rng(1);
+  cache.insert_free(entry(10, 0.0, 50, 0));
+  cache.insert_free(entry(20, 0.0, 50, 0));
+  cache.insert_free(entry(30, 0.0, 50, 0));
+  cache.insert_free(entry(40, 0.0, 50, 0));
+  cache.insert_free(entry(50, 0.0, 99, 0));
+  cache.insert_free(entry(60, 0.0, 50, 0));
+  for (int round = 0; round < 20; ++round) {
+    auto top = cache.select_top(Policy::kMFS, 3, rng);
+    ASSERT_EQ(top.size(), 3u);
+    EXPECT_EQ(top[0].id, 50u);  // unique max first
+    EXPECT_EQ(top[1].id, 10u);  // then ties in insertion order
+    EXPECT_EQ(top[2].id, 20u);
+  }
+}
+
+TEST(LinkCache, SelectTopAllTiedReturnsPrefixInInsertionOrder) {
+  LinkCache cache(kOwner, 8);
+  Rng rng(3);
+  for (PeerId id = 1; id <= 8; ++id) {
+    cache.insert_free(entry(id, 0.0, 7, 0));
+  }
+  auto top = cache.select_top(Policy::kMFS, 4, rng);
+  ASSERT_EQ(top.size(), 4u);
+  for (PeerId i = 0; i < 4; ++i) EXPECT_EQ(top[i].id, i + 1);
+}
+
 TEST(LinkCache, SelectTopClampsToSize) {
   LinkCache cache(kOwner, 4);
   Rng rng(1);

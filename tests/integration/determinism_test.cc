@@ -95,6 +95,37 @@ TEST(Determinism, GuessWithEveryExtensionEnabled) {
   EXPECT_DOUBLE_EQ(a.cache_health.good_entries, b.cache_health.good_entries);
 }
 
+// The scheduler backend is pure mechanism: heap and calendar queues pop the
+// identical (time, seq) sequence, so a full GUESS simulation — churn,
+// adaptive extensions, malicious peers and all — must produce bitwise
+// identical results under either backend.
+TEST(Determinism, HeapAndCalendarSchedulersBitwiseIdentical) {
+  auto run = [](sim::Scheduler scheduler) {
+    SystemParams system;
+    system.network_size = 200;
+    system.lifespan_multiplier = 0.5;  // churn-heavy: exercises cancels
+    system.content.catalog_size = 400;
+    system.content.query_universe = 500;
+    system.percent_bad_peers = 10.0;
+    system.bad_pong_behavior = BadPongBehavior::kBad;
+    ProtocolParams protocol;
+    protocol.query_probe = Policy::kMR;
+    protocol.cache_replacement = Replacement::kLR;
+    protocol.adaptive_ping.enabled = true;
+    protocol.do_backoff = true;
+    SimulationOptions options;
+    options.seed = 77;
+    options.warmup = 150.0;
+    options.measure = 600.0;
+    options.scheduler = scheduler;
+    GuessSimulation sim(system, protocol, options);
+    return sim.run();
+  };
+  auto heap = run(sim::Scheduler::kHeap);
+  auto calendar = run(sim::Scheduler::kCalendar);
+  testsupport::expect_identical(heap, calendar);
+}
+
 // run_seeds (which now dispatches replications onto a worker pool) must be
 // indistinguishable from n completely independent single-seed simulations,
 // entry for entry — the contract that makes the parallel path safe to use

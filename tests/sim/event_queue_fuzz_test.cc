@@ -1,8 +1,12 @@
 // Model-based fuzzing of the event queue: random schedules and
-// cancellations must pop in exactly (time, insertion-order) order.
+// cancellations must pop in exactly (time, insertion-order) order, for both
+// the binary-heap and calendar-queue backends, and the two backends must
+// agree event for event.
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
+#include <tuple>
 #include <vector>
 
 #include "common/check.h"
@@ -12,11 +16,19 @@
 namespace guess::sim {
 namespace {
 
-class EventQueueFuzz : public ::testing::TestWithParam<int> {};
+using FuzzParam = std::tuple<Scheduler, int>;
+
+class EventQueueFuzz : public ::testing::TestWithParam<FuzzParam> {
+ protected:
+  Scheduler scheduler() const { return std::get<0>(GetParam()); }
+  std::uint64_t seed() const {
+    return static_cast<std::uint64_t>(std::get<1>(GetParam()));
+  }
+};
 
 TEST_P(EventQueueFuzz, PopsInTimeThenInsertionOrder) {
-  Rng rng(static_cast<std::uint64_t>(GetParam()));
-  EventQueue queue;
+  Rng rng(seed());
+  EventQueue queue(scheduler());
 
   struct Expected {
     Time at;
@@ -64,14 +76,106 @@ TEST_P(EventQueueFuzz, PopsInTimeThenInsertionOrder) {
   EXPECT_EQ(fired, want);
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, EventQueueFuzz,
-                         ::testing::Values(1, 2, 3, 4, 5));
+// Interleaved schedule/cancel/pop against a naive reference "queue" (a flat
+// vector scanned for its minimum). Every pop must return the exact event the
+// reference predicts, so this exercises slot reuse, stale index entries, and
+// (for the calendar) cursor advance and bucket resize mid-stream.
+TEST_P(EventQueueFuzz, MatchesNaiveReferenceUnderRandomOps) {
+  Rng rng(seed() * 7919 + 17);
+  EventQueue queue(scheduler());
 
-TEST(EventQueueFuzz2, InterleavedScheduleAndPop) {
+  struct RefEvent {
+    Time at;
+    std::uint64_t order;  // global schedule order = tie-break
+    int tag;
+  };
+  std::vector<RefEvent> reference;  // live, uncancelled events only
+  std::vector<std::pair<int, EventHandle>> live_handles;
+  std::uint64_t order = 0;
+  int next_tag = 0;
+  Time clock = 0.0;
+  std::vector<int> fired;
+
+  for (int step = 0; step < 3000; ++step) {
+    double roll = rng.uniform(0.0, 1.0);
+    if (roll < 0.5) {
+      // Schedule. Mix short and long horizons so the calendar's window must
+      // both walk and jump; coarse grid forces ties.
+      Time at = clock + static_cast<Time>(rng.uniform_int(0, 60)) *
+                            (rng.bernoulli(0.1) ? 50.0 : 0.5);
+      int tag = next_tag++;
+      auto handle = queue.schedule(at, [&fired, tag]() {
+        fired.push_back(tag);
+      });
+      reference.push_back({at, order++, tag});
+      live_handles.emplace_back(tag, handle);
+    } else if (roll < 0.65) {
+      // Cancel a random live event (if any).
+      if (!live_handles.empty()) {
+        std::size_t pick = rng.index(live_handles.size());
+        int tag = live_handles[pick].first;
+        live_handles[pick].second.cancel();
+        live_handles.erase(live_handles.begin() +
+                           static_cast<long>(pick));
+        std::erase_if(reference,
+                      [tag](const RefEvent& e) { return e.tag == tag; });
+      }
+    } else if (!queue.empty()) {
+      // Pop: must match the reference's (time, order) minimum.
+      auto min_it = std::min_element(
+          reference.begin(), reference.end(),
+          [](const RefEvent& a, const RefEvent& b) {
+            if (a.at != b.at) return a.at < b.at;
+            return a.order < b.order;
+          });
+      ASSERT_NE(min_it, reference.end());
+      Time at = 0.0;
+      std::size_t before = fired.size();
+      queue.pop(at)();
+      ASSERT_EQ(fired.size(), before + 1);
+      EXPECT_EQ(fired.back(), min_it->tag);
+      EXPECT_DOUBLE_EQ(at, min_it->at);
+      clock = at;
+      int tag = min_it->tag;
+      reference.erase(min_it);
+      std::erase_if(live_handles,
+                    [tag](const auto& p) { return p.first == tag; });
+    }
+    ASSERT_EQ(queue.size(), reference.size());
+  }
+  // Drain.
+  while (!queue.empty()) {
+    auto min_it = std::min_element(
+        reference.begin(), reference.end(),
+        [](const RefEvent& a, const RefEvent& b) {
+          if (a.at != b.at) return a.at < b.at;
+          return a.order < b.order;
+        });
+    Time at = 0.0;
+    queue.pop(at)();
+    EXPECT_EQ(fired.back(), min_it->tag);
+    reference.erase(min_it);
+  }
+  EXPECT_TRUE(reference.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, EventQueueFuzz,
+    ::testing::Combine(::testing::Values(Scheduler::kHeap,
+                                         Scheduler::kCalendar),
+                       ::testing::Values(1, 2, 3, 4, 5)),
+    [](const auto& info) {
+      return std::string(scheduler_name(std::get<0>(info.param))) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+class EventQueueInterleaved : public ::testing::TestWithParam<Scheduler> {};
+
+TEST_P(EventQueueInterleaved, InterleavedScheduleAndPop) {
   // Schedule while popping: popped times must be non-decreasing relative to
   // the pop clock, and nothing is lost.
   Rng rng(7);
-  EventQueue queue;
+  EventQueue queue(GetParam());
   int scheduled = 0;
   int fired = 0;
   Time clock = 0.0;
@@ -98,6 +202,59 @@ TEST(EventQueueFuzz2, InterleavedScheduleAndPop) {
     fn();
   }
   EXPECT_EQ(fired, scheduled);
+}
+
+INSTANTIATE_TEST_SUITE_P(Schedulers, EventQueueInterleaved,
+                         ::testing::Values(Scheduler::kHeap,
+                                           Scheduler::kCalendar),
+                         [](const auto& info) {
+                           return scheduler_name(info.param);
+                         });
+
+// The two backends must produce the identical pop sequence for the same
+// random workload — the cross-scheduler determinism guarantee in miniature.
+TEST(EventQueueEquivalence, HeapAndCalendarPopIdenticalSequences) {
+  for (std::uint64_t seed = 11; seed < 16; ++seed) {
+    EventQueue heap(Scheduler::kHeap);
+    EventQueue calendar(Scheduler::kCalendar);
+    std::vector<std::pair<Time, int>> heap_fired;
+    std::vector<std::pair<Time, int>> cal_fired;
+
+    // Drive both queues with the same op sequence from the same seed.
+    auto drive = [](EventQueue& queue, std::uint64_t s,
+                    std::vector<std::pair<Time, int>>& out) {
+      Rng rng(s);
+      std::vector<EventHandle> handles;
+      Time clock = 0.0;
+      int tag = 0;
+      for (int step = 0; step < 2000; ++step) {
+        double roll = rng.uniform(0.0, 1.0);
+        if (roll < 0.55) {
+          Time at = clock + static_cast<Time>(rng.uniform_int(0, 25)) *
+                                (rng.bernoulli(0.05) ? 100.0 : 0.25);
+          int t = tag++;
+          Time scheduled_at = at;
+          handles.push_back(queue.schedule(
+              at, [&out, t, scheduled_at]() {
+                out.emplace_back(scheduled_at, t);
+              }));
+        } else if (roll < 0.65) {
+          if (!handles.empty()) handles[rng.index(handles.size())].cancel();
+        } else if (!queue.empty()) {
+          Time at = 0.0;
+          queue.pop(at)();
+          clock = at;
+        }
+      }
+      while (!queue.empty()) {
+        Time at = 0.0;
+        queue.pop(at)();
+      }
+    };
+    drive(heap, seed, heap_fired);
+    drive(calendar, seed, cal_fired);
+    EXPECT_EQ(heap_fired, cal_fired) << "seed " << seed;
+  }
 }
 
 }  // namespace

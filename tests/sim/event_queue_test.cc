@@ -4,13 +4,20 @@
 
 #include "common/check.h"
 
+#include <string>
 #include <vector>
 
 namespace guess::sim {
 namespace {
 
-TEST(EventQueue, PopsInTimeOrder) {
-  EventQueue queue;
+// Every behavioural contract must hold for both backends, so the whole
+// suite runs once per scheduler.
+class EventQueueTest : public ::testing::TestWithParam<Scheduler> {
+ protected:
+  EventQueue queue{GetParam()};
+};
+
+TEST_P(EventQueueTest, PopsInTimeOrder) {
   std::vector<int> fired;
   queue.schedule(3.0, [&] { fired.push_back(3); });
   queue.schedule(1.0, [&] { fired.push_back(1); });
@@ -22,8 +29,7 @@ TEST(EventQueue, PopsInTimeOrder) {
   EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
 }
 
-TEST(EventQueue, EqualTimesFireInScheduleOrder) {
-  EventQueue queue;
+TEST_P(EventQueueTest, EqualTimesFireInScheduleOrder) {
   std::vector<int> fired;
   for (int i = 0; i < 10; ++i) {
     queue.schedule(5.0, [&fired, i] { fired.push_back(i); });
@@ -36,8 +42,7 @@ TEST(EventQueue, EqualTimesFireInScheduleOrder) {
   for (int i = 0; i < 10; ++i) EXPECT_EQ(fired[i], i);
 }
 
-TEST(EventQueue, CancelledEventsAreSkipped) {
-  EventQueue queue;
+TEST_P(EventQueueTest, CancelledEventsAreSkipped) {
   bool fired = false;
   auto handle = queue.schedule(1.0, [&] { fired = true; });
   EXPECT_TRUE(handle.pending());
@@ -47,8 +52,7 @@ TEST(EventQueue, CancelledEventsAreSkipped) {
   EXPECT_FALSE(fired);
 }
 
-TEST(EventQueue, CancelOneAmongMany) {
-  EventQueue queue;
+TEST_P(EventQueueTest, CancelOneAmongMany) {
   std::vector<int> fired;
   queue.schedule(1.0, [&] { fired.push_back(1); });
   auto handle = queue.schedule(2.0, [&] { fired.push_back(2); });
@@ -61,8 +65,7 @@ TEST(EventQueue, CancelOneAmongMany) {
   EXPECT_EQ(fired, (std::vector<int>{1, 3}));
 }
 
-TEST(EventQueue, CancelIsIdempotentAndSafeAfterFire) {
-  EventQueue queue;
+TEST_P(EventQueueTest, CancelIsIdempotentAndSafeAfterFire) {
   auto handle = queue.schedule(1.0, [] {});
   Time at = 0.0;
   queue.pop(at)();
@@ -71,14 +74,7 @@ TEST(EventQueue, CancelIsIdempotentAndSafeAfterFire) {
   handle.cancel();
 }
 
-TEST(EventQueue, DefaultHandleIsInert) {
-  EventHandle handle;
-  EXPECT_FALSE(handle.pending());
-  handle.cancel();
-}
-
-TEST(EventQueue, NextTimePeeksEarliestPending) {
-  EventQueue queue;
+TEST_P(EventQueueTest, NextTimePeeksEarliestPending) {
   auto early = queue.schedule(1.0, [] {});
   queue.schedule(2.0, [] {});
   EXPECT_DOUBLE_EQ(queue.next_time(), 1.0);
@@ -86,30 +82,146 @@ TEST(EventQueue, NextTimePeeksEarliestPending) {
   EXPECT_DOUBLE_EQ(queue.next_time(), 2.0);
 }
 
-TEST(EventQueue, SizeTracksLiveEntries) {
-  EventQueue queue;
+TEST_P(EventQueueTest, SizeTracksLiveEntries) {
   EXPECT_EQ(queue.size(), 0u);
   auto a = queue.schedule(1.0, [] {});
   queue.schedule(2.0, [] {});
   EXPECT_EQ(queue.size(), 2u);
   a.cancel();
-  // Lazy drop: surfaces through empty()/pop; size is an upper bound.
+  EXPECT_EQ(queue.size(), 1u);
   EXPECT_TRUE(!queue.empty());
   Time at = 0.0;
   queue.pop(at)();
   EXPECT_EQ(queue.size(), 0u);
 }
 
-TEST(EventQueue, PopOnEmptyThrows) {
-  EventQueue queue;
+TEST_P(EventQueueTest, PopOnEmptyThrows) {
   Time at = 0.0;
   EXPECT_THROW(queue.pop(at), CheckError);
   EXPECT_THROW(queue.next_time(), CheckError);
 }
 
-TEST(EventQueue, NullCallbackRejected) {
-  EventQueue queue;
+TEST_P(EventQueueTest, NullCallbackRejected) {
   EXPECT_THROW(queue.schedule(1.0, EventQueue::Callback{}), CheckError);
+}
+
+// --- Generation-handle semantics: a slot is recycled after fire/cancel, and
+// handles to its previous occupant must stay inert. ---
+
+TEST_P(EventQueueTest, StaleHandleAfterSlotReuseIsInert) {
+  bool first_fired = false;
+  bool second_fired = false;
+  auto stale = queue.schedule(1.0, [&] { first_fired = true; });
+  stale.cancel();
+  // The freed slot is reused by the next schedule (LIFO free list).
+  auto fresh = queue.schedule(2.0, [&] { second_fired = true; });
+  EXPECT_FALSE(stale.pending());
+  EXPECT_TRUE(fresh.pending());
+  // Cancelling the stale handle must not disturb the new occupant.
+  stale.cancel();
+  EXPECT_TRUE(fresh.pending());
+  Time at = 0.0;
+  queue.pop(at)();
+  EXPECT_FALSE(first_fired);
+  EXPECT_TRUE(second_fired);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST_P(EventQueueTest, PendingIsCorrectAcrossSlotReuse) {
+  auto a = queue.schedule(1.0, [] {});
+  Time at = 0.0;
+  queue.pop(at)();
+  EXPECT_FALSE(a.pending());
+  // Reuses a's slot with a bumped generation.
+  auto b = queue.schedule(2.0, [] {});
+  EXPECT_FALSE(a.pending());
+  EXPECT_TRUE(b.pending());
+  b.cancel();
+  EXPECT_FALSE(b.pending());
+  auto c = queue.schedule(3.0, [] {});
+  EXPECT_FALSE(a.pending());
+  EXPECT_FALSE(b.pending());
+  EXPECT_TRUE(c.pending());
+}
+
+TEST_P(EventQueueTest, ManyReusesNeverResurrectOldHandles) {
+  std::vector<EventHandle> old;
+  for (int round = 0; round < 50; ++round) {
+    auto h = queue.schedule(static_cast<Time>(round), [] {});
+    for (const auto& o : old) EXPECT_FALSE(o.pending());
+    EXPECT_TRUE(h.pending());
+    h.cancel();
+    old.push_back(h);
+  }
+  EXPECT_TRUE(queue.empty());
+}
+
+// --- Periodic events are queue-native: the slot persists across firings. ---
+
+TEST_P(EventQueueTest, PeriodicRefiresUntilCancelled) {
+  int count = 0;
+  auto handle = queue.schedule_periodic(1.0, 2.0, [&] { ++count; });
+  std::vector<Time> times;
+  for (int i = 0; i < 4; ++i) {
+    Time at = 0.0;
+    queue.pop(at)();
+    times.push_back(at);
+    EXPECT_TRUE(handle.pending());
+  }
+  EXPECT_EQ(count, 4);
+  EXPECT_EQ(times, (std::vector<Time>{1.0, 3.0, 5.0, 7.0}));
+  handle.cancel();
+  EXPECT_FALSE(handle.pending());
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST_P(EventQueueTest, PeriodicCanCancelItselfFromCallback) {
+  int count = 0;
+  EventHandle handle;
+  handle = queue.schedule_periodic(1.0, 1.0, [&] {
+    if (++count == 3) handle.cancel();
+  });
+  while (!queue.empty()) {
+    Time at = 0.0;
+    queue.pop(at)();
+  }
+  EXPECT_EQ(count, 3);
+}
+
+TEST_P(EventQueueTest, PeriodicInterleavesWithOneShots) {
+  std::vector<std::string> fired;
+  auto p = queue.schedule_periodic(1.0, 2.0, [&] { fired.push_back("p"); });
+  queue.schedule(2.0, [&] { fired.push_back("a"); });
+  queue.schedule(4.0, [&] { fired.push_back("b"); });
+  for (int i = 0; i < 5; ++i) {
+    Time at = 0.0;
+    queue.pop(at)();
+  }
+  p.cancel();
+  EXPECT_EQ(fired,
+            (std::vector<std::string>{"p", "a", "p", "b", "p"}));
+  EXPECT_TRUE(queue.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Schedulers, EventQueueTest,
+                         ::testing::Values(Scheduler::kHeap,
+                                           Scheduler::kCalendar),
+                         [](const auto& info) {
+                           return scheduler_name(info.param);
+                         });
+
+TEST(EventQueueScheduler, ParseRoundTrips) {
+  EXPECT_EQ(parse_scheduler("heap"), Scheduler::kHeap);
+  EXPECT_EQ(parse_scheduler("calendar"), Scheduler::kCalendar);
+  EXPECT_STREQ(scheduler_name(Scheduler::kHeap), "heap");
+  EXPECT_STREQ(scheduler_name(Scheduler::kCalendar), "calendar");
+  EXPECT_THROW(parse_scheduler("fifo"), CheckError);
+}
+
+TEST(EventQueueHandle, DefaultHandleIsInert) {
+  EventHandle handle;
+  EXPECT_FALSE(handle.pending());
+  handle.cancel();
 }
 
 }  // namespace

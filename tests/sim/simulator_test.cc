@@ -106,5 +106,35 @@ TEST(Simulator, PendingEventsCount) {
   EXPECT_EQ(sim.pending_events(), 0u);
 }
 
+TEST(Simulator, EventsFiredCountsExecutedEvents) {
+  Simulator sim;
+  EXPECT_EQ(sim.events_fired(), 0u);
+  sim.at(1.0, [] {});
+  auto cancelled = sim.at(2.0, [] {});
+  sim.at(3.0, [] {});
+  cancelled.cancel();
+  sim.run_all();
+  EXPECT_EQ(sim.events_fired(), 2u);
+}
+
+TEST(Simulator, CalendarSchedulerRunsIdenticalSchedule) {
+  // The scheduler backend is an implementation detail: the same program
+  // must observe the same clock readings either way.
+  auto trace = [](Scheduler scheduler) {
+    Simulator sim(scheduler);
+    EXPECT_EQ(sim.scheduler(), scheduler);
+    std::vector<Time> ticks;
+    sim.every(2.0, 0.5, [&] { ticks.push_back(sim.now()); });
+    sim.at(3.0, [&] { ticks.push_back(-sim.now()); });
+    auto dead = sim.at(4.0, [&] { ticks.push_back(99.0); });
+    dead.cancel();
+    sim.run_until(6.5);
+    return ticks;
+  };
+  EXPECT_EQ(trace(Scheduler::kHeap), trace(Scheduler::kCalendar));
+  EXPECT_EQ(trace(Scheduler::kHeap),
+            (std::vector<Time>{0.5, 2.5, -3.0, 4.5, 6.5}));
+}
+
 }  // namespace
 }  // namespace guess::sim
