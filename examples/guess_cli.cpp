@@ -43,6 +43,12 @@ Extensions:
   --adaptive-parallel      adaptive probe-rate ramp (§6.2)
   --no-query-cache         ablate the query cache (§2.3)
 
+Transport fault injection (presence of any switches on LossyTransport):
+  --loss=0.05              i.i.d. per-message loss probability
+  --link-latency=0.05      one-way link latency (s)
+  --probe-timeout=2        per-attempt round-trip timeout (s)
+  --max-retries=0          retransmits after the first timeout
+
 Run control:
   --seed=42 --warmup=600 --measure=2400 --connectivity
 )";
@@ -101,19 +107,34 @@ int main(int argc, char** argv) {
   protocol.adaptive_parallel = flags.get_bool("adaptive-parallel", false);
   protocol.use_query_cache = !flags.get_bool("no-query-cache", false);
 
-  guess::SimulationOptions options;
-  options.seed = flags.seed();
-  options.warmup = flags.get_double("warmup", 600.0);
-  options.measure = flags.get_double("measure", 2400.0);
-  options.sample_connectivity = flags.get_bool("connectivity", false);
+  guess::TransportParams transport;
+  if (flags.has_transport_flags()) {
+    transport.kind = guess::TransportParams::Kind::kLossy;
+    transport.loss = flags.loss();
+    transport.link_latency = flags.link_latency();
+    transport.probe_timeout = flags.probe_timeout();
+    transport.max_retries = static_cast<std::size_t>(flags.max_retries());
+  }
+
+  auto config = guess::SimulationConfig()
+                    .system(system)
+                    .protocol(protocol)
+                    .transport(transport)
+                    .seed(flags.seed())
+                    .warmup(flags.get_double("warmup", 600.0))
+                    .measure(flags.get_double("measure", 2400.0))
+                    .sample_connectivity(flags.get_bool("connectivity", false));
 
   std::cout << "system:   " << guess::describe(system) << "\n"
-            << "protocol: " << guess::describe(protocol) << "\n"
-            << "running " << options.warmup << "s warmup + "
-            << options.measure << "s measurement (seed " << options.seed
-            << ")...\n\n";
+            << "protocol: " << guess::describe(protocol) << "\n";
+  if (transport.kind == guess::TransportParams::Kind::kLossy) {
+    std::cout << "transport: " << guess::describe(transport) << "\n";
+  }
+  std::cout << "running " << config.options().warmup << "s warmup + "
+            << config.options().measure << "s measurement (seed "
+            << config.seed() << ")...\n\n";
 
-  guess::GuessSimulation simulation(system, protocol, options);
+  guess::GuessSimulation simulation(config);
   guess::SimulationResults results = simulation.run();
   auto load = guess::analysis::summarize_load(results.peer_loads);
 
@@ -132,7 +153,15 @@ int main(int argc, char** argv) {
             << "load                  gini " << load.gini << ", top peer "
             << load.max << " probes\n"
             << "peer deaths           " << results.deaths << "\n";
-  if (options.sample_connectivity) {
+  if (transport.kind == guess::TransportParams::Kind::kLossy) {
+    const guess::TransportCounters& tc = results.transport;
+    std::cout << "transport             " << tc.messages_sent << " sent, "
+              << tc.messages_lost << " lost, " << tc.timeouts
+              << " timeouts, " << tc.retransmits << " retransmits, "
+              << tc.late_replies << " late replies, " << tc.exchanges_failed
+              << " failed exchanges\n";
+  }
+  if (config.options().sample_connectivity) {
     std::cout << "largest component     " << results.largest_component.mean()
               << " (mean of samples)\n";
   }

@@ -13,18 +13,20 @@ int main(int argc, char** argv) {
   guess::SystemParams system;      // Table 1 defaults: 1000 peers, ...
   guess::ProtocolParams protocol;  // Table 2 defaults: Random policies, ...
 
-  guess::SimulationOptions options;
-  options.seed = flags.seed();
-  options.warmup = flags.get_double("warmup", 600.0);
-  options.measure = flags.get_double("measure", 1800.0);
+  auto config = guess::SimulationConfig()
+                    .system(system)
+                    .protocol(protocol)
+                    .seed(flags.seed())
+                    .warmup(flags.get_double("warmup", 600.0))
+                    .measure(flags.get_double("measure", 1800.0));
 
   std::cout << "GUESS quickstart\n"
             << "  system:   " << guess::describe(system) << "\n"
             << "  protocol: " << guess::describe(protocol) << "\n"
-            << "  simulating " << options.warmup << "s warmup + "
-            << options.measure << "s measurement...\n";
+            << "  simulating " << config.options().warmup << "s warmup + "
+            << config.options().measure << "s measurement...\n";
 
-  guess::GuessSimulation simulation(system, protocol, options);
+  guess::GuessSimulation simulation(config);
   guess::SimulationResults results = simulation.run();
 
   std::cout << "\nResults (measurement window only):\n"

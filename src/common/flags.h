@@ -46,6 +46,27 @@ class Flags {
   /// Report sweep progress (replications completed / total) to stderr.
   bool progress() const { return get_bool("progress", false); }
 
+  // --- transport fault injection (DESIGN.md §8) ---
+  // Defaults mirror guess::TransportParams; the presence of any of these
+  // flags switches a harness from the synchronous default to the lossy
+  // transport (see has_transport_flags()).
+
+  /// I.i.d. per-message loss probability (--loss=0.05).
+  double loss() const { return get_double("loss", 0.0); }
+  /// One-way link latency in seconds (--link-latency=0.05).
+  double link_latency() const { return get_double("link-latency", 0.05); }
+  /// Per-attempt round-trip timeout in seconds (--probe-timeout=2).
+  double probe_timeout() const { return get_double("probe-timeout", 2.0); }
+  /// Retransmit attempts after the first timeout (--max-retries=2).
+  int max_retries() const {
+    return static_cast<int>(get_int("max-retries", 0));
+  }
+  /// True when any fault-injection flag was given.
+  bool has_transport_flags() const {
+    return has("loss") || has("link-latency") || has("probe-timeout") ||
+           has("max-retries");
+  }
+
  private:
   std::optional<std::string> raw(const std::string& name) const;
   std::map<std::string, std::string> values_;

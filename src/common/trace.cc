@@ -45,6 +45,7 @@ const char* Tracer::category_name(TraceCategory category) {
     case TraceCategory::kQuery: return "query";
     case TraceCategory::kCache: return "cache";
     case TraceCategory::kAttack: return "attack";
+    case TraceCategory::kTransport: return "transport";
   }
   return "?";
 }

@@ -17,14 +17,42 @@
 namespace guess {
 
 enum class TraceCategory : unsigned {
-  kChurn = 1u << 0,   ///< births, deaths
-  kPing = 1u << 1,    ///< pings, pongs, evictions by ping
-  kQuery = 1u << 2,   ///< query start/probe/finish
-  kCache = 1u << 3,   ///< link-cache insertions/evictions
-  kAttack = 1u << 4,  ///< poisoning, detection, blacklisting
+  kChurn = 1u << 0,      ///< births, deaths
+  kPing = 1u << 1,       ///< pings, pongs, evictions by ping
+  kQuery = 1u << 2,      ///< query start/probe/finish
+  kCache = 1u << 3,      ///< link-cache insertions/evictions
+  kAttack = 1u << 4,     ///< poisoning, detection, blacklisting
+  kTransport = 1u << 5,  ///< message loss, timeouts, retransmits
 };
 
-inline constexpr unsigned kTraceAll = 0x1F;
+/// Every category, in bit order. New categories must be appended here (and
+/// to Tracer::category_name) — kTraceAll is derived from this list, so a
+/// forgotten entry fails the static_assert below instead of being silently
+/// excluded from default-constructed tracers.
+inline constexpr TraceCategory kTraceCategories[] = {
+    TraceCategory::kChurn, TraceCategory::kPing,   TraceCategory::kQuery,
+    TraceCategory::kCache, TraceCategory::kAttack, TraceCategory::kTransport,
+};
+
+namespace trace_detail {
+constexpr unsigned all_categories_mask() {
+  unsigned mask = 0;
+  for (TraceCategory category : kTraceCategories) {
+    mask |= static_cast<unsigned>(category);
+  }
+  return mask;
+}
+}  // namespace trace_detail
+
+inline constexpr unsigned kTraceAll = trace_detail::all_categories_mask();
+
+static_assert(kTraceAll ==
+                  (1u << (sizeof(kTraceCategories) /
+                          sizeof(kTraceCategories[0]))) -
+                      1,
+              "TraceCategory values must be distinct single bits starting at "
+              "bit 0 with no gaps, and every category must be listed in "
+              "kTraceCategories");
 
 struct TraceRecord {
   sim::Time at = 0.0;

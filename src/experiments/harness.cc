@@ -24,6 +24,14 @@ Scale Scale::from_flags(const Flags& flags) {
   scale.threads = flags.threads();
   scale.progress = flags.progress();
   scale.scheduler = sim::parse_scheduler(flags.scheduler());
+  if (flags.has_transport_flags()) {
+    scale.transport.kind = TransportParams::Kind::kLossy;
+    scale.transport.loss = flags.loss();
+    scale.transport.link_latency = flags.link_latency();
+    scale.transport.probe_timeout = flags.probe_timeout();
+    scale.transport.max_retries =
+        static_cast<std::size_t>(flags.max_retries());
+  }
   return scale;
 }
 
@@ -35,6 +43,10 @@ SimulationOptions Scale::options() const {
   options.threads = threads;
   options.scheduler = scheduler;
   return options;
+}
+
+SimulationConfig Scale::config() const {
+  return SimulationConfig().options(options()).transport(transport);
 }
 
 PolicyCombo PolicyCombo::from_name(const std::string& name) {
@@ -119,8 +131,13 @@ AveragedResults run_config(const SystemParams& system,
                            const Scale& scale,
                            SimulationOptions options_override) {
   if (options_override.threads == 0) options_override.threads = scale.threads;
-  return average(run_seeds(system, protocol, options_override, scale.seeds,
-                           progress_reporter(scale.progress)));
+  auto config = SimulationConfig()
+                    .system(system)
+                    .protocol(protocol)
+                    .options(options_override)
+                    .transport(scale.transport);
+  return average(
+      run_seeds(config, scale.seeds, progress_reporter(scale.progress)));
 }
 
 AveragedResults run_config(const SystemParams& system,
@@ -143,7 +160,11 @@ std::vector<AveragedResults> run_configs(const std::vector<ConfigJob>& jobs,
     const ConfigJob& job = jobs[static_cast<std::size_t>(i / seeds)];
     SimulationOptions opt = job.options;
     opt.seed = job.options.seed + static_cast<std::uint64_t>(i % seeds);
-    GuessSimulation sim(job.system, job.protocol, opt);
+    GuessSimulation sim(SimulationConfig()
+                            .system(job.system)
+                            .protocol(job.protocol)
+                            .options(opt)
+                            .transport(scale.transport));
     flat[static_cast<std::size_t>(i)] = sim.run();
   };
 
@@ -184,8 +205,11 @@ void print_header(std::ostream& os, const std::string& experiment,
      << " (warmup=" << scale.warmup << "s measure=" << scale.measure
      << "s seeds=" << scale.seeds
      << " threads=" << resolve_thread_count(scale.threads)
-     << " scheduler=" << sim::scheduler_name(scale.scheduler) << ")\n"
-     << "==============================================================\n";
+     << " scheduler=" << sim::scheduler_name(scale.scheduler) << ")\n";
+  if (scale.transport.kind != TransportParams::Kind::kSynchronous) {
+    os << "Transport: " << describe(scale.transport) << "\n";
+  }
+  os << "==============================================================\n";
 }
 
 }  // namespace guess::experiments

@@ -39,10 +39,19 @@ struct Scale {
   /// Event-queue backend (--scheduler={heap,calendar}); never changes
   /// results, only simulator speed.
   sim::Scheduler scheduler = sim::Scheduler::kHeap;
+  /// Message transport (--loss / --link-latency / --probe-timeout /
+  /// --max-retries switch on LossyTransport; default synchronous). Applied
+  /// uniformly to every configuration the harness runs, so any bench can be
+  /// re-run under fault injection without per-bench plumbing.
+  TransportParams transport;
 
   static Scale from_flags(const Flags& flags);
 
   SimulationOptions options() const;
+
+  /// The scale as a SimulationConfig (options + transport); callers chain
+  /// .system()/.protocol() on top.
+  SimulationConfig config() const;
 };
 
 /// A named query-side policy configuration — the paper's convention of

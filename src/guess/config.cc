@@ -1,0 +1,75 @@
+#include "guess/config.h"
+
+#include "common/check.h"
+
+namespace guess {
+
+const SimulationConfig& SimulationConfig::validate() const {
+  // System (Table 1).
+  GUESS_CHECK_MSG(system_.network_size >= 2,
+                  "network_size must be >= 2, got " << system_.network_size);
+  GUESS_CHECK_MSG(system_.num_desired_results >= 1,
+                  "num_desired_results must be >= 1");
+  GUESS_CHECK_MSG(system_.lifespan_multiplier > 0.0,
+                  "lifespan_multiplier must be > 0, got "
+                      << system_.lifespan_multiplier);
+  GUESS_CHECK_MSG(system_.query_rate >= 0.0,
+                  "query_rate must be >= 0, got " << system_.query_rate);
+  GUESS_CHECK_MSG(
+      system_.percent_bad_peers >= 0.0 && system_.percent_bad_peers <= 100.0,
+      "percent_bad_peers must be in [0, 100], got "
+          << system_.percent_bad_peers);
+  GUESS_CHECK_MSG(system_.percent_selfish_peers >= 0.0 &&
+                      system_.percent_selfish_peers <= 100.0,
+                  "percent_selfish_peers must be in [0, 100], got "
+                      << system_.percent_selfish_peers);
+  GUESS_CHECK_MSG(
+      system_.percent_bad_peers + system_.percent_selfish_peers <= 100.0,
+      "bad + selfish percentages exceed the population");
+  GUESS_CHECK_MSG(system_.burst_min >= 1 &&
+                      system_.burst_min <= system_.burst_max,
+                  "query burst bounds must satisfy 1 <= min <= max");
+
+  // Protocol (Table 2).
+  GUESS_CHECK_MSG(protocol_.ping_interval > 0.0,
+                  "ping_interval must be > 0, got "
+                      << protocol_.ping_interval);
+  GUESS_CHECK_MSG(protocol_.probe_interval > 0.0,
+                  "probe_interval must be > 0, got "
+                      << protocol_.probe_interval);
+  GUESS_CHECK_MSG(protocol_.cache_size >= 1, "cache_size must be >= 1");
+  GUESS_CHECK_MSG(protocol_.pong_size >= 1, "pong_size must be >= 1");
+  GUESS_CHECK_MSG(protocol_.intro_prob >= 0.0 && protocol_.intro_prob <= 1.0,
+                  "intro_prob must be in [0, 1], got "
+                      << protocol_.intro_prob);
+  GUESS_CHECK_MSG(protocol_.parallel_probes >= 1,
+                  "parallel_probes must be >= 1");
+  GUESS_CHECK_MSG(protocol_.backoff_duration >= 0.0,
+                  "backoff_duration must be >= 0");
+
+  // Transport (DESIGN.md §8).
+  GUESS_CHECK_MSG(transport_.loss >= 0.0 && transport_.loss <= 1.0,
+                  "transport loss must be in [0, 1], got "
+                      << transport_.loss);
+  GUESS_CHECK_MSG(transport_.probe_timeout > 0.0,
+                  "transport probe_timeout must be > 0, got "
+                      << transport_.probe_timeout);
+  GUESS_CHECK_MSG(transport_.link_latency >= 0.0,
+                  "transport link_latency must be >= 0, got "
+                      << transport_.link_latency);
+  GUESS_CHECK_MSG(transport_.retry_backoff >= 0.0,
+                  "transport retry_backoff must be >= 0, got "
+                      << transport_.retry_backoff);
+
+  // Run control.
+  GUESS_CHECK_MSG(options_.warmup >= 0.0, "warmup must be >= 0");
+  GUESS_CHECK_MSG(options_.measure >= 0.0, "measure must be >= 0");
+  GUESS_CHECK_MSG(options_.health_sample_interval > 0.0,
+                  "health_sample_interval must be > 0");
+  GUESS_CHECK_MSG(options_.connectivity_sample_interval > 0.0,
+                  "connectivity_sample_interval must be > 0");
+  GUESS_CHECK_MSG(options_.threads >= 0, "threads must be >= 0");
+  return *this;
+}
+
+}  // namespace guess

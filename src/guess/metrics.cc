@@ -10,6 +10,29 @@ double per_query(std::uint64_t value, std::uint64_t queries) {
 }
 }  // namespace
 
+TransportCounters& TransportCounters::operator+=(
+    const TransportCounters& other) {
+  messages_sent += other.messages_sent;
+  messages_lost += other.messages_lost;
+  timeouts += other.timeouts;
+  retransmits += other.retransmits;
+  late_replies += other.late_replies;
+  exchanges_failed += other.exchanges_failed;
+  return *this;
+}
+
+TransportCounters TransportCounters::operator-(
+    const TransportCounters& other) const {
+  TransportCounters out;
+  out.messages_sent = messages_sent - other.messages_sent;
+  out.messages_lost = messages_lost - other.messages_lost;
+  out.timeouts = timeouts - other.timeouts;
+  out.retransmits = retransmits - other.retransmits;
+  out.late_replies = late_replies - other.late_replies;
+  out.exchanges_failed = exchanges_failed - other.exchanges_failed;
+  return out;
+}
+
 double ClassMetrics::unsatisfied_rate() const {
   if (queries_completed == 0) return 0.0;
   return 1.0 - static_cast<double>(queries_satisfied) /

@@ -19,6 +19,24 @@ struct CacheHealth {
   std::size_t samples = 0;
 };
 
+/// Message-level accounting of the transport layer (DESIGN.md §8). All
+/// fields stay zero under the default SynchronousTransport except
+/// messages_sent; the fault-injection counters (losses, timeouts,
+/// retransmits, late replies) only move under LossyTransport.
+struct TransportCounters {
+  std::uint64_t messages_sent = 0;     ///< request attempts, incl. retransmits
+  std::uint64_t messages_lost = 0;     ///< request or reply legs dropped
+  std::uint64_t timeouts = 0;          ///< attempts that expired unanswered
+  std::uint64_t retransmits = 0;       ///< re-sends after a timed-out attempt
+  std::uint64_t late_replies = 0;      ///< replies landing after the timeout
+  std::uint64_t exchanges_failed = 0;  ///< exchanges that exhausted retries
+
+  TransportCounters& operator+=(const TransportCounters& other);
+  /// Counter-wise difference (for measurement-window snapshots); every field
+  /// of `other` must be <= the corresponding field of *this.
+  TransportCounters operator-(const TransportCounters& other) const;
+};
+
 /// Per-peer-class query metrics: the selfish-peer study (§3.3) compares
 /// honest and selfish peers' experience side by side.
 struct ClassMetrics {
@@ -67,6 +85,9 @@ struct SimulationResults {
   std::uint64_t deaths = 0;        ///< peer deaths during the whole run
   std::uint64_t pings_sent = 0;    ///< during measurement
   std::uint64_t pings_to_dead = 0; ///< during measurement
+
+  /// Transport-level message accounting during measurement (DESIGN.md §8).
+  TransportCounters transport;
 
   /// Queries abandoned because a creditless peer stalled past the limit
   /// (§3.3 probe payments; counted within queries_completed, unsatisfied).

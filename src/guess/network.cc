@@ -60,23 +60,65 @@ struct GuessNetwork::QueryStepFired {
   PeerId id;
   void operator()() const { net->query_step(id); }
 };
-GuessNetwork::GuessNetwork(SystemParams system, ProtocolParams protocol,
-                           MaliciousParams malicious, bool enable_queries,
+
+// Transport completion thunks. The static_asserts pin them to the
+// Transport::Completion inline buffer: issuing a ping or a probe never
+// allocates for the callback, under either transport.
+struct GuessNetwork::PingResolved {
+  GuessNetwork* net;
+  PeerId pinger;
+  PeerId target;
+  void operator()(DeliveryStatus status) const {
+    net->ping_resolved(pinger, target, status);
+  }
+};
+struct GuessNetwork::QueryProbeResolved {
+  GuessNetwork* net;
+  PeerId origin;
+  std::uint64_t token;
+  QueryExecution::Candidate candidate;
+  void operator()(DeliveryStatus status) const {
+    net->probe_resolved(origin, token, candidate, status);
+  }
+};
+GuessNetwork::GuessNetwork(const SimulationConfig& config,
                            sim::Simulator& simulator, Rng rng)
-    : system_(system),
-      protocol_(protocol),
-      enable_queries_(enable_queries),
+    : system_(config.system()),
+      protocol_(config.protocol()),
+      transport_params_(config.transport()),
+      enable_queries_(config.enable_queries()),
       simulator_(simulator),
       rng_(std::move(rng)),
-      content_(system.content),
-      query_stream_(content::BurstParams{system.query_rate, system.burst_min,
-                                         system.burst_max}),
-      poison_(malicious, system.bad_pong_behavior) {
-  GUESS_CHECK(system_.network_size >= 2);
+      content_(system_.content),
+      query_stream_(content::BurstParams{system_.query_rate,
+                                         system_.burst_min,
+                                         system_.burst_max}),
+      poison_(config.malicious(), system_.bad_pong_behavior) {
+  config.validate();
   churn_ = std::make_unique<churn::ChurnManager>(
       simulator_, churn::LifetimeDistribution(system_.lifespan_multiplier),
       rng_.split(), [this](PeerId id) { on_peer_death(id); });
+  // The RNG split for the transport happens only on the lossy path: the
+  // default SynchronousTransport draws nothing, so default-config runs
+  // consume the exact pre-transport random stream (bitwise determinism
+  // against the legacy API, asserted by the determinism tests).
+  if (transport_params_.kind == TransportParams::Kind::kLossy) {
+    transport_ = std::make_unique<LossyTransport>(transport_params_,
+                                                  simulator_, rng_.split());
+  } else {
+    transport_ = std::make_unique<SynchronousTransport>();
+  }
 }
+
+GuessNetwork::GuessNetwork(SystemParams system, ProtocolParams protocol,
+                           MaliciousParams malicious, bool enable_queries,
+                           sim::Simulator& simulator, Rng rng)
+    : GuessNetwork(SimulationConfig()
+                       .system(system)
+                       .protocol(protocol)
+                       .malicious(malicious)
+                       .enable_queries(enable_queries),
+                   simulator, std::move(rng)) {}
 
 GuessNetwork::~GuessNetwork() = default;
 
@@ -282,21 +324,34 @@ void GuessNetwork::do_ping(PeerId pinger_id) {
   auto entry = pinger->cache().select_best(protocol_.ping_probe, rng_);
   if (!entry) return;
   if (measuring_) ++results_.pings_sent;
+  // Under SynchronousTransport the completion runs inline, right here;
+  // under LossyTransport it runs when the exchange resolves (delivery or
+  // final timeout), and the pinger may have died or re-pinged meanwhile.
+  static_assert(Transport::Completion::stores_inline<PingResolved>());
+  transport_->exchange(MessageKind::kPing, pinger_id, entry->id,
+                       PingResolved{this, pinger_id, entry->id});
+}
 
-  Peer* target = find(entry->id);
+void GuessNetwork::ping_resolved(PeerId pinger_id, PeerId target_id,
+                                 DeliveryStatus status) {
+  Peer* pinger = find(pinger_id);
+  if (pinger == nullptr) return;  // died while the ping was in flight
+  Peer* target =
+      status == DeliveryStatus::kTimedOut ? nullptr : find(target_id);
   if (target == nullptr) {
-    // No response: evict the dead entry (§2.2).
-    pinger->cache().evict(entry->id);
+    // No response — the target is gone, or (lossy) every attempt timed out:
+    // either way the pinger believes it dead and evicts the entry (§2.2).
+    pinger->cache().evict(target_id);
     if (measuring_) ++results_.pings_to_dead;
     pinger->note_ping_result(/*dead=*/true, protocol_.adaptive_ping);
     trace(TraceCategory::kPing, [&](std::ostream& os) {
-      os << "ping peer=" << pinger_id << " -> " << entry->id
+      os << "ping peer=" << pinger_id << " -> " << target_id
          << " dead, evicted";
     });
     return;
   }
   trace(TraceCategory::kPing, [&](std::ostream& os) {
-    os << "ping peer=" << pinger_id << " -> " << entry->id << " alive";
+    os << "ping peer=" << pinger_id << " -> " << target_id << " alive";
   });
   pinger->note_ping_result(/*dead=*/false, protocol_.adaptive_ping);
 
@@ -407,6 +462,10 @@ void GuessNetwork::start_next_query(Peer& origin) {
       id, file, static_cast<std::uint32_t>(system_.num_desired_results),
       protocol_.query_probe, simulator_.now(), parallel,
       protocol_.reset_num_results || origin.first_hand_only());
+  // The token lets late transport completions (lossy mode) recognise that
+  // the query they belong to already finished — they are dropped instead of
+  // being misattributed to the origin's next query.
+  query->set_token(++next_query_token_);
   // Initial candidates: the origin's link cache (§2.3).
   for (const CacheEntry& entry : origin.cache().entries()) {
     query->add_candidate(entry, rng_);
@@ -432,15 +491,12 @@ void GuessNetwork::query_step(PeerId origin_id) {
   QueryExecution& query = *it->second;
   const PaymentParams& payments = protocol_.payments;
 
-  std::uint32_t results_before = query.results();
-  std::size_t probes_this_slot = 0;
-  bool creditless = false;
-
+  query.begin_slot();
   for (std::size_t k = 0; k < query.slot_parallel(); ++k) {
     // A creditless peer cannot probe this slot (§3.3 payments): the query
     // stalls until inbound probes earn more credit.
     if (payments.enabled && !origin->can_afford(payments.probe_cost)) {
-      creditless = true;
+      query.note_creditless();
       break;
     }
     // Pull the next candidate, skipping blacklisted targets and targets
@@ -453,101 +509,152 @@ void GuessNetwork::query_step(PeerId origin_id) {
         break;
     }
     if (!candidate) break;
-    PeerId target_id = candidate->entry.id;
-    PeerId referrer = candidate->source;
-    ++probes_this_slot;
+    query.note_probe_issued();
+    // Under SynchronousTransport the completion (probe_resolved) runs
+    // inline before exchange() returns, reproducing the pre-transport
+    // in-slot processing order; the slot cannot close mid-loop because
+    // end_issuing() has not run yet. `query` and `origin` stay valid: the
+    // query only finishes from the slot epilogue, and peers only die from
+    // churn events.
+    static_assert(Transport::Completion::stores_inline<QueryProbeResolved>());
+    transport_->exchange(
+        MessageKind::kQueryProbe, origin_id, candidate->entry.id,
+        QueryProbeResolved{this, origin_id, query.token(), *candidate});
+  }
+  if (query.end_issuing()) finish_slot(origin_id);
+}
 
-    Peer* target = find(target_id);
-    if (target == nullptr) {
-      // Timeout: wasted probe; believed dead, evicted (§2.2, §3.2). No
-      // credit changes hands — there is nobody to pay. A dead referral
-      // counts against whoever supplied the entry (§6.4 detection).
-      query.record_outcome(ProbeOutcome::kDead);
-      origin->cache().evict(target_id);
-      if (origin->note_referral(referrer, /*bad=*/true,
-                                protocol_.detection)) {
-        origin->cache().evict(referrer);
-        trace(TraceCategory::kAttack, [&](std::ostream& os) {
-          os << "blacklist peer=" << origin_id << " dead-referrer="
-             << referrer;
-        });
-      }
-      continue;
-    }
+void GuessNetwork::probe_resolved(PeerId origin_id, std::uint64_t token,
+                                  const QueryExecution::Candidate& candidate,
+                                  DeliveryStatus status) {
+  auto it = active_queries_.find(origin_id);
+  if (it == active_queries_.end() || it->second->token() != token) {
+    // Lossy mode only: the query this probe belonged to already finished
+    // (or its origin died) while the exchange was in flight.
+    trace(TraceCategory::kQuery, [&](std::ostream& os) {
+      os << "probe resolution dropped peer=" << origin_id
+         << " stale-token=" << token;
+    });
+    return;
+  }
+  Peer* origin = find(origin_id);
+  GUESS_CHECK(origin != nullptr);  // death erases the active query
+  QueryExecution& query = *it->second;
+  PeerId target_id = candidate.entry.id;
+  PeerId referrer = candidate.source;
 
-    target->count_received_probe();
-    if (!target->malicious() &&
-        !target->accept_probe(simulator_.now(),
-                              system_.max_probes_per_second)) {
-      // Overloaded: the probe is dropped. Without backoff the prober treats
-      // the silence as death and evicts — the implicit throttle of §6.3.
-      query.record_outcome(ProbeOutcome::kRefused);
-      if (protocol_.do_backoff) {
-        origin->set_backoff(target_id,
-                            simulator_.now() + protocol_.backoff_duration);
-      } else {
-        origin->cache().evict(target_id);
-      }
-      continue;
-    }
-
-    query.record_outcome(ProbeOutcome::kGood);
-    if (payments.enabled) {
-      // The probe was served: prober pays, server earns (§3.3).
-      origin->spend_credit(payments.probe_cost);
-      target->earn_credit(payments.serve_reward, payments.credit_cap);
-    }
-    // All probes of a slot are in flight together: a target cannot know the
-    // query was satisfied by a concurrent probe, so it answers as if the
-    // remaining need were at least one.
-    std::uint32_t needed = std::max<std::uint32_t>(
-        1, static_cast<std::uint32_t>(system_.num_desired_results) -
-               std::min<std::uint32_t>(
-                   query.results(),
-                   static_cast<std::uint32_t>(system_.num_desired_results)));
-    std::uint32_t results = target->answer_query(query.file(), needed);
-    query.add_results(results);
-
-    // §6.4 detection: an entry with an outsized NumRes claim whose peer
-    // returns nothing marks the peer itself as a liar. Only the liar is
-    // charged — honest peers forward poisoned claims they cannot verify, so
-    // blaming referrers here would cannibalize the honest overlay. Honest
-    // entries claim 0/1 results, so false positives are rare.
-    bool lied =
-        results == 0 &&
-        candidate->entry.num_res >= protocol_.detection.lie_claim_threshold;
-    if (origin->note_referral(target_id, lied, protocol_.detection)) {
-      origin->cache().evict(target_id);
+  // The transport reports silence (kTimedOut) without judging liveness; a
+  // delivered probe may still land on an address whose peer has since left.
+  // Both look identical to the prober: no reply.
+  Peer* target =
+      status == DeliveryStatus::kTimedOut ? nullptr : find(target_id);
+  if (target == nullptr) {
+    // Timeout: wasted probe; believed dead, evicted (§2.2, §3.2). No
+    // credit changes hands — there is nobody to pay. A dead referral
+    // counts against whoever supplied the entry (§6.4 detection).
+    query.record_outcome(ProbeOutcome::kDead);
+    origin->cache().evict(target_id);
+    if (origin->note_referral(referrer, /*bad=*/true, protocol_.detection)) {
+      origin->cache().evict(referrer);
       trace(TraceCategory::kAttack, [&](std::ostream& os) {
-        os << "blacklist peer=" << origin_id << " liar=" << target_id
-           << (origin->first_hand_only() ? " (first-hand mode)" : "");
+        os << "blacklist peer=" << origin_id << " dead-referrer="
+           << referrer;
       });
     }
-
-    // Interaction bookkeeping (§2.1): TS on both sides, NumRes reset by the
-    // prober according to this response.
-    origin->cache().touch(target_id, simulator_.now());
-    origin->cache().set_num_res(target_id, results);
-    target->cache().touch(origin_id, simulator_.now());
-    maybe_introduce(*target, *origin);
-
-    // A responder that proved useful is a qualifying query-cache entry
-    // (§2.3): offer it to the link cache with its first-hand record.
-    if (results > 0 && !origin->cache().contains(target_id)) {
-      origin->cache().offer(
-          CacheEntry{target_id, simulator_.now(), target->num_files(),
-                     results, /*first_hand=*/true},
-          protocol_.cache_replacement, rng_);
-    }
-
-    // Every probed peer answers with a Pong (§2.3): entries feed the query
-    // cache and, subject to CacheReplacement, the link cache.
-    std::vector<CacheEntry> pong = target->malicious()
-        ? poison_.make_pong(target_id, protocol_.pong_size, simulator_.now(),
-                            rng_)
-        : make_pong(*target, protocol_.query_pong);
-    offer_query_pong(*origin, query, target_id, std::move(pong));
+    if (query.note_probe_resolved()) finish_slot(origin_id);
+    return;
   }
+
+  target->count_received_probe();
+  if (!target->malicious() &&
+      !target->accept_probe(simulator_.now(),
+                            system_.max_probes_per_second)) {
+    // Overloaded: the probe is dropped. Without backoff the prober treats
+    // the silence as death and evicts — the implicit throttle of §6.3.
+    query.record_outcome(ProbeOutcome::kRefused);
+    if (protocol_.do_backoff) {
+      origin->set_backoff(target_id,
+                          simulator_.now() + protocol_.backoff_duration);
+    } else {
+      origin->cache().evict(target_id);
+    }
+    if (query.note_probe_resolved()) finish_slot(origin_id);
+    return;
+  }
+
+  query.record_outcome(ProbeOutcome::kGood);
+  if (protocol_.payments.enabled) {
+    // The probe was served: prober pays, server earns (§3.3).
+    origin->spend_credit(protocol_.payments.probe_cost);
+    target->earn_credit(protocol_.payments.serve_reward,
+                        protocol_.payments.credit_cap);
+  }
+  // All probes of a slot are in flight together: a target cannot know the
+  // query was satisfied by a concurrent probe, so it answers as if the
+  // remaining need were at least one.
+  std::uint32_t needed = std::max<std::uint32_t>(
+      1, static_cast<std::uint32_t>(system_.num_desired_results) -
+             std::min<std::uint32_t>(
+                 query.results(),
+                 static_cast<std::uint32_t>(system_.num_desired_results)));
+  std::uint32_t results = target->answer_query(query.file(), needed);
+  query.add_results(results);
+
+  // §6.4 detection: an entry with an outsized NumRes claim whose peer
+  // returns nothing marks the peer itself as a liar. Only the liar is
+  // charged — honest peers forward poisoned claims they cannot verify, so
+  // blaming referrers here would cannibalize the honest overlay. Honest
+  // entries claim 0/1 results, so false positives are rare.
+  bool lied =
+      results == 0 &&
+      candidate.entry.num_res >= protocol_.detection.lie_claim_threshold;
+  if (origin->note_referral(target_id, lied, protocol_.detection)) {
+    origin->cache().evict(target_id);
+    trace(TraceCategory::kAttack, [&](std::ostream& os) {
+      os << "blacklist peer=" << origin_id << " liar=" << target_id
+         << (origin->first_hand_only() ? " (first-hand mode)" : "");
+    });
+  }
+
+  // Interaction bookkeeping (§2.1): TS on both sides, NumRes reset by the
+  // prober according to this response.
+  origin->cache().touch(target_id, simulator_.now());
+  origin->cache().set_num_res(target_id, results);
+  target->cache().touch(origin_id, simulator_.now());
+  maybe_introduce(*target, *origin);
+
+  // A responder that proved useful is a qualifying query-cache entry
+  // (§2.3): offer it to the link cache with its first-hand record.
+  if (results > 0 && !origin->cache().contains(target_id)) {
+    origin->cache().offer(
+        CacheEntry{target_id, simulator_.now(), target->num_files(),
+                   results, /*first_hand=*/true},
+        protocol_.cache_replacement, rng_);
+  }
+
+  // Every probed peer answers with a Pong (§2.3): entries feed the query
+  // cache and, subject to CacheReplacement, the link cache.
+  std::vector<CacheEntry> pong = target->malicious()
+      ? poison_.make_pong(target_id, protocol_.pong_size, simulator_.now(),
+                          rng_)
+      : make_pong(*target, protocol_.query_pong);
+  offer_query_pong(*origin, query, target_id, std::move(pong));
+
+  if (query.note_probe_resolved()) finish_slot(origin_id);
+}
+
+// Slot epilogue: runs when every probe of the slot has resolved (inline at
+// the end of query_step under SynchronousTransport; at the last transport
+// completion under LossyTransport).
+void GuessNetwork::finish_slot(PeerId origin_id) {
+  auto it = active_queries_.find(origin_id);
+  GUESS_CHECK(it != active_queries_.end());
+  Peer* origin = find(origin_id);
+  GUESS_CHECK(origin != nullptr);
+  QueryExecution& query = *it->second;
+  const PaymentParams& payments = protocol_.payments;
+  std::size_t probes_this_slot = query.slot_probes_issued();
+  bool creditless = query.slot_creditless();
 
   // Satisfaction and the probe cap are evaluated at the END of the slot:
   // every probe of the slot was already in flight (this is what makes
@@ -578,7 +685,7 @@ void GuessNetwork::query_step(PeerId origin_id) {
   } else {
     query.reset_stall();
   }
-  query.note_slot(query.results() > results_before,
+  query.note_slot(query.results() > query.slot_results_baseline(),
                   protocol_.adaptive_parallel,
                   protocol_.adaptive_parallel_trigger,
                   protocol_.adaptive_parallel_max);
@@ -639,6 +746,9 @@ void GuessNetwork::begin_measurement() {
   // Loads are lifetime counts; restrict the Figure 13 sample to peers that
   // exist during measurement by dropping earlier corpses.
   dead_peer_loads_.clear();
+  // Transport counters are lifetime totals too: snapshot here and report
+  // the measurement-window delta in collect_results().
+  transport_baseline_ = transport_->counters();
 }
 
 void GuessNetwork::sample_cache_health() {
@@ -682,12 +792,7 @@ void GuessNetwork::sample_cache_health() {
 
 void GuessNetwork::for_each_live_edge(
     const std::function<void(PeerId, PeerId)>& fn) const {
-  for (PeerId id : alive_ids_) {
-    const Peer& peer = *peers_.at(id);
-    for (const CacheEntry& entry : peer.cache().entries()) {
-      if (alive(entry.id)) fn(id, entry.id);
-    }
-  }
+  visit_live_edges(fn);
 }
 
 std::size_t GuessNetwork::largest_component() const {
@@ -697,7 +802,7 @@ std::size_t GuessNetwork::largest_component() const {
   for (std::size_t i = 0; i < alive_ids_.size(); ++i)
     dense.emplace(alive_ids_[i], i);
   UnionFind uf(alive_ids_.size());
-  for_each_live_edge([&](PeerId from, PeerId to) {
+  visit_live_edges([&](PeerId from, PeerId to) {
     uf.unite(dense.at(from), dense.at(to));
   });
   return uf.largest();
@@ -711,6 +816,7 @@ SimulationResults GuessNetwork::collect_results() {
   SimulationResults out = results_;
   out.deaths = churn_->deaths();
   out.network_size = system_.network_size;
+  out.transport = transport_->counters() - transport_baseline_;
   // Figure 13 loads: every honest peer that existed during measurement.
   for (const auto& [id, load] : dead_peer_loads_) {
     (void)id;

@@ -1,10 +1,14 @@
 // GuessNetwork: the population of peers, message exchange, churn, workload,
 // and metric collection. This is the engine behind GuessSimulation.
 //
-// All message exchange is synchronous within a simulator event (a probe and
-// its reply happen "within the timeout", per the paper's §5.1 assumption);
-// time passes between probes through the probe-slot scheduling in
-// query_step().
+// Message exchange flows through a pluggable Transport (DESIGN.md §8). The
+// default SynchronousTransport resolves every probe/reply round trip inline
+// within the sending event — the paper's §5.1 assumption that a probe and
+// its reply complete "within the timeout" — while LossyTransport injects
+// loss, latency, timeouts and retries, resolving exchanges through
+// scheduled events. Time passes between probes through the probe-slot
+// scheduling in query_step(); a slot's epilogue runs when its last probe
+// resolves.
 #pragma once
 
 #include <functional>
@@ -19,17 +23,29 @@
 #include "common/trace.h"
 #include "content/content_model.h"
 #include "content/query_stream.h"
+#include "guess/config.h"
 #include "guess/malicious.h"
 #include "guess/metrics.h"
 #include "guess/params.h"
 #include "guess/peer.h"
 #include "guess/query_execution.h"
+#include "guess/transport.h"
 #include "sim/simulator.h"
 
 namespace guess {
 
 class GuessNetwork {
  public:
+  /// Primary constructor: the validated SimulationConfig surface. Uses the
+  /// config's system/protocol/malicious/transport blocks and
+  /// enable_queries; run control (warmup, windows, sampling) stays with the
+  /// caller.
+  GuessNetwork(const SimulationConfig& config, sim::Simulator& simulator,
+               Rng rng);
+
+  /// Deprecated positional shim (pre-SimulationConfig API): builds a config
+  /// with the default SynchronousTransport. Prefer the SimulationConfig
+  /// constructor.
   /// @param enable_queries  false for the maintenance-only runs of §6.1
   ///                        (Figures 6 and 7 isolate Ping traffic)
   GuessNetwork(SystemParams system, ProtocolParams protocol,
@@ -74,6 +90,21 @@ class GuessNetwork {
   const content::ContentModel& content() const { return content_; }
 
   /// Visit every conceptual-overlay edge (live owner -> live target).
+  /// The visitor is invoked as visit(owner, target) and is templated so hot
+  /// callers (largest_component, connectivity sampling) pay no type-erasure
+  /// dispatch per edge.
+  template <typename Visitor>
+  void visit_live_edges(Visitor&& visit) const {
+    for (PeerId id : alive_ids_) {
+      const Peer& peer = *peers_.at(id);
+      for (const CacheEntry& entry : peer.cache().entries()) {
+        if (alive(entry.id)) visit(id, entry.id);
+      }
+    }
+  }
+
+  /// Deprecated type-erased shim over visit_live_edges (kept for out-of-tree
+  /// callers built against the std::function signature).
   void for_each_live_edge(
       const std::function<void(PeerId, PeerId)>& fn) const;
 
@@ -86,8 +117,15 @@ class GuessNetwork {
 
   /// Attach an event tracer (nullptr detaches). The tracer must outlive the
   /// network. Zero overhead beyond one branch per trace point when the
-  /// category is off.
-  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+  /// category is off. Forwards to the transport (kTransport category).
+  void set_tracer(Tracer* tracer) {
+    tracer_ = tracer;
+    transport_->set_tracer(tracer);
+  }
+
+  /// The message transport in use (tests inspect counters / in-flight).
+  const Transport& transport() const { return *transport_; }
+  const TransportParams& transport_params() const { return transport_params_; }
 
  private:
   // --- event thunks ---
@@ -98,6 +136,12 @@ class GuessNetwork {
   struct PingFired;
   struct BurstFired;
   struct QueryStepFired;
+
+  // --- transport completion thunks ---
+  // Callables handed to Transport::exchange. Named structs so network.cc can
+  // static_assert they fit the Transport::Completion inline buffer.
+  struct PingResolved;
+  struct QueryProbeResolved;
 
   // --- lifecycle ---
   PeerId spawn_peer(bool malicious, bool selfish, bool initial);
@@ -113,6 +157,8 @@ class GuessNetwork {
 
   // --- protocol messages ---
   void do_ping(PeerId pinger_id);
+  void ping_resolved(PeerId pinger_id, PeerId target_id,
+                     DeliveryStatus status);
   void maybe_reseed_from_pong_server(Peer& peer);
   std::vector<CacheEntry> make_pong(Peer& responder, Policy policy);
   void process_pong_entries(Peer& receiver, PeerId source,
@@ -123,6 +169,10 @@ class GuessNetwork {
   // --- queries ---
   void start_next_query(Peer& origin);
   void query_step(PeerId origin_id);
+  void probe_resolved(PeerId origin_id, std::uint64_t token,
+                      const QueryExecution::Candidate& candidate,
+                      DeliveryStatus status);
+  void finish_slot(PeerId origin_id);
   void finish_query(Peer& origin, QueryExecution& query, bool satisfied);
   void offer_query_pong(Peer& origin, QueryExecution& query, PeerId source,
                         std::vector<CacheEntry> entries);
@@ -143,6 +193,7 @@ class GuessNetwork {
 
   SystemParams system_;
   ProtocolParams protocol_;
+  TransportParams transport_params_;
   bool enable_queries_;
   sim::Simulator& simulator_;
   Rng rng_;
@@ -151,6 +202,7 @@ class GuessNetwork {
   content::QueryStream query_stream_;
   PoisonGenerator poison_;
   std::unique_ptr<churn::ChurnManager> churn_;
+  std::unique_ptr<Transport> transport_;
 
   PeerId next_id_ = 0;
   std::unordered_map<PeerId, std::unique_ptr<Peer>> peers_;
@@ -158,9 +210,11 @@ class GuessNetwork {
   std::unordered_map<PeerId, std::size_t> alive_index_;
 
   std::unordered_map<PeerId, std::unique_ptr<QueryExecution>> active_queries_;
+  std::uint64_t next_query_token_ = 0;
 
   bool measuring_ = false;
   SimulationResults results_;
+  TransportCounters transport_baseline_;
   std::unordered_map<PeerId, std::uint64_t> dead_peer_loads_;
   Tracer* tracer_ = nullptr;
 };

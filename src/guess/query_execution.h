@@ -112,6 +112,60 @@ class QueryExecution {
   void reset_stall() { stalled_slots_ = 0; }
   std::size_t stalled_slots() const { return stalled_slots_; }
 
+  // --- transport-driven slot lifecycle ---
+  //
+  // Probes travel through a Transport and may resolve asynchronously
+  // (LossyTransport), so the end-of-slot evaluation fires when the last
+  // probe of the slot resolves, not when the issue loop returns. The
+  // bracket: begin_slot() -> note_probe_issued()* -> end_issuing(), with
+  // note_probe_resolved() per completion; whichever of end_issuing /
+  // note_probe_resolved sees the slot drained (returns true) runs the slot
+  // epilogue. Under SynchronousTransport completions run inside the issue
+  // loop, so end_issuing() always closes the slot — reproducing the
+  // pre-transport in-event ordering exactly.
+
+  /// Open a probe slot: snapshot the result count (for note_slot's
+  /// any-results decision) and reset the per-slot issue accounting.
+  void begin_slot() {
+    slot_results_baseline_ = results_;
+    slot_probes_issued_ = 0;
+    slot_creditless_ = false;
+    slot_outstanding_ = 0;
+    slot_issuing_ = true;
+  }
+  void note_probe_issued() {
+    ++slot_probes_issued_;
+    ++slot_outstanding_;
+  }
+  void note_creditless() { slot_creditless_ = true; }
+
+  /// Close the issue loop. @returns true if every probe of the slot has
+  /// already resolved (run the slot epilogue now).
+  bool end_issuing() {
+    slot_issuing_ = false;
+    return slot_outstanding_ == 0;
+  }
+
+  /// One probe of the current slot resolved. @returns true if it was the
+  /// last one and the issue loop has finished (run the slot epilogue now).
+  bool note_probe_resolved() {
+    --slot_outstanding_;
+    return !slot_issuing_ && slot_outstanding_ == 0;
+  }
+
+  std::size_t slot_probes_issued() const { return slot_probes_issued_; }
+  bool slot_creditless() const { return slot_creditless_; }
+  std::uint32_t slot_results_baseline() const {
+    return slot_results_baseline_;
+  }
+  std::size_t slot_outstanding() const { return slot_outstanding_; }
+
+  /// Network-assigned token matching in-flight transport completions to
+  /// this execution (a late completion whose token mismatches the origin's
+  /// current query is dropped — the query it belonged to already finished).
+  void set_token(std::uint64_t token) { token_ = token; }
+  std::uint64_t token() const { return token_; }
+
  private:
   struct Scored {
     double score;
@@ -140,6 +194,14 @@ class QueryExecution {
   std::size_t parallel_;
   std::size_t resultless_slots_ = 0;
   std::size_t stalled_slots_ = 0;
+
+  // Transport-driven slot state (see the slot-lifecycle section above).
+  std::uint32_t slot_results_baseline_ = 0;
+  std::size_t slot_probes_issued_ = 0;
+  std::size_t slot_outstanding_ = 0;
+  bool slot_creditless_ = false;
+  bool slot_issuing_ = false;
+  std::uint64_t token_ = 0;
 };
 
 }  // namespace guess

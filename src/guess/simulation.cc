@@ -10,41 +10,46 @@
 
 namespace guess {
 
+GuessSimulation::GuessSimulation(const SimulationConfig& config)
+    : config_(config.validate()), simulator_(config_.options().scheduler) {
+  network_ =
+      std::make_unique<GuessNetwork>(config_, simulator_, Rng(config_.seed()));
+}
+
 GuessSimulation::GuessSimulation(SystemParams system, ProtocolParams protocol,
                                  SimulationOptions options)
-    : options_(options), simulator_(options.scheduler) {
-  network_ = std::make_unique<GuessNetwork>(
-      system, protocol, options.malicious, options.enable_queries,
-      simulator_, Rng(options.seed));
-}
+    : GuessSimulation(
+          SimulationConfig().system(system).protocol(protocol).options(
+              options)) {}
 
 GuessSimulation::~GuessSimulation() = default;
 
 SimulationResults GuessSimulation::run() {
   GUESS_CHECK_MSG(!ran_, "GuessSimulation::run() called twice");
   ran_ = true;
+  const SimulationOptions& options = config_.options();
 
   network_->initialize();
-  simulator_.run_until(options_.warmup);
+  simulator_.run_until(options.warmup);
   network_->begin_measurement();
 
-  sim::Time end = options_.warmup + options_.measure;
+  sim::Time end = options.warmup + options.measure;
   // Periodic samplers, phased to land inside the measurement window.
   network_->sample_cache_health();
-  simulator_.every(options_.health_sample_interval,
-                   options_.health_sample_interval,
+  simulator_.every(options.health_sample_interval,
+                   options.health_sample_interval,
                    [this]() { network_->sample_cache_health(); });
-  if (options_.sample_connectivity) {
-    simulator_.every(options_.connectivity_sample_interval,
-                     options_.connectivity_sample_interval,
+  if (options.sample_connectivity) {
+    simulator_.every(options.connectivity_sample_interval,
+                     options.connectivity_sample_interval,
                      [this]() { network_->sample_connectivity(); });
   }
   simulator_.run_until(end);
-  if (options_.sample_connectivity) network_->sample_connectivity();
+  if (options.sample_connectivity) network_->sample_connectivity();
 
   SimulationResults results = network_->collect_results();
-  results.measure_duration = options_.measure;
-  if (options_.sample_connectivity) {
+  results.measure_duration = options.measure;
+  if (options.sample_connectivity) {
     // End-of-run snapshot, including the strong component the one-way
     // pointer structure (§2.1) makes interesting.
     analysis::OverlayGraph graph;
@@ -59,18 +64,19 @@ SimulationResults GuessSimulation::run() {
 }
 
 std::vector<SimulationResults> run_seeds(
-    const SystemParams& system, const ProtocolParams& protocol,
-    SimulationOptions options, int num_seeds,
+    const SimulationConfig& config, int num_seeds,
     const std::function<void(int, int)>& progress) {
   GUESS_CHECK(num_seeds >= 1);
-  auto run_one = [&](int i) {
-    SimulationOptions opt = options;
-    opt.seed = options.seed + static_cast<std::uint64_t>(i);
-    GuessSimulation sim(system, protocol, opt);
+  config.validate();
+  std::uint64_t base_seed = config.seed();
+  auto run_one = [&, base_seed](int i) {
+    SimulationConfig replication = config;
+    replication.seed(base_seed + static_cast<std::uint64_t>(i));
+    GuessSimulation sim(replication);
     return sim.run();
   };
 
-  int threads = experiments::resolve_thread_count(options.threads);
+  int threads = experiments::resolve_thread_count(config.options().threads);
   if (threads == 1 || num_seeds == 1) {
     std::vector<SimulationResults> runs;
     runs.reserve(static_cast<std::size_t>(num_seeds));
@@ -88,6 +94,15 @@ std::vector<SimulationResults> run_seeds(
 
   experiments::ParallelRunner runner(threads);
   return runner.map<SimulationResults>(num_seeds, run_one, progress);
+}
+
+std::vector<SimulationResults> run_seeds(
+    const SystemParams& system, const ProtocolParams& protocol,
+    SimulationOptions options, int num_seeds,
+    const std::function<void(int, int)>& progress) {
+  return run_seeds(
+      SimulationConfig().system(system).protocol(protocol).options(options),
+      num_seeds, progress);
 }
 
 AveragedResults average(const std::vector<SimulationResults>& runs) {

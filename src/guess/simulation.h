@@ -3,20 +3,23 @@
 // Wraps simulator construction, network setup, warmup, periodic sampling and
 // result collection into one call:
 //
-//   guess::SystemParams system;          // Table 1 defaults
-//   guess::ProtocolParams protocol;      // Table 2 defaults
-//   guess::SimulationOptions options;
-//   guess::GuessSimulation sim(system, protocol, options);
+//   auto config = guess::SimulationConfig()   // Table 1/2 defaults
+//                     .seed(7)
+//                     .transport(guess::TransportParams::lossy(0.05));
+//   guess::GuessSimulation sim(config);       // validates on construction
 //   guess::SimulationResults results = sim.run();
 //
-// For step-by-step control (tests, examples that drive individual queries),
-// construct the pieces directly: sim::Simulator + GuessNetwork.
+// SimulationOptions (the run-control block) and SimulationConfig live in
+// guess/config.h. For step-by-step control (tests, examples that drive
+// individual queries), construct the pieces directly: sim::Simulator +
+// GuessNetwork.
 #pragma once
 
 #include <functional>
 #include <memory>
 #include <vector>
 
+#include "guess/config.h"
 #include "guess/metrics.h"
 #include "guess/network.h"
 #include "guess/params.h"
@@ -24,45 +27,14 @@
 
 namespace guess {
 
-struct SimulationOptions {
-  std::uint64_t seed = 42;
-
-  /// Simulated seconds before measurement starts (caches reach steady
-  /// state; the paper measures steady-state behaviour).
-  sim::Duration warmup = 600.0;
-
-  /// Simulated seconds of the measurement window.
-  sim::Duration measure = 2400.0;
-
-  /// False for the §6.1 maintenance-only runs (Figures 6/7 isolate pings).
-  bool enable_queries = true;
-
-  /// Interval between cache-health samples (Table 3, Figures 18/21).
-  sim::Duration health_sample_interval = 60.0;
-
-  /// When true, also sample the conceptual overlay's largest connected
-  /// component every connectivity_sample_interval (Figures 6/7).
-  bool sample_connectivity = false;
-  sim::Duration connectivity_sample_interval = 120.0;
-
-  /// Worker threads for run_seeds (replications run concurrently, one per
-  /// thread). 0 = auto: the GUESS_THREADS environment variable when set,
-  /// else all hardware threads. 1 = serial in the calling thread. Thread
-  /// count never changes results — replications are independent and are
-  /// returned in seed order (see DESIGN.md "Threading model").
-  int threads = 0;
-
-  /// Event-queue backend (--scheduler={heap,calendar}). Both schedulers pop
-  /// events in identical (time, seq) order, so the choice never changes
-  /// results — only how fast the simulator processes events (see DESIGN.md
-  /// "Event core").
-  sim::Scheduler scheduler = sim::Scheduler::kHeap;
-
-  MaliciousParams malicious;
-};
-
 class GuessSimulation {
  public:
+  /// Primary constructor: validates the config (throws CheckError on
+  /// nonsense) and builds the simulator + network from it.
+  explicit GuessSimulation(const SimulationConfig& config);
+
+  /// Deprecated positional shim (pre-SimulationConfig API): equivalent to
+  /// the config constructor with the default SynchronousTransport.
   GuessSimulation(SystemParams system, ProtocolParams protocol,
                   SimulationOptions options);
   ~GuessSimulation();
@@ -78,23 +50,29 @@ class GuessSimulation {
   /// at the network after (or instead of) run().
   GuessNetwork& network() { return *network_; }
   sim::Simulator& simulator() { return simulator_; }
-  const SimulationOptions& options() const { return options_; }
+  const SimulationOptions& options() const { return config_.options(); }
+  const SimulationConfig& config() const { return config_; }
 
  private:
-  SimulationOptions options_;
+  SimulationConfig config_;
   sim::Simulator simulator_;
   std::unique_ptr<GuessNetwork> network_;
   bool ran_ = false;
 };
 
-/// Convenience for sweeps: run one simulation per seed (seed, seed+1, ...)
-/// and return the per-run results, in seed order.
+/// Convenience for sweeps: run one simulation per seed (config.seed(),
+/// +1, ...) and return the per-run results, in seed order.
 ///
-/// Replications execute on a worker pool of options.threads threads (0 =
+/// Replications execute on a worker pool of options().threads threads (0 =
 /// auto; see SimulationOptions::threads). Results are bitwise-identical to
 /// the serial loop for any thread count. `progress`, when set, is called
 /// after each completed replication with (completed, num_seeds); it runs on
 /// worker threads, serialized, in completion order.
+std::vector<SimulationResults> run_seeds(
+    const SimulationConfig& config, int num_seeds,
+    const std::function<void(int, int)>& progress = {});
+
+/// Deprecated positional shim over the SimulationConfig overload.
 std::vector<SimulationResults> run_seeds(
     const SystemParams& system, const ProtocolParams& protocol,
     SimulationOptions options, int num_seeds,

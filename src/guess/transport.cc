@@ -1,0 +1,209 @@
+#include "guess/transport.h"
+
+#include "common/check.h"
+
+namespace guess {
+
+namespace {
+const char* kind_name(MessageKind kind) {
+  return kind == MessageKind::kPing ? "ping" : "probe";
+}
+}  // namespace
+
+std::string describe(const TransportParams& params) {
+  if (params.kind == TransportParams::Kind::kSynchronous) {
+    return "Synchronous (in-event, §5.1)";
+  }
+  std::ostringstream os;
+  os << "Lossy loss=" << params.loss << " latency=" << params.link_latency
+     << "s ("
+     << (params.latency_distribution == LatencyDistribution::kFixed
+             ? "fixed"
+             : params.latency_distribution == LatencyDistribution::kUniform
+                   ? "uniform"
+                   : "exponential")
+     << ") timeout=" << params.probe_timeout
+     << "s retries=" << params.max_retries << " backoff="
+     << (params.backoff == TransportParams::Backoff::kFixed ? "fixed"
+                                                            : "exponential")
+     << "/" << params.retry_backoff << "s";
+  return os.str();
+}
+
+// --- SynchronousTransport ---------------------------------------------------
+
+void SynchronousTransport::exchange(MessageKind kind, PeerId from, PeerId to,
+                                    Completion on_complete) {
+  (void)kind;
+  (void)from;
+  (void)to;
+  ++counters_.messages_sent;
+  on_complete(DeliveryStatus::kDelivered);
+}
+
+// --- LossyTransport ---------------------------------------------------------
+
+// Event thunks. Both are three small words; the static_asserts pin them to
+// the event queue's inline buffer so fault-injection timeouts/retries never
+// allocate inside the scheduler (the exchange state itself lives in the
+// transport's slab).
+struct LossyTransport::AttemptResolved {
+  LossyTransport* transport;
+  std::uint32_t slot;
+  bool delivered;
+  void operator()() const { transport->attempt_resolved(slot, delivered); }
+};
+struct LossyTransport::ResendFired {
+  LossyTransport* transport;
+  std::uint32_t slot;
+  void operator()() const { transport->send_attempt(slot); }
+};
+
+LossyTransport::LossyTransport(TransportParams params,
+                               sim::Simulator& simulator, Rng rng)
+    : params_(params), simulator_(simulator), rng_(std::move(rng)) {
+  static_assert(
+      sim::EventQueue::Callback::stores_inline<AttemptResolved>());
+  static_assert(sim::EventQueue::Callback::stores_inline<ResendFired>());
+  GUESS_CHECK_MSG(params_.kind == TransportParams::Kind::kLossy,
+                  "LossyTransport constructed with non-lossy params");
+  GUESS_CHECK(params_.loss >= 0.0 && params_.loss <= 1.0);
+  GUESS_CHECK(params_.probe_timeout > 0.0);
+  GUESS_CHECK(params_.link_latency >= 0.0);
+  GUESS_CHECK(params_.retry_backoff >= 0.0);
+}
+
+std::uint32_t LossyTransport::acquire_slot() {
+  if (free_head_ != kNilSlot) {
+    std::uint32_t slot = free_head_;
+    free_head_ = slab_[slot].next_free;
+    return slot;
+  }
+  slab_.emplace_back();
+  return static_cast<std::uint32_t>(slab_.size() - 1);
+}
+
+void LossyTransport::release_slot(std::uint32_t slot) {
+  PendingExchange& p = slab_[slot];
+  p.on_complete = nullptr;  // drop the captured state eagerly
+  p.next_free = free_head_;
+  free_head_ = slot;
+}
+
+void LossyTransport::exchange(MessageKind kind, PeerId from, PeerId to,
+                              Completion on_complete) {
+  std::uint32_t slot = acquire_slot();
+  PendingExchange& p = slab_[slot];
+  p.kind = kind;
+  p.from = from;
+  p.to = to;
+  p.attempt = 0;
+  p.on_complete = std::move(on_complete);
+  ++in_flight_;
+  send_attempt(slot);
+}
+
+sim::Duration LossyTransport::draw_latency() {
+  switch (params_.latency_distribution) {
+    case LatencyDistribution::kFixed:
+      return params_.link_latency;
+    case LatencyDistribution::kUniform:
+      return rng_.uniform(0.0, 2.0 * params_.link_latency);
+    case LatencyDistribution::kExponential:
+      return params_.link_latency <= 0.0
+                 ? 0.0
+                 : rng_.exponential(1.0 / params_.link_latency);
+  }
+  return params_.link_latency;
+}
+
+sim::Duration LossyTransport::backoff_delay(std::uint32_t attempt) const {
+  if (params_.backoff == TransportParams::Backoff::kFixed) {
+    return params_.retry_backoff;
+  }
+  // Exponential: attempt k (1-based) already timed out, so the k+1-th send
+  // waits retry_backoff * 2^(k-1).
+  sim::Duration delay = params_.retry_backoff;
+  for (std::uint32_t i = 1; i < attempt; ++i) delay *= 2.0;
+  return delay;
+}
+
+void LossyTransport::send_attempt(std::uint32_t slot) {
+  PendingExchange& p = slab_[slot];
+  ++p.attempt;
+  ++counters_.messages_sent;
+
+  // An attempt's fate is sealed at send time: both legs' loss coins and
+  // latencies are drawn up front (a fixed four-draw budget per attempt keeps
+  // the stream easy to reason about), and exactly one event resolves it —
+  // delivery at now + rtt, or the timeout at now + probe_timeout.
+  bool request_lost = rng_.bernoulli(params_.loss);
+  bool reply_lost = rng_.bernoulli(params_.loss);
+  sim::Duration rtt = draw_latency() + draw_latency();
+
+  if (!request_lost && !reply_lost && rtt <= params_.probe_timeout) {
+    trace(simulator_.now(), [&](std::ostream& os) {
+      os << kind_name(p.kind) << " " << p.from << " -> " << p.to
+         << " attempt=" << p.attempt << " rtt=" << rtt;
+    });
+    simulator_.after(rtt, AttemptResolved{this, slot, /*delivered=*/true});
+    return;
+  }
+
+  if (request_lost) {
+    ++counters_.messages_lost;
+  } else if (reply_lost) {
+    // The reply leg only exists if the request arrived.
+    ++counters_.messages_lost;
+  } else {
+    // Both legs survive but the round trip outlasts the timeout: the reply
+    // lands on a requester that has already given up on this attempt.
+    ++counters_.late_replies;
+  }
+  trace(simulator_.now(), [&](std::ostream& os) {
+    os << kind_name(p.kind) << " " << p.from << " -> " << p.to
+       << " attempt=" << p.attempt
+       << (request_lost ? " lost=request"
+                        : reply_lost ? " lost=reply" : " late")
+       << " timeout_at=" << simulator_.now() + params_.probe_timeout;
+  });
+  simulator_.after(params_.probe_timeout,
+                   AttemptResolved{this, slot, /*delivered=*/false});
+}
+
+void LossyTransport::attempt_resolved(std::uint32_t slot, bool delivered) {
+  PendingExchange& p = slab_[slot];
+  if (delivered) {
+    complete(slot, DeliveryStatus::kDelivered);
+    return;
+  }
+  ++counters_.timeouts;
+  if (static_cast<std::size_t>(p.attempt) <= params_.max_retries) {
+    ++counters_.retransmits;
+    sim::Duration delay = backoff_delay(p.attempt);
+    trace(simulator_.now(), [&](std::ostream& os) {
+      os << kind_name(p.kind) << " " << p.from << " -> " << p.to
+         << " retransmit after=" << delay << "s (attempt " << p.attempt + 1
+         << "/" << params_.max_retries + 1 << ")";
+    });
+    simulator_.after(delay, ResendFired{this, slot});
+    return;
+  }
+  ++counters_.exchanges_failed;
+  trace(simulator_.now(), [&](std::ostream& os) {
+    os << kind_name(p.kind) << " " << p.from << " -> " << p.to
+       << " failed after " << p.attempt << " attempt(s)";
+  });
+  complete(slot, DeliveryStatus::kTimedOut);
+}
+
+void LossyTransport::complete(std::uint32_t slot, DeliveryStatus status) {
+  // Move the completion out before releasing: the callback may start new
+  // exchanges, which can reuse (or grow) the slab.
+  Completion on_complete = std::move(slab_[slot].on_complete);
+  release_slot(slot);
+  --in_flight_;
+  on_complete(status);
+}
+
+}  // namespace guess

@@ -1,10 +1,14 @@
 // Small-buffer-optimized type-erased callable for the event core.
 //
-// InlineCallback<N> stores any copyable `void()` callable of up to N bytes
-// inside the object itself — scheduling an event with such a callback
-// performs no heap allocation. Larger callables transparently fall back to
-// the heap (correct, just not allocation-free); `stores_inline<F>()` lets
-// hot call sites assert at compile time that they stay on the fast path.
+// InlineFunction<R(Args...), N> stores any copyable callable of up to N
+// bytes inside the object itself — binding such a callable performs no heap
+// allocation. Larger callables transparently fall back to the heap (correct,
+// just not allocation-free); `stores_inline<F>()` lets hot call sites assert
+// at compile time that they stay on the fast path.
+//
+// InlineCallback<N> is the event queue's `void()` specialization; the
+// transport layer uses a `void(DeliveryStatus)` instantiation for exchange
+// completions.
 #pragma once
 
 #include <cstddef>
@@ -15,8 +19,11 @@
 
 namespace guess::sim {
 
-template <std::size_t BufferSize>
-class InlineCallback {
+template <typename Signature, std::size_t BufferSize>
+class InlineFunction;
+
+template <typename R, typename... Args, std::size_t BufferSize>
+class InlineFunction<R(Args...), BufferSize> {
  public:
   /// True if callables of type F live in the inline buffer (no allocation).
   template <typename F>
@@ -25,18 +32,18 @@ class InlineCallback {
            alignof(F) <= alignof(std::max_align_t);
   }
 
-  InlineCallback() = default;
-  InlineCallback(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+  InlineFunction() = default;
+  InlineFunction(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
 
   template <typename F,
             typename = std::enable_if_t<
-                !std::is_same_v<std::decay_t<F>, InlineCallback> &&
-                std::is_invocable_r_v<void, std::decay_t<F>&>>>
-  InlineCallback(F&& fn) {  // NOLINT(google-explicit-constructor)
+                !std::is_same_v<std::decay_t<F>, InlineFunction> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  InlineFunction(F&& fn) {  // NOLINT(google-explicit-constructor)
     using D = std::decay_t<F>;
     static_assert(std::is_copy_constructible_v<D>,
-                  "event callbacks must be copyable (periodic events are "
-                  "re-fired from a copy)");
+                  "inline-function callables must be copyable (periodic "
+                  "events are re-fired from a copy)");
     if constexpr (stores_inline<D>()) {
       ::new (static_cast<void*>(buf_)) D(std::forward<F>(fn));
       ops_ = &inline_ops<D>;
@@ -46,18 +53,18 @@ class InlineCallback {
     }
   }
 
-  InlineCallback(const InlineCallback& other) : ops_(other.ops_) {
+  InlineFunction(const InlineFunction& other) : ops_(other.ops_) {
     if (ops_ != nullptr) ops_->copy(buf_, other.buf_);
   }
 
-  InlineCallback(InlineCallback&& other) noexcept : ops_(other.ops_) {
+  InlineFunction(InlineFunction&& other) noexcept : ops_(other.ops_) {
     if (ops_ != nullptr) {
       ops_->relocate(buf_, other.buf_);
       other.ops_ = nullptr;
     }
   }
 
-  InlineCallback& operator=(const InlineCallback& other) {
+  InlineFunction& operator=(const InlineFunction& other) {
     if (this != &other) {
       reset();
       if (other.ops_ != nullptr) {
@@ -68,7 +75,7 @@ class InlineCallback {
     return *this;
   }
 
-  InlineCallback& operator=(InlineCallback&& other) noexcept {
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
     if (this != &other) {
       reset();
       if (other.ops_ != nullptr) {
@@ -80,21 +87,23 @@ class InlineCallback {
     return *this;
   }
 
-  ~InlineCallback() { reset(); }
+  ~InlineFunction() { reset(); }
 
-  void operator()() { ops_->invoke(buf_); }
+  R operator()(Args... args) {
+    return ops_->invoke(buf_, std::forward<Args>(args)...);
+  }
 
   explicit operator bool() const { return ops_ != nullptr; }
-  friend bool operator==(const InlineCallback& f, std::nullptr_t) {
+  friend bool operator==(const InlineFunction& f, std::nullptr_t) {
     return f.ops_ == nullptr;
   }
-  friend bool operator!=(const InlineCallback& f, std::nullptr_t) {
+  friend bool operator!=(const InlineFunction& f, std::nullptr_t) {
     return f.ops_ != nullptr;
   }
 
  private:
   struct Ops {
-    void (*invoke)(void* self);
+    R (*invoke)(void* self, Args&&...);
     void (*copy)(void* dst, const void* src);
     /// Move-construct dst from src and destroy src (full transfer).
     void (*relocate)(void* dst, void* src);
@@ -103,7 +112,9 @@ class InlineCallback {
 
   template <typename D>
   static constexpr Ops inline_ops = {
-      [](void* self) { (*static_cast<D*>(self))(); },
+      [](void* self, Args&&... args) -> R {
+        return (*static_cast<D*>(self))(std::forward<Args>(args)...);
+      },
       [](void* dst, const void* src) {
         ::new (dst) D(*static_cast<const D*>(src));
       },
@@ -116,7 +127,9 @@ class InlineCallback {
 
   template <typename D>
   static constexpr Ops heap_ops = {
-      [](void* self) { (**static_cast<D**>(self))(); },
+      [](void* self, Args&&... args) -> R {
+        return (**static_cast<D**>(self))(std::forward<Args>(args)...);
+      },
       [](void* dst, const void* src) {
         ::new (dst) D*(new D(**static_cast<D* const*>(src)));
       },
@@ -136,5 +149,9 @@ class InlineCallback {
   alignas(std::max_align_t) unsigned char buf_[BufferSize];
   const Ops* ops_ = nullptr;
 };
+
+/// The event queue's callback type: a `void()` inline function.
+template <std::size_t BufferSize>
+using InlineCallback = InlineFunction<void(), BufferSize>;
 
 }  // namespace guess::sim

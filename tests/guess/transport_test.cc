@@ -1,0 +1,304 @@
+// Transport abstraction: synchronous inline semantics, lossy fault
+// injection (timeout/retry timing, degenerate loss), SimulationConfig
+// validation, and the bitwise-identity contract between the config API and
+// the legacy positional API.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/check.h"
+#include "guess/config.h"
+#include "guess/simulation.h"
+#include "guess/transport.h"
+#include "../testsupport/simulation_results_eq.h"
+
+namespace guess {
+namespace {
+
+struct Resolution {
+  sim::Time at = -1.0;
+  DeliveryStatus status = DeliveryStatus::kDelivered;
+};
+
+TEST(SynchronousTransport, CompletesInlineWithoutEventsOrRandomness) {
+  SynchronousTransport transport;
+  bool completed = false;
+  transport.exchange(MessageKind::kPing, 1, 2,
+                     [&](DeliveryStatus status) {
+                       completed = true;
+                       EXPECT_EQ(status, DeliveryStatus::kDelivered);
+                     });
+  // Inline: done before exchange() returned, no simulator involved at all.
+  EXPECT_TRUE(completed);
+  EXPECT_EQ(transport.counters().messages_sent, 1u);
+  EXPECT_EQ(transport.counters().messages_lost, 0u);
+  EXPECT_EQ(transport.counters().timeouts, 0u);
+}
+
+TEST(LossyTransport, DeliversAtRoundTripLatency) {
+  sim::Simulator simulator;
+  TransportParams params = TransportParams::lossy(0.0);
+  params.link_latency = 0.05;
+  params.probe_timeout = 2.0;
+  LossyTransport transport(params, simulator, Rng(7));
+
+  Resolution res;
+  transport.exchange(MessageKind::kQueryProbe, 1, 2,
+                     [&](DeliveryStatus status) {
+                       res = {simulator.now(), status};
+                     });
+  EXPECT_EQ(transport.in_flight(), 1u);
+  simulator.run_until(10.0);
+  EXPECT_EQ(transport.in_flight(), 0u);
+  EXPECT_EQ(res.status, DeliveryStatus::kDelivered);
+  EXPECT_DOUBLE_EQ(res.at, 0.1);  // two fixed 0.05 s legs
+  EXPECT_EQ(transport.counters().messages_sent, 1u);
+  EXPECT_EQ(transport.counters().timeouts, 0u);
+}
+
+// The ordering contract of the retry chain: with loss=1.0 and fixed backoff
+// every attempt times out on schedule —
+//   send@0, timeout@2, resend@3, timeout@5, resend@6, timeout@8 -> failed.
+TEST(LossyTransport, TimeoutThenRetryOrderingIsExact) {
+  sim::Simulator simulator;
+  TransportParams params = TransportParams::lossy(1.0);
+  params.probe_timeout = 2.0;
+  params.max_retries = 2;
+  params.retry_backoff = 1.0;
+  LossyTransport transport(params, simulator, Rng(7));
+
+  Resolution res;
+  transport.exchange(MessageKind::kQueryProbe, 1, 2,
+                     [&](DeliveryStatus status) {
+                       res = {simulator.now(), status};
+                     });
+  simulator.run_until(100.0);
+  EXPECT_EQ(res.status, DeliveryStatus::kTimedOut);
+  EXPECT_DOUBLE_EQ(res.at, 8.0);
+  EXPECT_EQ(transport.counters().messages_sent, 3u);
+  EXPECT_EQ(transport.counters().messages_lost, 3u);
+  EXPECT_EQ(transport.counters().timeouts, 3u);
+  EXPECT_EQ(transport.counters().retransmits, 2u);
+  EXPECT_EQ(transport.counters().exchanges_failed, 1u);
+  EXPECT_EQ(transport.in_flight(), 0u);
+}
+
+// Exponential backoff doubles the wait per retransmit:
+//   send@0, timeout@2, resend@3 (+1), timeout@5, resend@7 (+2), timeout@9.
+TEST(LossyTransport, ExponentialBackoffDoubles) {
+  sim::Simulator simulator;
+  TransportParams params = TransportParams::lossy(1.0);
+  params.probe_timeout = 2.0;
+  params.max_retries = 2;
+  params.backoff = TransportParams::Backoff::kExponential;
+  params.retry_backoff = 1.0;
+  LossyTransport transport(params, simulator, Rng(7));
+
+  Resolution res;
+  transport.exchange(MessageKind::kPing, 1, 2, [&](DeliveryStatus status) {
+    res = {simulator.now(), status};
+  });
+  simulator.run_until(100.0);
+  EXPECT_EQ(res.status, DeliveryStatus::kTimedOut);
+  EXPECT_DOUBLE_EQ(res.at, 9.0);
+}
+
+// Both legs survive but the round trip outlasts the timeout: counted as a
+// late reply, resolved as a timeout at exactly probe_timeout.
+TEST(LossyTransport, LateReplyCountsAndTimesOut) {
+  sim::Simulator simulator;
+  TransportParams params = TransportParams::lossy(0.0);
+  params.link_latency = 1.5;  // rtt = 3.0 > timeout
+  params.probe_timeout = 2.0;
+  LossyTransport transport(params, simulator, Rng(7));
+
+  Resolution res;
+  transport.exchange(MessageKind::kPing, 1, 2, [&](DeliveryStatus status) {
+    res = {simulator.now(), status};
+  });
+  simulator.run_until(100.0);
+  EXPECT_EQ(res.status, DeliveryStatus::kTimedOut);
+  EXPECT_DOUBLE_EQ(res.at, 2.0);
+  EXPECT_EQ(transport.counters().late_replies, 1u);
+  EXPECT_EQ(transport.counters().messages_lost, 0u);
+}
+
+// A completion that immediately starts another exchange exercises slab
+// reuse/growth while the callback is live.
+TEST(LossyTransport, CompletionMayStartNewExchange) {
+  sim::Simulator simulator;
+  TransportParams params = TransportParams::lossy(0.0);
+  params.link_latency = 0.05;
+  LossyTransport transport(params, simulator, Rng(7));
+
+  int completions = 0;
+  transport.exchange(MessageKind::kPing, 1, 2, [&](DeliveryStatus) {
+    ++completions;
+    transport.exchange(MessageKind::kPing, 2, 3,
+                       [&](DeliveryStatus) { ++completions; });
+  });
+  simulator.run_until(10.0);
+  EXPECT_EQ(completions, 2);
+  EXPECT_EQ(transport.counters().messages_sent, 2u);
+  EXPECT_EQ(transport.in_flight(), 0u);
+}
+
+// With the default SynchronousTransport, a SimulationConfig run must be
+// bitwise-identical to the same parameters through the legacy positional
+// API — the acceptance criterion of the transport refactor.
+TEST(TransportIdentity, ConfigApiBitwiseIdenticalToLegacyApi) {
+  SystemParams system;
+  system.network_size = 150;
+  system.content.catalog_size = 400;
+  system.content.query_universe = 500;
+  system.percent_bad_peers = 10.0;
+  system.bad_pong_behavior = BadPongBehavior::kBad;
+  ProtocolParams protocol;
+  protocol.query_probe = Policy::kMR;
+  protocol.cache_replacement = Replacement::kLR;
+  protocol.detection.enabled = true;
+  protocol.do_backoff = true;
+
+  SimulationOptions options;
+  options.seed = 17;
+  options.warmup = 120.0;
+  options.measure = 480.0;
+  GuessSimulation legacy(system, protocol, options);
+  SimulationResults via_legacy = legacy.run();
+
+  GuessSimulation modern(SimulationConfig()
+                             .system(system)
+                             .protocol(protocol)
+                             .seed(17)
+                             .warmup(120.0)
+                             .measure(480.0));
+  SimulationResults via_config = modern.run();
+
+  testsupport::expect_identical(via_legacy, via_config);
+  // The synchronous transport still accounts for traffic.
+  EXPECT_GT(via_config.transport.messages_sent, 0u);
+  EXPECT_EQ(via_config.transport.timeouts, 0u);
+  EXPECT_EQ(via_config.transport.retransmits, 0u);
+}
+
+// loss=1.0 is the degenerate extreme: nothing is ever delivered, every
+// query exhausts its (shrinking) candidate set, and the run must still
+// terminate with everything unsatisfied.
+TEST(TransportFaultInjection, TotalLossRunTerminatesUnsatisfied) {
+  SystemParams system;
+  system.network_size = 100;
+  system.content.catalog_size = 400;
+  system.content.query_universe = 500;
+  auto config = SimulationConfig()
+                    .system(system)
+                    .transport(TransportParams::lossy(1.0))
+                    .seed(5)
+                    .warmup(100.0)
+                    .measure(300.0);
+  GuessSimulation sim(config);
+  SimulationResults results = sim.run();
+  EXPECT_GT(results.queries_completed, 0u);
+  EXPECT_EQ(results.queries_satisfied, 0u);
+  EXPECT_EQ(results.probes.good, 0u);
+  EXPECT_GT(results.transport.exchanges_failed, 0u);
+  EXPECT_EQ(results.transport.messages_lost,
+            results.transport.messages_sent);
+}
+
+// Higher loss must produce (weakly) more timeouts and retransmits per
+// message sent — the counters respond monotonically to --loss.
+TEST(TransportFaultInjection, TimeoutRateMonotonicInLoss) {
+  auto run = [](double loss) {
+    SystemParams system;
+    system.network_size = 150;
+    system.content.catalog_size = 400;
+    system.content.query_universe = 500;
+    TransportParams transport = TransportParams::lossy(loss);
+    transport.max_retries = 2;
+    auto config = SimulationConfig()
+                      .system(system)
+                      .transport(transport)
+                      .seed(9)
+                      .warmup(100.0)
+                      .measure(400.0);
+    GuessSimulation sim(config);
+    return sim.run();
+  };
+  SimulationResults none = run(0.0);
+  SimulationResults low = run(0.05);
+  SimulationResults high = run(0.3);
+
+  EXPECT_EQ(none.transport.timeouts, 0u);
+  EXPECT_EQ(none.transport.retransmits, 0u);
+  EXPECT_GT(low.transport.timeouts, 0u);
+  EXPECT_GT(low.transport.retransmits, 0u);
+
+  auto timeout_rate = [](const SimulationResults& r) {
+    return static_cast<double>(r.transport.timeouts) /
+           static_cast<double>(r.transport.messages_sent);
+  };
+  EXPECT_LT(timeout_rate(low), timeout_rate(high));
+}
+
+TEST(SimulationConfigValidate, RejectsNonsense) {
+  SystemParams tiny;
+  tiny.network_size = 1;
+  EXPECT_THROW(SimulationConfig().system(tiny).validate(), CheckError);
+
+  EXPECT_THROW(
+      SimulationConfig().transport(TransportParams::lossy(-0.1)).validate(),
+      CheckError);
+  EXPECT_THROW(
+      SimulationConfig().transport(TransportParams::lossy(1.5)).validate(),
+      CheckError);
+
+  TransportParams no_timeout = TransportParams::lossy(0.1);
+  no_timeout.probe_timeout = 0.0;
+  EXPECT_THROW(SimulationConfig().transport(no_timeout).validate(),
+               CheckError);
+
+  TransportParams negative_backoff = TransportParams::lossy(0.1);
+  negative_backoff.retry_backoff = -1.0;
+  EXPECT_THROW(SimulationConfig().transport(negative_backoff).validate(),
+               CheckError);
+
+  SystemParams negative_rate;
+  negative_rate.query_rate = -1.0;
+  EXPECT_THROW(SimulationConfig().system(negative_rate).validate(),
+               CheckError);
+
+  ProtocolParams no_ping;
+  no_ping.ping_interval = 0.0;
+  EXPECT_THROW(SimulationConfig().protocol(no_ping).validate(), CheckError);
+
+  EXPECT_THROW(SimulationConfig().threads(-1).validate(), CheckError);
+
+  // The defaults are valid, and validate() chains.
+  EXPECT_NO_THROW(SimulationConfig().validate());
+  EXPECT_NO_THROW(
+      SimulationConfig().transport(TransportParams::lossy(0.05)).validate());
+}
+
+TEST(SimulationConfigValidate, ConstructorsValidate) {
+  SystemParams tiny;
+  tiny.network_size = 1;
+  EXPECT_THROW(GuessSimulation sim(SimulationConfig().system(tiny)),
+               CheckError);
+  EXPECT_THROW(
+      GuessSimulation sim(
+          SimulationConfig().transport(TransportParams::lossy(2.0))),
+      CheckError);
+}
+
+TEST(TransportParamsDescribe, MentionsTheKnobs) {
+  EXPECT_NE(describe(TransportParams{}).find("Synchronous"),
+            std::string::npos);
+  TransportParams lossy = TransportParams::lossy(0.25);
+  lossy.max_retries = 3;
+  std::string text = describe(lossy);
+  EXPECT_NE(text.find("0.25"), std::string::npos);
+  EXPECT_NE(text.find("retries=3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace guess

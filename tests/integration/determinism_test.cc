@@ -126,6 +126,36 @@ TEST(Determinism, HeapAndCalendarSchedulersBitwiseIdentical) {
   testsupport::expect_identical(heap, calendar);
 }
 
+// LossyTransport schedules real timeout/retry/delivery events, so it is the
+// sharpest probe of scheduler equivalence: both backends must drain the
+// fault-injected event stream in the identical order.
+TEST(Determinism, LossyTransportHeapAndCalendarBitwiseIdentical) {
+  auto run = [](sim::Scheduler scheduler) {
+    SystemParams system;
+    system.network_size = 150;
+    system.lifespan_multiplier = 0.5;
+    system.content.catalog_size = 400;
+    system.content.query_universe = 500;
+    TransportParams transport = TransportParams::lossy(0.1);
+    transport.max_retries = 2;
+    transport.retry_backoff = 0.5;
+    transport.latency_distribution = LatencyDistribution::kExponential;
+    auto config = SimulationConfig()
+                      .system(system)
+                      .transport(transport)
+                      .seed(77)
+                      .warmup(150.0)
+                      .measure(600.0)
+                      .scheduler(scheduler);
+    GuessSimulation sim(config);
+    return sim.run();
+  };
+  auto heap = run(sim::Scheduler::kHeap);
+  auto calendar = run(sim::Scheduler::kCalendar);
+  testsupport::expect_identical(heap, calendar);
+  EXPECT_GT(heap.transport.timeouts, 0u);  // the faults actually fired
+}
+
 // run_seeds (which now dispatches replications onto a worker pool) must be
 // indistinguishable from n completely independent single-seed simulations,
 // entry for entry — the contract that makes the parallel path safe to use

@@ -36,6 +36,16 @@ inline void expect_identical(const ClassMetrics& a, const ClassMetrics& b) {
   expect_identical(a.response_time, b.response_time);
 }
 
+inline void expect_identical(const TransportCounters& a,
+                             const TransportCounters& b) {
+  EXPECT_EQ(a.messages_sent, b.messages_sent);
+  EXPECT_EQ(a.messages_lost, b.messages_lost);
+  EXPECT_EQ(a.timeouts, b.timeouts);
+  EXPECT_EQ(a.retransmits, b.retransmits);
+  EXPECT_EQ(a.late_replies, b.late_replies);
+  EXPECT_EQ(a.exchanges_failed, b.exchanges_failed);
+}
+
 inline void expect_identical(const CacheHealth& a, const CacheHealth& b) {
   EXPECT_EQ(a.fraction_live, b.fraction_live);
   EXPECT_EQ(a.absolute_live, b.absolute_live);
@@ -64,6 +74,7 @@ inline void expect_identical(const SimulationResults& a,
   EXPECT_EQ(a.deaths, b.deaths);
   EXPECT_EQ(a.pings_sent, b.pings_sent);
   EXPECT_EQ(a.pings_to_dead, b.pings_to_dead);
+  expect_identical(a.transport, b.transport);
   EXPECT_EQ(a.queries_stalled_out, b.queries_stalled_out);
   EXPECT_EQ(a.measure_duration, b.measure_duration);
   EXPECT_EQ(a.network_size, b.network_size);
