@@ -29,6 +29,11 @@ Scale Scale::from_flags(const Flags& flags) {
     scale.transport.loss = flags.loss();
     scale.transport.link_latency = flags.link_latency();
     scale.transport.probe_timeout = flags.probe_timeout();
+    // Reject before the unsigned cast: a negative value would wrap to an
+    // effectively unbounded retry count.
+    GUESS_CHECK_MSG(flags.max_retries() >= 0,
+                    "--max-retries must be >= 0, got "
+                        << flags.max_retries());
     scale.transport.max_retries =
         static_cast<std::size_t>(flags.max_retries());
   }

@@ -60,6 +60,11 @@ const SimulationConfig& SimulationConfig::validate() const {
   GUESS_CHECK_MSG(transport_.retry_backoff >= 0.0,
                   "transport retry_backoff must be >= 0, got "
                       << transport_.retry_backoff);
+  // Far above any sensible retry policy; catches negative values wrapped
+  // through an unsigned cast (e.g. a mis-parsed --max-retries).
+  GUESS_CHECK_MSG(transport_.max_retries <= 1000,
+                  "transport max_retries must be <= 1000, got "
+                      << transport_.max_retries);
 
   // Run control.
   GUESS_CHECK_MSG(options_.warmup >= 0.0, "warmup must be >= 0");

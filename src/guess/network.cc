@@ -68,8 +68,12 @@ struct GuessNetwork::PingResolved {
   GuessNetwork* net;
   PeerId pinger;
   PeerId target;
+  // measuring_ at issue time: pings_sent is counted at issue, so the dead
+  // outcome must be attributed to the same measurement window even when the
+  // exchange resolves after begin_measurement (lossy mode).
+  bool measured;
   void operator()(DeliveryStatus status) const {
-    net->ping_resolved(pinger, target, status);
+    net->ping_resolved(pinger, target, measured, status);
   }
 };
 struct GuessNetwork::QueryProbeResolved {
@@ -323,17 +327,18 @@ void GuessNetwork::do_ping(PeerId pinger_id) {
   maybe_reseed_from_pong_server(*pinger);
   auto entry = pinger->cache().select_best(protocol_.ping_probe, rng_);
   if (!entry) return;
-  if (measuring_) ++results_.pings_sent;
+  bool measured = measuring_;
+  if (measured) ++results_.pings_sent;
   // Under SynchronousTransport the completion runs inline, right here;
   // under LossyTransport it runs when the exchange resolves (delivery or
   // final timeout), and the pinger may have died or re-pinged meanwhile.
   static_assert(Transport::Completion::stores_inline<PingResolved>());
   transport_->exchange(MessageKind::kPing, pinger_id, entry->id,
-                       PingResolved{this, pinger_id, entry->id});
+                       PingResolved{this, pinger_id, entry->id, measured});
 }
 
 void GuessNetwork::ping_resolved(PeerId pinger_id, PeerId target_id,
-                                 DeliveryStatus status) {
+                                 bool measured, DeliveryStatus status) {
   Peer* pinger = find(pinger_id);
   if (pinger == nullptr) return;  // died while the ping was in flight
   Peer* target =
@@ -342,7 +347,7 @@ void GuessNetwork::ping_resolved(PeerId pinger_id, PeerId target_id,
     // No response — the target is gone, or (lossy) every attempt timed out:
     // either way the pinger believes it dead and evicts the entry (§2.2).
     pinger->cache().evict(target_id);
-    if (measuring_) ++results_.pings_to_dead;
+    if (measured) ++results_.pings_to_dead;
     pinger->note_ping_result(/*dead=*/true, protocol_.adaptive_ping);
     trace(TraceCategory::kPing, [&](std::ostream& os) {
       os << "ping peer=" << pinger_id << " -> " << target_id
@@ -510,6 +515,13 @@ void GuessNetwork::query_step(PeerId origin_id) {
     }
     if (!candidate) break;
     query.note_probe_issued();
+    // Reserve the probe cost while the affordability check above still
+    // holds: under LossyTransport several probes of a slot are in flight
+    // together, and spending only at resolution would let a peer whose
+    // credit covers a single probe commit it to every one of them. A
+    // served probe commits the reservation in probe_resolved; dead,
+    // refused, and stale resolutions release it.
+    if (payments.enabled) origin->reserve_credit(payments.probe_cost);
     // Under SynchronousTransport the completion (probe_resolved) runs
     // inline before exchange() returns, reproducing the pre-transport
     // in-slot processing order; the slot cannot close mid-loop because
@@ -535,6 +547,12 @@ void GuessNetwork::probe_resolved(PeerId origin_id, std::uint64_t token,
       os << "probe resolution dropped peer=" << origin_id
          << " stale-token=" << token;
     });
+    // A stale token normally means the origin died, taking its credit
+    // ledger with it; release defensively if it is somehow still alive so
+    // a reservation cannot leak.
+    if (protocol_.payments.enabled) {
+      if (Peer* origin = find(origin_id)) origin->release_credit();
+    }
     return;
   }
   Peer* origin = find(origin_id);
@@ -550,8 +568,10 @@ void GuessNetwork::probe_resolved(PeerId origin_id, std::uint64_t token,
       status == DeliveryStatus::kTimedOut ? nullptr : find(target_id);
   if (target == nullptr) {
     // Timeout: wasted probe; believed dead, evicted (§2.2, §3.2). No
-    // credit changes hands — there is nobody to pay. A dead referral
-    // counts against whoever supplied the entry (§6.4 detection).
+    // credit changes hands — there is nobody to pay, so the reservation
+    // returns. A dead referral counts against whoever supplied the entry
+    // (§6.4 detection).
+    if (protocol_.payments.enabled) origin->release_credit();
     query.record_outcome(ProbeOutcome::kDead);
     origin->cache().evict(target_id);
     if (origin->note_referral(referrer, /*bad=*/true, protocol_.detection)) {
@@ -571,6 +591,8 @@ void GuessNetwork::probe_resolved(PeerId origin_id, std::uint64_t token,
                             system_.max_probes_per_second)) {
     // Overloaded: the probe is dropped. Without backoff the prober treats
     // the silence as death and evicts — the implicit throttle of §6.3.
+    // Dropped unserved means nobody is paid: the reservation returns.
+    if (protocol_.payments.enabled) origin->release_credit();
     query.record_outcome(ProbeOutcome::kRefused);
     if (protocol_.do_backoff) {
       origin->set_backoff(target_id,
@@ -584,8 +606,9 @@ void GuessNetwork::probe_resolved(PeerId origin_id, std::uint64_t token,
 
   query.record_outcome(ProbeOutcome::kGood);
   if (protocol_.payments.enabled) {
-    // The probe was served: prober pays, server earns (§3.3).
-    origin->spend_credit(protocol_.payments.probe_cost);
+    // The probe was served: the issue-time reservation becomes a spend,
+    // the server earns (§3.3).
+    origin->commit_credit(protocol_.payments.probe_cost);
     target->earn_credit(protocol_.payments.serve_reward,
                         protocol_.payments.credit_cap);
   }

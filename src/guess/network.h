@@ -157,7 +157,7 @@ class GuessNetwork {
 
   // --- protocol messages ---
   void do_ping(PeerId pinger_id);
-  void ping_resolved(PeerId pinger_id, PeerId target_id,
+  void ping_resolved(PeerId pinger_id, PeerId target_id, bool measured,
                      DeliveryStatus status);
   void maybe_reseed_from_pong_server(Peer& peer);
   std::vector<CacheEntry> make_pong(Peer& responder, Policy policy);

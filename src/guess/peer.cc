@@ -25,6 +25,24 @@ void Peer::earn_credit(double reward, double cap) {
   credit_ = std::min(credit_ + reward, cap);
 }
 
+void Peer::reserve_credit(double cost) {
+  GUESS_CHECK_MSG(can_afford(cost), "reserving unaffordable probe");
+  ++reserved_;
+}
+
+void Peer::release_credit() {
+  GUESS_CHECK_MSG(reserved_ > 0, "releasing credit with none reserved");
+  --reserved_;
+}
+
+void Peer::commit_credit(double cost) {
+  release_credit();
+  // The reservation guarantees affordability up to rounding in credit_'s
+  // spend/earn history; clamp so an ulp-level shortfall cannot trip the
+  // strict spend check mid-run.
+  credit_ = std::max(credit_ - cost, 0.0);
+}
+
 std::uint32_t Peer::answer_query(content::FileId file,
                                  std::uint32_t max_results) const {
   if (malicious_) return 0;

@@ -53,10 +53,27 @@ class Peer {
 
   void set_credit(double credit) { credit_ = credit; }
   double credit() const { return credit_; }
-  bool can_afford(double cost) const { return credit_ >= cost; }
+  /// Affordable = credit minus what probes already in flight have reserved.
+  /// Reservations are a *count*, not a summed amount: every in-flight probe
+  /// reserves the same per-run probe_cost, so the ledger stays exact (no
+  /// floating-point residue from repeated add/subtract).
+  bool can_afford(double cost) const {
+    return credit_ - static_cast<double>(reserved_) * cost >= cost;
+  }
   /// Spend must be affordable (checked).
   void spend_credit(double cost);
   void earn_credit(double reward, double cap);
+
+  /// Reserve `cost` for a probe being issued — must be affordable (checked).
+  /// Under an asynchronous transport several probes of a slot are in flight
+  /// together; reserving at issue time keeps can_afford honest about credit
+  /// that is already committed. Resolve each reservation with exactly one of
+  /// commit_credit (probe served: the reservation becomes a spend) or
+  /// release_credit (no service rendered: the credit returns untouched).
+  void reserve_credit(double cost);
+  void commit_credit(double cost);
+  void release_credit();
+  std::uint32_t reserved_probes() const { return reserved_; }
 
   // --- adaptive ping maintenance (§6.1) ---
 
@@ -121,6 +138,7 @@ class Peer {
   content::Library library_;
   LinkCache cache_;
   double credit_ = 0.0;
+  std::uint32_t reserved_ = 0;  // in-flight probes holding a reservation
 
   std::int64_t window_ = -1;         // capacity window index (whole seconds)
   std::uint32_t window_probes_ = 0;  // probes accepted in the window

@@ -38,6 +38,21 @@ TEST(Scale, SeedsOverride) {
   EXPECT_DOUBLE_EQ(options.warmup, scale.warmup);
 }
 
+TEST(Scale, TransportFlagsThreadThrough) {
+  auto scale = Scale::from_flags(
+      make({"--loss=0.05", "--probe-timeout=1.5", "--max-retries=2"}));
+  EXPECT_EQ(scale.transport.kind, TransportParams::Kind::kLossy);
+  EXPECT_DOUBLE_EQ(scale.transport.loss, 0.05);
+  EXPECT_DOUBLE_EQ(scale.transport.probe_timeout, 1.5);
+  EXPECT_EQ(scale.transport.max_retries, 2u);
+}
+
+TEST(Scale, NegativeMaxRetriesRejected) {
+  // Would otherwise wrap through the unsigned cast into an effectively
+  // unbounded retry count.
+  EXPECT_THROW(Scale::from_flags(make({"--max-retries=-1"})), CheckError);
+}
+
 TEST(PolicyCombo, PaperNamesMapToPolicyTriples) {
   auto ran = PolicyCombo::from_name("Ran");
   EXPECT_EQ(ran.probe, Policy::kRandom);

@@ -40,6 +40,27 @@ TEST(Credit, SpendAndEarnRespectBounds) {
   EXPECT_DOUBLE_EQ(peer.credit(), 50.0);
 }
 
+// In-flight reservations (asynchronous transports) gate affordability
+// without moving credit until the probe is served.
+TEST(Credit, ReservationsGateAffordabilityUntilResolved) {
+  Peer peer(1, 0.0, content::Library{}, 10, false);
+  peer.set_credit(5.0);
+  peer.reserve_credit(2.0);
+  peer.reserve_credit(2.0);
+  EXPECT_EQ(peer.reserved_probes(), 2u);
+  EXPECT_DOUBLE_EQ(peer.credit(), 5.0);  // nothing spent yet
+  EXPECT_FALSE(peer.can_afford(2.0));    // 5 - 2*2 = 1 < 2
+  EXPECT_THROW(peer.reserve_credit(2.0), CheckError);
+
+  peer.commit_credit(2.0);  // served: the reservation becomes a spend
+  EXPECT_DOUBLE_EQ(peer.credit(), 3.0);
+  peer.release_credit();    // dead/refused: credit returns untouched
+  EXPECT_DOUBLE_EQ(peer.credit(), 3.0);
+  EXPECT_EQ(peer.reserved_probes(), 0u);
+  EXPECT_TRUE(peer.can_afford(3.0));
+  EXPECT_THROW(peer.release_credit(), CheckError);
+}
+
 TEST(AdaptivePing, HighDeadFractionShrinksInterval) {
   Peer peer(1, 0.0, content::Library{}, 10, false);
   peer.set_ping_interval(60.0);

@@ -205,6 +205,48 @@ TEST(TransportFaultInjection, TotalLossRunTerminatesUnsatisfied) {
             results.transport.messages_sent);
 }
 
+// Regression: payments + LossyTransport. With asynchronous resolution every
+// probe of a slot is in flight together, so a peer whose credit covers a
+// single probe must not pass the affordability check for all of them — the
+// cost is reserved at issue time and committed/released at resolution.
+// Before the reservation ledger this run aborted with a CheckError from
+// spend_credit ("spending unaffordable probe").
+TEST(TransportFaultInjection, PaymentsUnderLossDoNotOverdrawCredit) {
+  SystemParams system;
+  system.network_size = 150;
+  system.content.catalog_size = 400;
+  system.content.query_universe = 500;
+  ProtocolParams protocol;
+  protocol.payments.enabled = true;
+  protocol.payments.probe_cost = 1.0;
+  protocol.payments.initial_credit = 1.0;  // covers exactly one probe
+  protocol.payments.serve_reward = 1.0;    // zero-sum transfers
+  protocol.payments.max_stalled_slots = 20;
+  protocol.parallel_probes = 3;  // several probes per slot compete for it
+  TransportParams transport = TransportParams::lossy(0.2);
+  transport.max_retries = 1;
+  GuessSimulation sim(SimulationConfig()
+                          .system(system)
+                          .protocol(protocol)
+                          .transport(transport)
+                          .seed(11)
+                          .warmup(100.0)
+                          .measure(400.0));
+  SimulationResults results;
+  ASSERT_NO_THROW(results = sim.run());
+  // The economy actually ran (probes were served and paid for) ...
+  EXPECT_GT(results.probes.good, 0u);
+  // ... and no peer's ledger went negative or leaked reservations beyond
+  // what is genuinely still in flight at the horizon.
+  for (PeerId id : sim.network().alive_ids()) {
+    const Peer* peer = sim.network().find(id);
+    EXPECT_GE(peer->credit(), 0.0);
+    EXPECT_GE(peer->credit(),
+              static_cast<double>(peer->reserved_probes()) *
+                  protocol.payments.probe_cost);
+  }
+}
+
 // Higher loss must produce (weakly) more timeouts and retransmits per
 // message sent — the counters respond monotonically to --loss.
 TEST(TransportFaultInjection, TimeoutRateMonotonicInLoss) {
@@ -260,6 +302,13 @@ TEST(SimulationConfigValidate, RejectsNonsense) {
   TransportParams negative_backoff = TransportParams::lossy(0.1);
   negative_backoff.retry_backoff = -1.0;
   EXPECT_THROW(SimulationConfig().transport(negative_backoff).validate(),
+               CheckError);
+
+  // A negative retry count wrapped through an unsigned cast must not pass
+  // as an effectively unbounded retry policy.
+  TransportParams wrapped_retries = TransportParams::lossy(0.1);
+  wrapped_retries.max_retries = static_cast<std::size_t>(-1);
+  EXPECT_THROW(SimulationConfig().transport(wrapped_retries).validate(),
                CheckError);
 
   SystemParams negative_rate;
