@@ -8,7 +8,9 @@
 #include <iostream>
 
 #include "analysis/load_analysis.h"
+#include "common/check.h"
 #include "common/flags.h"
+#include "faults/scenario.h"
 #include "guess/simulation.h"
 
 namespace {
@@ -48,6 +50,14 @@ Transport fault injection (presence of any switches on LossyTransport):
   --link-latency=0.05      one-way link latency (s)
   --probe-timeout=2        per-attempt round-trip timeout (s)
   --max-retries=0          retransmits after the first timeout
+  --max-backoff=60         cap on a single retransmit backoff delay (s)
+
+Fault scenarios (DESIGN.md §9):
+  --scenario="at 600 kill 0.3; at 600 partition 2 for 300"
+                           inline fault-scenario spec
+  --scenario-file=PATH     load the spec from a file
+  --interval=60            time-resolved metrics interval (s); defaults to
+                           60 when a scenario is given, else off
 
 Run control:
   --seed=42 --warmup=600 --measure=2400 --connectivity
@@ -114,12 +124,28 @@ int main(int argc, char** argv) {
     transport.link_latency = flags.link_latency();
     transport.probe_timeout = flags.probe_timeout();
     transport.max_retries = static_cast<std::size_t>(flags.max_retries());
+    transport.max_backoff = flags.max_backoff();
+  }
+
+  GUESS_CHECK_MSG(!(flags.has("scenario") && flags.has("scenario-file")),
+                  "--scenario and --scenario-file are mutually exclusive");
+  guess::faults::Scenario scenario;
+  if (!flags.scenario().empty()) {
+    scenario = guess::faults::Scenario::parse(flags.scenario());
+  } else if (!flags.scenario_file().empty()) {
+    scenario = guess::faults::Scenario::load_file(flags.scenario_file());
+  }
+  double interval = flags.metrics_interval();
+  if (!scenario.empty() && interval == 0.0 && !flags.has("interval")) {
+    interval = 60.0;
   }
 
   auto config = guess::SimulationConfig()
                     .system(system)
                     .protocol(protocol)
                     .transport(transport)
+                    .scenario(scenario)
+                    .metrics_interval(interval)
                     .seed(flags.seed())
                     .warmup(flags.get_double("warmup", 600.0))
                     .measure(flags.get_double("measure", 2400.0))
@@ -129,6 +155,9 @@ int main(int argc, char** argv) {
             << "protocol: " << guess::describe(protocol) << "\n";
   if (transport.kind == guess::TransportParams::Kind::kLossy) {
     std::cout << "transport: " << guess::describe(transport) << "\n";
+  }
+  if (!scenario.empty()) {
+    std::cout << "scenario: " << scenario.describe() << "\n";
   }
   std::cout << "running " << config.options().warmup << "s warmup + "
             << config.options().measure << "s measurement (seed "
@@ -174,6 +203,35 @@ int main(int argc, char** argv) {
               << " probes/q, " << 100.0 * results.selfish.unsatisfied_rate()
               << "% unsat, " << results.selfish.response_time.mean()
               << " s\n";
+  }
+  if (!results.interval_series.empty()) {
+    std::cout << "\ninterval series (start..end  success  queries  probes/q"
+                 "  live):\n";
+    for (const guess::IntervalSample& s : results.interval_series) {
+      std::cout << "  " << s.start << " .. " << s.end << "  ";
+      if (s.queries_completed == 0) {
+        std::cout << "   -  ";
+      } else {
+        std::cout << 100.0 * s.success_rate() << "%";
+      }
+      std::cout << "  " << s.queries_completed << "  "
+                << s.probes_per_query() << "  " << s.live_peers << "\n";
+    }
+    if (!scenario.empty()) {
+      guess::RecoveryMetrics recovery = guess::compute_recovery(
+          results.interval_series, scenario.first_fault_time(),
+          scenario.last_fault_end());
+      std::cout << "recovery: baseline " << 100.0 * recovery.baseline
+                << "%, min during fault "
+                << 100.0 * recovery.min_during_fault << "%, time to recovery ";
+      if (recovery.time_to_recovery < 0.0) {
+        std::cout << "never";
+      } else {
+        std::cout << recovery.time_to_recovery << " s";
+      }
+      std::cout << ", availability " << 100.0 * recovery.availability
+                << "% (epsilon " << recovery.epsilon << ")\n";
+    }
   }
   return 0;
 }

@@ -33,6 +33,9 @@ struct ChurnManager::DeathFired {
   ChurnManager* manager;
   PeerId id;
   void operator()() const {
+    // Erase before the callback: on_death may register new peers (the
+    // replacement birth) and must see a map without this dead entry.
+    manager->pending_.erase(id);
     ++manager->deaths_;
     manager->on_death_(id);
   }
@@ -40,7 +43,17 @@ struct ChurnManager::DeathFired {
 
 void ChurnManager::schedule_death(PeerId id, sim::Duration in) {
   static_assert(sim::EventQueue::Callback::stores_inline<DeathFired>());
-  simulator_.after(in, DeathFired{this, id});
+  auto [it, inserted] = pending_.try_emplace(id);
+  if (!inserted) it->second.cancel();
+  it->second = simulator_.after(in, DeathFired{this, id});
+}
+
+bool ChurnManager::deschedule(PeerId id) {
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return false;
+  it->second.cancel();
+  pending_.erase(it);
+  return true;
 }
 
 }  // namespace guess::churn

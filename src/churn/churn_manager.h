@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <unordered_map>
 
 #include "churn/lifetime.h"
 #include "common/rng.h"
@@ -37,7 +38,16 @@ class ChurnManager {
   /// simulation does not begin with a synchronized death wave.
   sim::Duration register_peer_scaled(PeerId id, double fraction);
 
+  /// Cancel `id`'s scheduled natural death without invoking on_death. Used
+  /// when something other than churn removes the peer (a fault-scenario mass
+  /// kill), so the stale death event cannot fire against a recycled or
+  /// vanished id. No-op for unknown ids (e.g. never-registered immortals).
+  /// @returns true if a pending death was cancelled.
+  bool deschedule(PeerId id);
+
   std::uint64_t deaths() const { return deaths_; }
+  /// Peers with a death currently scheduled (tests/invariants).
+  std::size_t pending_count() const { return pending_.size(); }
   const LifetimeDistribution& lifetimes() const { return lifetimes_; }
 
  private:
@@ -52,6 +62,11 @@ class ChurnManager {
   Rng rng_;
   std::function<void(PeerId)> on_death_;
   std::uint64_t deaths_ = 0;
+  /// id -> handle of its scheduled death; erased when the death fires or is
+  /// descheduled. Registering an id twice overwrites (the old handle is
+  /// cancelled) — the network never does this, but leaving both armed would
+  /// fire on_death twice for one peer.
+  std::unordered_map<PeerId, sim::EventHandle> pending_;
 };
 
 }  // namespace guess::churn

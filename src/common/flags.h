@@ -61,11 +61,26 @@ class Flags {
   int max_retries() const {
     return static_cast<int>(get_int("max-retries", 0));
   }
+  /// Cap on a single retransmit backoff delay in seconds (--max-backoff=30).
+  double max_backoff() const { return get_double("max-backoff", 60.0); }
   /// True when any fault-injection flag was given.
   bool has_transport_flags() const {
     return has("loss") || has("link-latency") || has("probe-timeout") ||
-           has("max-retries");
+           has("max-retries") || has("max-backoff");
   }
+
+  // --- fault scenarios (DESIGN.md §9) ---
+
+  /// Inline fault-scenario spec (--scenario="at 600 kill 0.3"); empty when
+  /// absent. Parsed by faults::Scenario::parse.
+  std::string scenario() const { return get_string("scenario", ""); }
+  /// Path to a fault-scenario spec file (--scenario-file=faults.txt).
+  std::string scenario_file() const {
+    return get_string("scenario-file", "");
+  }
+  /// Width of the time-resolved metrics intervals in seconds
+  /// (--interval=60); 0 disables the interval series.
+  double metrics_interval() const { return get_double("interval", 0.0); }
 
  private:
   std::optional<std::string> raw(const std::string& name) const;

@@ -46,6 +46,7 @@ const char* Tracer::category_name(TraceCategory category) {
     case TraceCategory::kCache: return "cache";
     case TraceCategory::kAttack: return "attack";
     case TraceCategory::kTransport: return "transport";
+    case TraceCategory::kFault: return "fault";
   }
   return "?";
 }

@@ -23,6 +23,7 @@ enum class TraceCategory : unsigned {
   kCache = 1u << 3,      ///< link-cache insertions/evictions
   kAttack = 1u << 4,     ///< poisoning, detection, blacklisting
   kTransport = 1u << 5,  ///< message loss, timeouts, retransmits
+  kFault = 1u << 6,      ///< scenario faults: mass kills, partitions, windows
 };
 
 /// Every category, in bit order. New categories must be appended here (and
@@ -32,6 +33,7 @@ enum class TraceCategory : unsigned {
 inline constexpr TraceCategory kTraceCategories[] = {
     TraceCategory::kChurn, TraceCategory::kPing,   TraceCategory::kQuery,
     TraceCategory::kCache, TraceCategory::kAttack, TraceCategory::kTransport,
+    TraceCategory::kFault,
 };
 
 namespace trace_detail {

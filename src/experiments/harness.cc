@@ -1,5 +1,6 @@
 #include "experiments/harness.h"
 
+#include <cmath>
 #include <iostream>
 #include <ostream>
 
@@ -36,6 +37,36 @@ Scale Scale::from_flags(const Flags& flags) {
                         << flags.max_retries());
     scale.transport.max_retries =
         static_cast<std::size_t>(flags.max_retries());
+    scale.transport.max_backoff = flags.max_backoff();
+    // Non-finite values pass every downstream range check (NaN compares
+    // false); reject them here where the flag name is known.
+    GUESS_CHECK_MSG(std::isfinite(scale.transport.loss),
+                    "--loss must be finite");
+    GUESS_CHECK_MSG(std::isfinite(scale.transport.link_latency),
+                    "--link-latency must be finite");
+    GUESS_CHECK_MSG(std::isfinite(scale.transport.probe_timeout),
+                    "--probe-timeout must be finite");
+    GUESS_CHECK_MSG(std::isfinite(scale.transport.max_backoff),
+                    "--max-backoff must be finite");
+  }
+  GUESS_CHECK_MSG(!(flags.has("scenario") && flags.has("scenario-file")),
+                  "--scenario and --scenario-file are mutually exclusive");
+  if (!flags.scenario().empty()) {
+    scale.scenario = faults::Scenario::parse(flags.scenario());
+  } else if (!flags.scenario_file().empty()) {
+    scale.scenario = faults::Scenario::load_file(flags.scenario_file());
+  }
+  scale.metrics_interval = flags.metrics_interval();
+  GUESS_CHECK_MSG(std::isfinite(scale.metrics_interval) &&
+                      scale.metrics_interval >= 0.0,
+                  "--interval must be finite and >= 0, got "
+                      << scale.metrics_interval);
+  // A scenario without an interval series still runs, but the recovery
+  // metrics need the series; default to 60 s buckets when a scenario is
+  // present and no --interval was given.
+  if (!scale.scenario.empty() && scale.metrics_interval == 0.0 &&
+      !flags.has("interval")) {
+    scale.metrics_interval = 60.0;
   }
   return scale;
 }
@@ -47,11 +78,15 @@ SimulationOptions Scale::options() const {
   options.measure = measure;
   options.threads = threads;
   options.scheduler = scheduler;
+  options.metrics_interval = metrics_interval;
   return options;
 }
 
 SimulationConfig Scale::config() const {
-  return SimulationConfig().options(options()).transport(transport);
+  return SimulationConfig()
+      .options(options())
+      .transport(transport)
+      .scenario(scenario);
 }
 
 PolicyCombo PolicyCombo::from_name(const std::string& name) {
@@ -140,7 +175,8 @@ AveragedResults run_config(const SystemParams& system,
                     .system(system)
                     .protocol(protocol)
                     .options(options_override)
-                    .transport(scale.transport);
+                    .transport(scale.transport)
+                    .scenario(scale.scenario);
   return average(
       run_seeds(config, scale.seeds, progress_reporter(scale.progress)));
 }
@@ -169,7 +205,8 @@ std::vector<AveragedResults> run_configs(const std::vector<ConfigJob>& jobs,
                             .system(job.system)
                             .protocol(job.protocol)
                             .options(opt)
-                            .transport(scale.transport));
+                            .transport(scale.transport)
+                            .scenario(scale.scenario));
     flat[static_cast<std::size_t>(i)] = sim.run();
   };
 
@@ -213,6 +250,10 @@ void print_header(std::ostream& os, const std::string& experiment,
      << " scheduler=" << sim::scheduler_name(scale.scheduler) << ")\n";
   if (scale.transport.kind != TransportParams::Kind::kSynchronous) {
     os << "Transport: " << describe(scale.transport) << "\n";
+  }
+  if (!scale.scenario.empty()) {
+    os << "Scenario:  " << scale.scenario.describe()
+       << " (interval=" << scale.metrics_interval << "s)\n";
   }
   os << "==============================================================\n";
 }

@@ -19,6 +19,7 @@
 #include <string>
 
 #include "common/flags.h"
+#include "faults/scenario.h"
 #include "guess/params.h"
 #include "guess/simulation.h"
 
@@ -40,10 +41,17 @@ struct Scale {
   /// results, only simulator speed.
   sim::Scheduler scheduler = sim::Scheduler::kHeap;
   /// Message transport (--loss / --link-latency / --probe-timeout /
-  /// --max-retries switch on LossyTransport; default synchronous). Applied
-  /// uniformly to every configuration the harness runs, so any bench can be
-  /// re-run under fault injection without per-bench plumbing.
+  /// --max-retries / --max-backoff switch on LossyTransport; default
+  /// synchronous). Applied uniformly to every configuration the harness
+  /// runs, so any bench can be re-run under fault injection without
+  /// per-bench plumbing.
   TransportParams transport;
+  /// Fault scenario (--scenario / --scenario-file, DESIGN.md §9); empty by
+  /// default. Like the transport, applied to every configuration run.
+  faults::Scenario scenario;
+  /// Width of the time-resolved metrics intervals (--interval, seconds);
+  /// 0 disables the interval series.
+  sim::Duration metrics_interval = 0.0;
 
   static Scale from_flags(const Flags& flags);
 

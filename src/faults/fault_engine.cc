@@ -1,0 +1,78 @@
+#include "faults/fault_engine.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace guess::faults {
+
+struct FaultEngine::ActionFired {
+  FaultEngine* engine;
+  std::uint32_t index;
+  bool end;  // true: a window's clear event, false: the action's onset
+  void operator()() const {
+    if (end) {
+      engine->expire(index);
+    } else {
+      engine->apply(index);
+    }
+  }
+};
+
+FaultEngine::FaultEngine(Scenario scenario, sim::Simulator& simulator,
+                         FaultHost& host)
+    : scenario_(std::move(scenario)), simulator_(simulator), host_(host) {
+  scenario_.validate();
+}
+
+void FaultEngine::schedule() {
+  static_assert(sim::EventQueue::Callback::stores_inline<ActionFired>());
+  GUESS_CHECK_MSG(!scheduled_, "FaultEngine::schedule() called twice");
+  scheduled_ = true;
+  const auto& actions = scenario_.actions();
+  for (std::uint32_t i = 0; i < actions.size(); ++i) {
+    const FaultAction& action = actions[i];
+    simulator_.at(action.at, ActionFired{this, i, /*end=*/false});
+    if (action.windowed()) {
+      simulator_.at(action.end(), ActionFired{this, i, /*end=*/true});
+    }
+  }
+}
+
+void FaultEngine::apply(std::uint32_t index) {
+  const FaultAction& action = scenario_.actions()[index];
+  ++fired_;
+  switch (action.kind) {
+    case FaultKind::kKill:
+      host_.fault_mass_kill(action.fraction);
+      break;
+    case FaultKind::kJoin:
+      host_.fault_mass_join(action.count);
+      break;
+    case FaultKind::kPartition:
+      host_.fault_set_partition(action.ways);
+      break;
+    case FaultKind::kDegrade:
+      host_.fault_set_degradation(action.loss, action.latency_factor);
+      break;
+    case FaultKind::kPoison:
+      host_.fault_set_poisoning(action.poison_on);
+      break;
+  }
+}
+
+void FaultEngine::expire(std::uint32_t index) {
+  const FaultAction& action = scenario_.actions()[index];
+  switch (action.kind) {
+    case FaultKind::kPartition:
+      host_.fault_clear_partition();
+      break;
+    case FaultKind::kDegrade:
+      host_.fault_clear_degradation();
+      break;
+    default:
+      GUESS_CHECK_MSG(false, "window end for a non-window action");
+  }
+}
+
+}  // namespace guess::faults

@@ -1,0 +1,53 @@
+// Deterministic fault-scenario engine (DESIGN.md §9).
+//
+// Translates a Scenario into events on the slab event queue: each action
+// fires a FaultHost call at its onset, and window actions (partition,
+// degrade) schedule a matching clear at onset + duration. The engine holds
+// no fault state of its own — the host does — so determinism reduces to the
+// event queue's (time, seq) ordering guarantee: actions scheduled before the
+// run fire in scenario order at equal times, identically under the heap and
+// calendar schedulers.
+#pragma once
+
+#include <cstdint>
+
+#include "faults/fault_host.h"
+#include "faults/scenario.h"
+#include "sim/simulator.h"
+
+namespace guess::faults {
+
+class FaultEngine {
+ public:
+  /// The host and simulator must outlive the engine; the scenario is copied.
+  FaultEngine(Scenario scenario, sim::Simulator& simulator, FaultHost& host);
+
+  FaultEngine(const FaultEngine&) = delete;
+  FaultEngine& operator=(const FaultEngine&) = delete;
+
+  /// Schedule every action (and every window end). Call once, before the
+  /// simulator runs; actions whose time is already in the past would fail
+  /// the simulator's monotonicity check.
+  void schedule();
+
+  const Scenario& scenario() const { return scenario_; }
+
+  /// Actions applied so far (tests, progress reporting).
+  std::size_t fired() const { return fired_; }
+
+ private:
+  /// Inline event thunk: {engine, action index, onset-or-end}. Scheduling a
+  /// fault never allocates (static_asserted in fault_engine.cc).
+  struct ActionFired;
+
+  void apply(std::uint32_t index);
+  void expire(std::uint32_t index);
+
+  Scenario scenario_;
+  sim::Simulator& simulator_;
+  FaultHost& host_;
+  std::size_t fired_ = 0;
+  bool scheduled_ = false;
+};
+
+}  // namespace guess::faults

@@ -1,0 +1,301 @@
+#include "faults/scenario.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace guess::faults {
+
+namespace {
+
+/// Whitespace-split one statement into tokens.
+std::vector<std::string> tokenize(const std::string& statement) {
+  std::vector<std::string> tokens;
+  std::istringstream is(statement);
+  std::string token;
+  while (is >> token) tokens.push_back(token);
+  return tokens;
+}
+
+/// A token cursor with error messages that name the offending token.
+class Cursor {
+ public:
+  Cursor(std::vector<std::string> tokens, const std::string& statement)
+      : tokens_(std::move(tokens)), statement_(statement) {}
+
+  bool done() const { return next_ >= tokens_.size(); }
+
+  const std::string& take(const char* expected_what) {
+    GUESS_CHECK_MSG(!done(), "scenario: expected " << expected_what
+                                                   << " at end of statement '"
+                                                   << statement_ << "'");
+    return tokens_[next_++];
+  }
+
+  void expect_keyword(const char* keyword) {
+    const std::string& token = take(keyword);
+    GUESS_CHECK_MSG(token == keyword, "scenario: expected '"
+                                          << keyword << "', got '" << token
+                                          << "' in '" << statement_ << "'");
+  }
+
+  /// Strict finite-number parse: the whole token must be consumed and the
+  /// value must be finite (rejects "nan", "inf", "0.3x", "").
+  double number(const std::string& token, const char* what) const {
+    const char* begin = token.c_str();
+    char* end = nullptr;
+    double value = std::strtod(begin, &end);
+    GUESS_CHECK_MSG(end != begin && *end == '\0' && std::isfinite(value),
+                    "scenario: bad " << what << " '" << token << "' in '"
+                                     << statement_ << "'");
+    return value;
+  }
+
+  double take_number(const char* what) { return number(take(what), what); }
+
+  std::size_t take_count(const char* what) {
+    double value = take_number(what);
+    GUESS_CHECK_MSG(value >= 0.0 && value == std::floor(value),
+                    "scenario: " << what << " must be a whole number, got '"
+                                 << tokens_[next_ - 1] << "' in '"
+                                 << statement_ << "'");
+    return static_cast<std::size_t>(value);
+  }
+
+  void finish() {
+    GUESS_CHECK_MSG(done(), "scenario: unexpected trailing token '"
+                                << tokens_[next_] << "' in '" << statement_
+                                << "'");
+  }
+
+  const std::string& statement() const { return statement_; }
+
+ private:
+  std::vector<std::string> tokens_;
+  std::string statement_;
+  std::size_t next_ = 0;
+};
+
+FaultAction parse_statement(const std::string& statement) {
+  Cursor cursor(tokenize(statement), statement);
+  FaultAction action;
+  cursor.expect_keyword("at");
+  action.at = cursor.take_number("time");
+
+  const std::string& verb = cursor.take("an action keyword");
+  if (verb == "kill") {
+    action.kind = FaultKind::kKill;
+    action.fraction = cursor.take_number("kill fraction");
+  } else if (verb == "join") {
+    action.kind = FaultKind::kJoin;
+    action.count = cursor.take_count("join count");
+  } else if (verb == "partition") {
+    action.kind = FaultKind::kPartition;
+    std::size_t ways = cursor.take_count("partition ways");
+    action.ways = static_cast<int>(ways);
+    cursor.expect_keyword("for");
+    action.duration = cursor.take_number("partition duration");
+  } else if (verb == "degrade") {
+    action.kind = FaultKind::kDegrade;
+    // key=value pairs until the "for" keyword.
+    bool saw_knob = false;
+    for (;;) {
+      const std::string& token = cursor.take("'for' or a degrade knob");
+      if (token == "for") break;
+      auto eq = token.find('=');
+      GUESS_CHECK_MSG(eq != std::string::npos,
+                      "scenario: expected key=value or 'for', got '"
+                          << token << "' in '" << statement << "'");
+      std::string key = token.substr(0, eq);
+      std::string value = token.substr(eq + 1);
+      if (key == "loss") {
+        action.loss = cursor.number(value, "degrade loss");
+      } else if (key == "latency") {
+        action.latency_factor = cursor.number(value, "degrade latency factor");
+      } else {
+        GUESS_CHECK_MSG(false, "scenario: unknown degrade knob '"
+                                   << key << "' in '" << statement << "'");
+      }
+      saw_knob = true;
+    }
+    GUESS_CHECK_MSG(saw_knob, "scenario: degrade needs at least one of "
+                              "loss=/latency= in '"
+                                  << statement << "'");
+    action.duration = cursor.take_number("degrade duration");
+  } else if (verb == "poison") {
+    action.kind = FaultKind::kPoison;
+    const std::string& state = cursor.take("'on' or 'off'");
+    GUESS_CHECK_MSG(state == "on" || state == "off",
+                    "scenario: expected 'on' or 'off', got '"
+                        << state << "' in '" << statement << "'");
+    action.poison_on = state == "on";
+  } else {
+    GUESS_CHECK_MSG(false, "scenario: unknown action '" << verb << "' in '"
+                                                        << statement << "'");
+  }
+  cursor.finish();
+  return action;
+}
+
+/// Strip a trailing '#'-comment and normalize newlines to ';' separators.
+std::string strip_comments(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  bool in_comment = false;
+  for (char c : text) {
+    if (c == '\n') {
+      in_comment = false;
+      out.push_back(';');
+    } else if (c == '#') {
+      in_comment = true;
+    } else if (!in_comment) {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kKill: return "kill";
+    case FaultKind::kJoin: return "join";
+    case FaultKind::kPartition: return "partition";
+    case FaultKind::kDegrade: return "degrade";
+    case FaultKind::kPoison: return "poison";
+  }
+  return "?";
+}
+
+Scenario Scenario::parse(const std::string& spec) {
+  Scenario scenario;
+  std::stringstream ss(strip_comments(spec));
+  std::string statement;
+  while (std::getline(ss, statement, ';')) {
+    if (tokenize(statement).empty()) continue;  // blank between separators
+    scenario.actions_.push_back(parse_statement(statement));
+  }
+  scenario.validate();
+  return scenario;
+}
+
+Scenario Scenario::load_file(const std::string& path) {
+  std::ifstream in(path);
+  GUESS_CHECK_MSG(in.good(), "scenario: cannot read file '" << path << "'");
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  return parse(contents.str());
+}
+
+void Scenario::validate() const {
+  for (const FaultAction& action : actions_) {
+    GUESS_CHECK_MSG(std::isfinite(action.at) && action.at >= 0.0,
+                    "scenario: " << fault_kind_name(action.kind)
+                                 << " time must be finite and >= 0, got "
+                                 << action.at);
+    switch (action.kind) {
+      case FaultKind::kKill:
+        GUESS_CHECK_MSG(
+            std::isfinite(action.fraction) && action.fraction > 0.0 &&
+                action.fraction <= 1.0,
+            "scenario: kill fraction must be in (0, 1], got "
+                << action.fraction);
+        break;
+      case FaultKind::kJoin:
+        GUESS_CHECK_MSG(action.count >= 1,
+                        "scenario: join count must be >= 1");
+        break;
+      case FaultKind::kPartition:
+        GUESS_CHECK_MSG(action.ways >= 2,
+                        "scenario: partition ways must be >= 2, got "
+                            << action.ways);
+        break;
+      case FaultKind::kDegrade:
+        GUESS_CHECK_MSG(
+            std::isfinite(action.loss) && action.loss >= 0.0 &&
+                action.loss <= 1.0,
+            "scenario: degrade loss must be in [0, 1], got " << action.loss);
+        GUESS_CHECK_MSG(std::isfinite(action.latency_factor) &&
+                            action.latency_factor >= 1.0,
+                        "scenario: degrade latency factor must be >= 1, got "
+                            << action.latency_factor);
+        break;
+      case FaultKind::kPoison:
+        break;
+    }
+    if (action.windowed()) {
+      GUESS_CHECK_MSG(std::isfinite(action.duration) && action.duration > 0.0,
+                      "scenario: " << fault_kind_name(action.kind)
+                                   << " window duration must be > 0, got "
+                                   << action.duration);
+    }
+  }
+  // Overlapping windows of the same kind would leave "which window is
+  // active" dependent on event interleaving; reject them outright.
+  for (std::size_t i = 0; i < actions_.size(); ++i) {
+    if (!actions_[i].windowed()) continue;
+    for (std::size_t j = i + 1; j < actions_.size(); ++j) {
+      if (actions_[j].kind != actions_[i].kind) continue;
+      bool disjoint = actions_[j].at >= actions_[i].end() ||
+                      actions_[i].at >= actions_[j].end();
+      GUESS_CHECK_MSG(disjoint, "scenario: overlapping "
+                                    << fault_kind_name(actions_[i].kind)
+                                    << " windows at t=" << actions_[i].at
+                                    << " and t=" << actions_[j].at);
+    }
+  }
+}
+
+bool Scenario::uses_degradation() const {
+  for (const FaultAction& action : actions_) {
+    if (action.kind == FaultKind::kDegrade) return true;
+  }
+  return false;
+}
+
+sim::Time Scenario::first_fault_time() const {
+  sim::Time first = 0.0;
+  bool any = false;
+  for (const FaultAction& action : actions_) {
+    if (!any || action.at < first) first = action.at;
+    any = true;
+  }
+  return first;
+}
+
+sim::Time Scenario::last_fault_end() const {
+  sim::Time last = 0.0;
+  for (const FaultAction& action : actions_) {
+    if (action.end() > last) last = action.end();
+  }
+  return last;
+}
+
+std::string Scenario::describe() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < actions_.size(); ++i) {
+    const FaultAction& a = actions_[i];
+    if (i > 0) os << "; ";
+    os << "at " << a.at << " " << fault_kind_name(a.kind);
+    switch (a.kind) {
+      case FaultKind::kKill: os << " " << a.fraction; break;
+      case FaultKind::kJoin: os << " " << a.count; break;
+      case FaultKind::kPartition:
+        os << " " << a.ways << " for " << a.duration;
+        break;
+      case FaultKind::kDegrade:
+        os << " loss=" << a.loss;
+        if (a.latency_factor != 1.0) os << " latency=" << a.latency_factor;
+        os << " for " << a.duration;
+        break;
+      case FaultKind::kPoison: os << (a.poison_on ? " on" : " off"); break;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace guess::faults

@@ -1,10 +1,36 @@
 #include "guess/config.h"
 
+#include <cmath>
+
 #include "common/check.h"
 
 namespace guess {
 
 const SimulationConfig& SimulationConfig::validate() const {
+  // Non-finite doubles sail through every range check below (NaN compares
+  // false against everything), so reject them by name first.
+  GUESS_CHECK_MSG(std::isfinite(system_.lifespan_multiplier),
+                  "lifespan_multiplier must be finite");
+  GUESS_CHECK_MSG(std::isfinite(system_.query_rate),
+                  "query_rate must be finite");
+  GUESS_CHECK_MSG(std::isfinite(system_.percent_bad_peers),
+                  "percent_bad_peers must be finite");
+  GUESS_CHECK_MSG(std::isfinite(system_.percent_selfish_peers),
+                  "percent_selfish_peers must be finite");
+  GUESS_CHECK_MSG(std::isfinite(transport_.loss),
+                  "transport loss must be finite");
+  GUESS_CHECK_MSG(std::isfinite(transport_.link_latency),
+                  "transport link_latency must be finite");
+  GUESS_CHECK_MSG(std::isfinite(transport_.probe_timeout),
+                  "transport probe_timeout must be finite");
+  GUESS_CHECK_MSG(std::isfinite(transport_.retry_backoff),
+                  "transport retry_backoff must be finite");
+  GUESS_CHECK_MSG(std::isfinite(transport_.max_backoff),
+                  "transport max_backoff must be finite");
+  GUESS_CHECK_MSG(std::isfinite(options_.warmup), "warmup must be finite");
+  GUESS_CHECK_MSG(std::isfinite(options_.measure), "measure must be finite");
+  GUESS_CHECK_MSG(std::isfinite(options_.metrics_interval),
+                  "metrics_interval must be finite");
   // System (Table 1).
   GUESS_CHECK_MSG(system_.network_size >= 2,
                   "network_size must be >= 2, got " << system_.network_size);
@@ -65,6 +91,9 @@ const SimulationConfig& SimulationConfig::validate() const {
   GUESS_CHECK_MSG(transport_.max_retries <= 1000,
                   "transport max_retries must be <= 1000, got "
                       << transport_.max_retries);
+  GUESS_CHECK_MSG(transport_.max_backoff > 0.0,
+                  "transport max_backoff must be > 0, got "
+                      << transport_.max_backoff);
 
   // Run control.
   GUESS_CHECK_MSG(options_.warmup >= 0.0, "warmup must be >= 0");
@@ -74,6 +103,17 @@ const SimulationConfig& SimulationConfig::validate() const {
   GUESS_CHECK_MSG(options_.connectivity_sample_interval > 0.0,
                   "connectivity_sample_interval must be > 0");
   GUESS_CHECK_MSG(options_.threads >= 0, "threads must be >= 0");
+  GUESS_CHECK_MSG(options_.metrics_interval >= 0.0,
+                  "metrics_interval must be >= 0, got "
+                      << options_.metrics_interval);
+
+  // Fault scenario (DESIGN.md §9).
+  scenario_.validate();
+  GUESS_CHECK_MSG(!scenario_.uses_degradation() ||
+                      transport_.kind == TransportParams::Kind::kLossy,
+                  "scenario degrades the transport but the transport is "
+                  "synchronous; degrade windows require --loss (a lossy "
+                  "transport)");
   return *this;
 }
 

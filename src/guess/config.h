@@ -23,6 +23,7 @@
 
 #include <cstdint>
 
+#include "faults/scenario.h"
 #include "guess/params.h"
 #include "guess/transport.h"
 #include "sim/event_queue.h"
@@ -67,6 +68,10 @@ struct SimulationOptions {
   /// results — only how fast the simulator processes events (see DESIGN.md
   /// "Event core").
   sim::Scheduler scheduler = sim::Scheduler::kHeap;
+
+  /// Width of the time-resolved metrics intervals (DESIGN.md §9); 0 disables
+  /// the interval series. Surfaced as --interval.
+  sim::Duration metrics_interval = 0.0;
 
   MaliciousParams malicious;
 };
@@ -130,6 +135,16 @@ class SimulationConfig {
     options_.scheduler = v;
     return *this;
   }
+  SimulationConfig& metrics_interval(sim::Duration v) {
+    options_.metrics_interval = v;
+    return *this;
+  }
+  /// Fault scenario executed against the run (DESIGN.md §9). Empty (the
+  /// default) means no fault engine is attached at all.
+  SimulationConfig& scenario(faults::Scenario v) {
+    scenario_ = std::move(v);
+    return *this;
+  }
 
   // --- accessors ---
 
@@ -138,6 +153,7 @@ class SimulationConfig {
   const MaliciousParams& malicious() const { return options_.malicious; }
   const TransportParams& transport() const { return transport_; }
   const SimulationOptions& options() const { return options_; }
+  const faults::Scenario& scenario() const { return scenario_; }
   std::uint64_t seed() const { return options_.seed; }
   bool enable_queries() const { return options_.enable_queries; }
 
@@ -153,6 +169,7 @@ class SimulationConfig {
   ProtocolParams protocol_;
   TransportParams transport_;
   SimulationOptions options_;
+  faults::Scenario scenario_;
 };
 
 }  // namespace guess

@@ -29,6 +29,9 @@ class PoisonGenerator {
   void add_bad_peer(PeerId id);
   void remove_bad_peer(PeerId id);
   std::size_t bad_peer_count() const { return bad_peers_.size(); }
+  /// The tracked attacker ids, in swap-remove order (tests verify the
+  /// index bookkeeping stays consistent under churn interleavings).
+  const std::vector<PeerId>& bad_peers() const { return bad_peers_; }
 
   /// A poisoned Pong of up to `pong_size` entries. Under collusion the
   /// entries name other attackers (excluding `self`); entries are stamped

@@ -33,6 +33,55 @@ TransportCounters TransportCounters::operator-(
   return out;
 }
 
+RecoveryMetrics compute_recovery(const IntervalSeries& series,
+                                 sim::Time fault_start, sim::Time fault_end,
+                                 double epsilon) {
+  RecoveryMetrics out;
+  out.epsilon = epsilon;
+
+  // Baseline: mean success over intervals that closed before the fault hit.
+  double baseline_sum = 0.0;
+  std::size_t baseline_n = 0;
+  for (const IntervalSample& s : series) {
+    if (s.end > fault_start) break;
+    if (s.queries_completed == 0) continue;
+    baseline_sum += s.success_rate();
+    ++baseline_n;
+  }
+  // No pre-fault signal (fault at t=0, or interval wider than the lead-in):
+  // fall back to perfect success so "recovered" means "fully healthy".
+  out.baseline = baseline_n == 0 ? 1.0 : baseline_sum / baseline_n;
+
+  double threshold = out.baseline - epsilon;
+  std::size_t post_onset_n = 0;
+  std::size_t post_onset_ok = 0;
+  bool any_during = false;
+  for (const IntervalSample& s : series) {
+    if (s.end <= fault_start || s.queries_completed == 0) continue;
+    double rate = s.success_rate();
+    ++post_onset_n;
+    if (rate >= threshold) ++post_onset_ok;
+    if (!any_during || rate < out.min_during_fault) {
+      out.min_during_fault = rate;
+      any_during = true;
+    }
+    // Recovery is only credited to intervals lying wholly after the fault
+    // window: a healthy interval *during* a partition (e.g. all queries
+    // resolved within one side) is not the network healing.
+    if (out.time_to_recovery < 0.0 && s.start >= fault_end &&
+        rate >= threshold) {
+      out.time_to_recovery = s.end - fault_start;
+    }
+  }
+  if (!any_during) out.min_during_fault = out.baseline;
+  out.availability =
+      post_onset_n == 0
+          ? 1.0
+          : static_cast<double>(post_onset_ok) /
+                static_cast<double>(post_onset_n);
+  return out;
+}
+
 double ClassMetrics::unsatisfied_rate() const {
   if (queries_completed == 0) return 0.0;
   return 1.0 - static_cast<double>(queries_satisfied) /

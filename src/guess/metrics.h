@@ -3,9 +3,11 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "common/stats.h"
 #include "guess/query_execution.h"
+#include "sim/time.h"
 
 namespace guess {
 
@@ -36,6 +38,59 @@ struct TransportCounters {
   /// of `other` must be <= the corresponding field of *this.
   TransportCounters operator-(const TransportCounters& other) const;
 };
+
+/// One closed sampling interval of the time-resolved series (DESIGN.md §9).
+/// Queries are attributed to the interval in which they *finish*; population
+/// and transport counters are read at the interval boundary.
+struct IntervalSample {
+  sim::Time start = 0.0;               ///< inclusive interval start
+  sim::Time end = 0.0;                 ///< exclusive interval end
+  std::uint64_t queries_completed = 0;
+  std::uint64_t queries_satisfied = 0;
+  std::uint64_t probes = 0;            ///< probes of queries finishing here
+  std::size_t live_peers = 0;          ///< live population at `end`
+  TransportCounters transport;         ///< counter deltas over the interval
+
+  /// Satisfied fraction of the interval's queries; -1 if none finished (an
+  /// empty interval carries no success signal and must not read as 0%).
+  double success_rate() const {
+    return queries_completed == 0
+               ? -1.0
+               : static_cast<double>(queries_satisfied) /
+                     static_cast<double>(queries_completed);
+  }
+  double probes_per_query() const {
+    return queries_completed == 0 ? 0.0
+                                  : static_cast<double>(probes) /
+                                        static_cast<double>(queries_completed);
+  }
+};
+
+/// The whole run's interval series, in time order. Unlike SimulationResults
+/// this spans warmup too: a fault landing at the measurement boundary still
+/// needs a pre-fault baseline to recover *to*.
+using IntervalSeries = std::vector<IntervalSample>;
+
+/// Fault-recovery summary derived from an IntervalSeries and a fault window
+/// (DESIGN.md §9). All rates are interval success rates; intervals in which
+/// no query finished are skipped (they carry no signal).
+struct RecoveryMetrics {
+  double baseline = 1.0;        ///< mean success over pre-fault intervals
+  double min_during_fault = 1.0;///< worst interval at/after fault onset
+  /// Seconds from fault onset until the first post-fault-end interval whose
+  /// success rate is back within epsilon of baseline; -1 if never recovered.
+  double time_to_recovery = -1.0;
+  /// Fraction of intervals at/after onset with success >= baseline - epsilon.
+  double availability = 1.0;
+  double epsilon = 0.0;         ///< tolerance the above were computed with
+};
+
+/// Compute recovery metrics for a fault active over [fault_start, fault_end]
+/// (for an instantaneous fault like a mass kill, pass fault_end ==
+/// fault_start). `epsilon` is the tolerated success-rate shortfall.
+RecoveryMetrics compute_recovery(const IntervalSeries& series,
+                                 sim::Time fault_start, sim::Time fault_end,
+                                 double epsilon = 0.05);
 
 /// Per-peer-class query metrics: the selfish-peer study (§3.3) compares
 /// honest and selfish peers' experience side by side.
@@ -92,6 +147,10 @@ struct SimulationResults {
   /// Queries abandoned because a creditless peer stalled past the limit
   /// (§3.3 probe payments; counted within queries_completed, unsatisfied).
   std::uint64_t queries_stalled_out = 0;
+
+  /// Time-resolved per-interval series (empty unless metrics_interval > 0).
+  /// Covers the whole run including warmup — see IntervalSeries.
+  IntervalSeries interval_series;
 
   double measure_duration = 0.0;   ///< seconds of measurement window
   std::size_t network_size = 0;

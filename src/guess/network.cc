@@ -112,6 +112,10 @@ GuessNetwork::GuessNetwork(const SimulationConfig& config,
   } else {
     transport_ = std::make_unique<SynchronousTransport>();
   }
+  // The partition/degradation overlay only exists for scenario runs;
+  // scenario-free runs keep the transport unmodulated (and identical to the
+  // pre-fault code path).
+  if (!config.scenario().empty()) transport_->set_modulation(this);
 }
 
 GuessNetwork::GuessNetwork(SystemParams system, ProtocolParams protocol,
@@ -191,6 +195,11 @@ PeerId GuessNetwork::spawn_peer(bool malicious, bool selfish, bool initial) {
   alive_index_.emplace(id, alive_ids_.size());
   alive_ids_.push_back(id);
   if (malicious) poison_.add_bad_peer(id);
+  // A peer born during a partition lands on a random side of it.
+  if (partition_ways_ > 0) {
+    partition_group_[id] = static_cast<int>(
+        rng_.index(static_cast<std::size_t>(partition_ways_)));
+  }
   trace(TraceCategory::kChurn, [&](std::ostream& os) {
     os << "birth peer=" << id << " files=" << ref.num_files()
        << (malicious ? " malicious" : "") << (selfish ? " selfish" : "");
@@ -231,8 +240,9 @@ void GuessNetwork::seed_initial_caches() {
 
 CacheEntry GuessNetwork::introduction_entry(const Peer& peer) const {
   std::uint32_t advertised =
-      peer.malicious() ? poison_.params().claimed_num_files
-                       : peer.num_files();
+      peer.malicious() && poisoning_active_
+          ? poison_.params().claimed_num_files
+          : peer.num_files();
   return CacheEntry{peer.id(), simulator_.now(), advertised, 0};
 }
 
@@ -271,12 +281,26 @@ void GuessNetwork::on_peer_death(PeerId id) {
     os << "death peer=" << id << " probes_received="
        << peer->probes_received();
   });
+  remove_peer(id);
+  // A new peer is born for every death, keeping NetworkSize constant; it
+  // inherits the role flags so the configured fractions stay exact
+  // (§5.1, §6.4, §3.3).
+  spawn_peer(was_malicious, was_selfish, /*initial=*/false);
+}
 
+void GuessNetwork::remove_peer(PeerId id) {
+  Peer* peer = find(id);
+  GUESS_CHECK_MSG(peer != nullptr, "removal of unknown peer");
   peer->ping_timer.cancel();
   peer->burst_timer.cancel();
+  // Erasing the active query bumps nothing else: in-flight lossy exchanges
+  // of this query resolve against a stale token and are dropped (releasing
+  // any credit reservation defensively), and probes *to* this peer resolve
+  // as dead once the map entry is gone.
   active_queries_.erase(id);
   flush_load(*peer);
-  if (was_malicious) poison_.remove_bad_peer(id);
+  if (peer->malicious()) poison_.remove_bad_peer(id);
+  partition_group_.erase(id);
 
   // Swap-remove from the alive list.
   std::size_t pos = alive_index_.at(id);
@@ -287,11 +311,6 @@ void GuessNetwork::on_peer_death(PeerId id) {
   }
   alive_ids_.pop_back();
   peers_.erase(id);
-
-  // A new peer is born for every death, keeping NetworkSize constant; it
-  // inherits the role flags so the configured fractions stay exact
-  // (§5.1, §6.4, §3.3).
-  spawn_peer(was_malicious, was_selfish, /*initial=*/false);
 }
 
 void GuessNetwork::flush_load(const Peer& peer) {
@@ -366,7 +385,7 @@ void GuessNetwork::ping_resolved(PeerId pinger_id, PeerId target_id,
   target->cache().touch(pinger_id, simulator_.now());
   maybe_introduce(*target, *pinger);
 
-  std::vector<CacheEntry> pong = target->malicious()
+  std::vector<CacheEntry> pong = target->malicious() && poisoning_active_
       ? poison_.make_pong(target->id(), protocol_.pong_size, simulator_.now(),
                           rng_)
       : make_pong(*target, protocol_.ping_pong);
@@ -657,7 +676,7 @@ void GuessNetwork::probe_resolved(PeerId origin_id, std::uint64_t token,
 
   // Every probed peer answers with a Pong (§2.3): entries feed the query
   // cache and, subject to CacheReplacement, the link cache.
-  std::vector<CacheEntry> pong = target->malicious()
+  std::vector<CacheEntry> pong = target->malicious() && poisoning_active_
       ? poison_.make_pong(target_id, protocol_.pong_size, simulator_.now(),
                           rng_)
       : make_pong(*target, protocol_.query_pong);
@@ -732,6 +751,14 @@ void GuessNetwork::offer_query_pong(Peer& origin, QueryExecution& query,
 
 void GuessNetwork::finish_query(Peer& origin, QueryExecution& query,
                                 bool satisfied) {
+  // The interval accumulators run from t=0, independent of measuring_: a
+  // recovery computation needs pre-fault intervals even when the fault
+  // lands at the measurement boundary.
+  if (interval_width_ > 0.0) {
+    ++interval_completed_;
+    if (satisfied) ++interval_satisfied_;
+    interval_probes_ += query.counters().total();
+  }
   if (measuring_) {
     ++results_.queries_completed;
     if (satisfied) {
@@ -760,6 +787,127 @@ void GuessNetwork::finish_query(Peer& origin, QueryExecution& query,
   origin.set_query_active(false);
   active_queries_.erase(id);
   if (origin.has_pending_query()) start_next_query(origin);
+}
+
+// --- fault-scenario hooks (DESIGN.md §9) -----------------------------------
+
+void GuessNetwork::fault_mass_kill(double fraction) {
+  std::size_t victims = static_cast<std::size_t>(
+      fraction * static_cast<double>(alive_ids_.size()));
+  victims = std::min(victims, alive_ids_.size());
+  // Draw victims from the alive list (deterministic order), then copy out:
+  // each removal swap-mutates alive_ids_ underneath the indices.
+  auto picks = rng_.sample_indices(alive_ids_.size(), victims);
+  std::vector<PeerId> chosen;
+  chosen.reserve(picks.size());
+  for (std::size_t idx : picks) chosen.push_back(alive_ids_[idx]);
+  trace(TraceCategory::kFault, [&](std::ostream& os) {
+    os << "mass-kill fraction=" << fraction << " victims=" << chosen.size()
+       << " alive=" << alive_ids_.size();
+  });
+  for (PeerId id : chosen) {
+    // Cancel the victim's scheduled natural death — it must not fire later
+    // against a vanished id — and remove WITHOUT a replacement birth: a
+    // mass departure shrinks the population until a join action.
+    churn_->deschedule(id);
+    remove_peer(id);
+  }
+}
+
+void GuessNetwork::fault_mass_join(std::size_t count) {
+  trace(TraceCategory::kFault, [&](std::ostream& os) {
+    os << "mass-join count=" << count << " alive=" << alive_ids_.size();
+  });
+  for (std::size_t i = 0; i < count; ++i) {
+    spawn_peer(/*malicious=*/false, /*selfish=*/false, /*initial=*/false);
+  }
+}
+
+void GuessNetwork::fault_set_partition(int ways) {
+  GUESS_CHECK_MSG(ways >= 2, "partition ways must be >= 2, got " << ways);
+  partition_ways_ = ways;
+  partition_group_.clear();
+  for (PeerId id : alive_ids_) {
+    partition_group_[id] =
+        static_cast<int>(rng_.index(static_cast<std::size_t>(ways)));
+  }
+  trace(TraceCategory::kFault, [&](std::ostream& os) {
+    os << "partition ways=" << ways << " alive=" << alive_ids_.size();
+  });
+}
+
+void GuessNetwork::fault_clear_partition() {
+  partition_ways_ = 0;
+  partition_group_.clear();
+  trace(TraceCategory::kFault,
+        [&](std::ostream& os) { os << "partition healed"; });
+}
+
+void GuessNetwork::fault_set_degradation(double extra_loss,
+                                         double latency_factor) {
+  degrade_extra_loss_ = extra_loss;
+  degrade_latency_factor_ = latency_factor;
+  trace(TraceCategory::kFault, [&](std::ostream& os) {
+    os << "degrade extra_loss=" << extra_loss
+       << " latency_factor=" << latency_factor;
+  });
+}
+
+void GuessNetwork::fault_clear_degradation() {
+  degrade_extra_loss_ = 0.0;
+  degrade_latency_factor_ = 1.0;
+  trace(TraceCategory::kFault,
+        [&](std::ostream& os) { os << "degrade window closed"; });
+}
+
+void GuessNetwork::fault_set_poisoning(bool active) {
+  poisoning_active_ = active;
+  trace(TraceCategory::kFault, [&](std::ostream& os) {
+    os << "poisoning " << (active ? "on" : "off");
+  });
+}
+
+bool GuessNetwork::severed(PeerId from, PeerId to) const {
+  if (partition_ways_ <= 0) return false;
+  // Addresses outside the map (dead-pool fabrications, corpses) are not
+  // severed — exchanges to them time out on their own.
+  auto a = partition_group_.find(from);
+  if (a == partition_group_.end()) return false;
+  auto b = partition_group_.find(to);
+  if (b == partition_group_.end()) return false;
+  return a->second != b->second;
+}
+
+int GuessNetwork::partition_group(PeerId id) const {
+  auto it = partition_group_.find(id);
+  return it == partition_group_.end() ? -1 : it->second;
+}
+
+// --- interval metrics (DESIGN.md §9) ---------------------------------------
+
+void GuessNetwork::begin_interval_metrics(sim::Duration width) {
+  GUESS_CHECK_MSG(width > 0.0, "interval width must be > 0");
+  interval_width_ = width;
+  interval_start_ = simulator_.now();
+  interval_completed_ = interval_satisfied_ = interval_probes_ = 0;
+  interval_transport_baseline_ = transport_->counters();
+  interval_series_.clear();
+}
+
+void GuessNetwork::sample_interval() {
+  if (interval_width_ <= 0.0) return;
+  IntervalSample sample;
+  sample.start = interval_start_;
+  sample.end = simulator_.now();
+  sample.queries_completed = interval_completed_;
+  sample.queries_satisfied = interval_satisfied_;
+  sample.probes = interval_probes_;
+  sample.live_peers = alive_ids_.size();
+  sample.transport = transport_->counters() - interval_transport_baseline_;
+  interval_series_.push_back(sample);
+  interval_start_ = sample.end;
+  interval_completed_ = interval_satisfied_ = interval_probes_ = 0;
+  interval_transport_baseline_ = transport_->counters();
 }
 
 // --- measurement -----------------------------------------------------------
@@ -849,6 +997,20 @@ SimulationResults GuessNetwork::collect_results() {
     const Peer& peer = *peers_.at(id);
     if (!peer.malicious())
       out.peer_loads.add(static_cast<double>(peer.probes_received()));
+  }
+  out.interval_series = interval_series_;
+  // Trailing partial interval (horizon not aligned to the interval width):
+  // appended to the snapshot without disturbing the live accumulators.
+  if (interval_width_ > 0.0 && simulator_.now() > interval_start_) {
+    IntervalSample tail;
+    tail.start = interval_start_;
+    tail.end = simulator_.now();
+    tail.queries_completed = interval_completed_;
+    tail.queries_satisfied = interval_satisfied_;
+    tail.probes = interval_probes_;
+    tail.live_peers = alive_ids_.size();
+    tail.transport = transport_->counters() - interval_transport_baseline_;
+    out.interval_series.push_back(tail);
   }
   return out;
 }

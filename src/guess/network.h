@@ -23,6 +23,7 @@
 #include "common/trace.h"
 #include "content/content_model.h"
 #include "content/query_stream.h"
+#include "faults/fault_host.h"
 #include "guess/config.h"
 #include "guess/malicious.h"
 #include "guess/metrics.h"
@@ -34,7 +35,12 @@
 
 namespace guess {
 
-class GuessNetwork {
+// GuessNetwork implements faults::FaultHost (the fault-scenario engine's
+// action surface, DESIGN.md §9) and TransportModulation (the partition /
+// degradation overlay the transport consults per send). The modulation is
+// installed on the transport only when the config carries a scenario, so
+// scenario-free runs execute the exact pre-fault code path.
+class GuessNetwork : public faults::FaultHost, public TransportModulation {
  public:
   /// Primary constructor: the validated SimulationConfig surface. Uses the
   /// config's system/protocol/malicious/transport blocks and
@@ -55,6 +61,45 @@ class GuessNetwork {
 
   GuessNetwork(const GuessNetwork&) = delete;
   GuessNetwork& operator=(const GuessNetwork&) = delete;
+
+  // --- faults::FaultHost (DESIGN.md §9) ---
+
+  /// Correlated mass departure: kill floor(fraction * alive) peers chosen
+  /// uniformly at random, with NO replacement births — the population stays
+  /// reduced until a join action (natural churn still replaces 1:1).
+  void fault_mass_kill(double fraction) override;
+  /// Flash crowd: `count` honest newborns join through the normal birth
+  /// path (friend-seeded caches, churn-registered lifetimes).
+  void fault_mass_join(std::size_t count) override;
+  /// Assign every live peer to one of `ways` groups uniformly at random;
+  /// cross-group exchanges are severed until the partition heals. Newborns
+  /// during the partition draw a group on birth.
+  void fault_set_partition(int ways) override;
+  void fault_clear_partition() override;
+  /// Open a transport-degradation window: extra per-leg loss (added to the
+  /// configured loss, clamped to 1) and a latency multiplier.
+  void fault_set_degradation(double extra_loss,
+                             double latency_factor) override;
+  void fault_clear_degradation() override;
+  /// Toggle attacker pong poisoning. While off, malicious peers answer with
+  /// their real (empty) caches and honest introduction entries.
+  void fault_set_poisoning(bool active) override;
+
+  // --- TransportModulation (consulted by the transport per send) ---
+
+  bool severed(PeerId from, PeerId to) const override;
+  double extra_loss() const override { return degrade_extra_loss_; }
+  double latency_factor() const override { return degrade_latency_factor_; }
+
+  // --- time-resolved interval metrics (DESIGN.md §9) ---
+
+  /// Start the per-interval accumulators; the caller (GuessSimulation)
+  /// schedules sample_interval() every `width` seconds. Unlike
+  /// begin_measurement() this runs from t=0: a fault needs a pre-fault
+  /// baseline even when it lands at the measurement boundary.
+  void begin_interval_metrics(sim::Duration width);
+  /// Close the current interval at now and open the next one.
+  void sample_interval();
 
   /// Create the initial population, seed link caches, start ping timers and
   /// query workloads. Call once, before running the simulator.
@@ -83,6 +128,11 @@ class GuessNetwork {
   std::size_t alive_count() const { return alive_ids_.size(); }
   const std::vector<PeerId>& alive_ids() const { return alive_ids_; }
   bool is_malicious(PeerId id) const;
+  bool poisoning_active() const { return poisoning_active_; }
+  int partition_ways() const { return partition_ways_; }
+  /// Partition group of `id`, or -1 when unpartitioned/unknown (tests).
+  int partition_group(PeerId id) const;
+  const IntervalSeries& interval_series() const { return interval_series_; }
   std::uint64_t deaths() const { return churn_->deaths(); }
   std::size_t active_queries() const { return active_queries_.size(); }
   const SystemParams& system() const { return system_; }
@@ -146,6 +196,10 @@ class GuessNetwork {
   // --- lifecycle ---
   PeerId spawn_peer(bool malicious, bool selfish, bool initial);
   void on_peer_death(PeerId id);
+  /// Tear one peer out of the network (timers, queries, alive list, poison
+  /// registry) WITHOUT the replacement birth. The death path and the
+  /// fault-scenario mass kill share this.
+  void remove_peer(PeerId id);
   void seed_initial_caches();
   void seed_from_friend(Peer& newborn);
   void start_ping_timer(Peer& peer);
@@ -217,6 +271,22 @@ class GuessNetwork {
   TransportCounters transport_baseline_;
   std::unordered_map<PeerId, std::uint64_t> dead_peer_loads_;
   Tracer* tracer_ = nullptr;
+
+  // --- fault-scenario state (DESIGN.md §9) ---
+  bool poisoning_active_ = true;
+  int partition_ways_ = 0;  ///< 0 = no partition active
+  std::unordered_map<PeerId, int> partition_group_;
+  double degrade_extra_loss_ = 0.0;
+  double degrade_latency_factor_ = 1.0;
+
+  // --- interval-metrics accumulators (always on once begun; span warmup) ---
+  sim::Duration interval_width_ = 0.0;  ///< 0 = interval series disabled
+  sim::Time interval_start_ = 0.0;
+  std::uint64_t interval_completed_ = 0;
+  std::uint64_t interval_satisfied_ = 0;
+  std::uint64_t interval_probes_ = 0;
+  TransportCounters interval_transport_baseline_;
+  IntervalSeries interval_series_;
 };
 
 }  // namespace guess

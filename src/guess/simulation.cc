@@ -30,6 +30,21 @@ SimulationResults GuessSimulation::run() {
   const SimulationOptions& options = config_.options();
 
   network_->initialize();
+  // Scenario actions and the interval sampler are scheduled up front, before
+  // any simulated time passes: both then ride the event queue's (time, seq)
+  // order, which is what makes a scenario run bitwise deterministic across
+  // scheduler backends. Fault actions are scheduled first, so at an exact
+  // tie the fault applies before that instant's interval sample closes.
+  if (!config_.scenario().empty()) {
+    fault_engine_ = std::make_unique<faults::FaultEngine>(
+        config_.scenario(), simulator_, *network_);
+    fault_engine_->schedule();
+  }
+  if (options.metrics_interval > 0.0) {
+    network_->begin_interval_metrics(options.metrics_interval);
+    simulator_.every(options.metrics_interval, options.metrics_interval,
+                     [this]() { network_->sample_interval(); });
+  }
   simulator_.run_until(options.warmup);
   network_->begin_measurement();
 

@@ -19,6 +19,7 @@
 #include <memory>
 #include <vector>
 
+#include "faults/fault_engine.h"
 #include "guess/config.h"
 #include "guess/metrics.h"
 #include "guess/network.h"
@@ -52,11 +53,17 @@ class GuessSimulation {
   sim::Simulator& simulator() { return simulator_; }
   const SimulationOptions& options() const { return config_.options(); }
   const SimulationConfig& config() const { return config_; }
+  /// The fault engine driving the config's scenario; nullptr until run()
+  /// when the scenario is empty (tests inspect fired()).
+  const faults::FaultEngine* fault_engine() const {
+    return fault_engine_.get();
+  }
 
  private:
   SimulationConfig config_;
   sim::Simulator simulator_;
   std::unique_ptr<GuessNetwork> network_;
+  std::unique_ptr<faults::FaultEngine> fault_engine_;
   bool ran_ = false;
 };
 

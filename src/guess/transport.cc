@@ -1,5 +1,7 @@
 #include "guess/transport.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 
 namespace guess {
@@ -26,7 +28,8 @@ std::string describe(const TransportParams& params) {
      << "s retries=" << params.max_retries << " backoff="
      << (params.backoff == TransportParams::Backoff::kFixed ? "fixed"
                                                             : "exponential")
-     << "/" << params.retry_backoff << "s";
+     << "/" << params.retry_backoff << "s max_backoff=" << params.max_backoff
+     << "s";
   return os.str();
 }
 
@@ -35,9 +38,15 @@ std::string describe(const TransportParams& params) {
 void SynchronousTransport::exchange(MessageKind kind, PeerId from, PeerId to,
                                     Completion on_complete) {
   (void)kind;
-  (void)from;
-  (void)to;
   ++counters_.messages_sent;
+  // A severed pair behaves like a probe into the void even under the §5.1
+  // in-event model: the request vanishes, the exchange times out inline.
+  if (modulation_ != nullptr && modulation_->severed(from, to)) {
+    ++counters_.messages_lost;
+    ++counters_.exchanges_failed;
+    on_complete(DeliveryStatus::kTimedOut);
+    return;
+  }
   on_complete(DeliveryStatus::kDelivered);
 }
 
@@ -71,6 +80,7 @@ LossyTransport::LossyTransport(TransportParams params,
   GUESS_CHECK(params_.probe_timeout > 0.0);
   GUESS_CHECK(params_.link_latency >= 0.0);
   GUESS_CHECK(params_.retry_backoff >= 0.0);
+  GUESS_CHECK(params_.max_backoff > 0.0);
 }
 
 std::uint32_t LossyTransport::acquire_slot() {
@@ -119,13 +129,17 @@ sim::Duration LossyTransport::draw_latency() {
 
 sim::Duration LossyTransport::backoff_delay(std::uint32_t attempt) const {
   if (params_.backoff == TransportParams::Backoff::kFixed) {
-    return params_.retry_backoff;
+    return std::min(params_.retry_backoff, params_.max_backoff);
   }
   // Exponential: attempt k (1-based) already timed out, so the k+1-th send
-  // waits retry_backoff * 2^(k-1).
+  // waits retry_backoff * 2^(k-1), capped at max_backoff. Break out of the
+  // doubling as soon as the cap is reached — 2^k overflows to inf long
+  // before a large max_retries runs out.
   sim::Duration delay = params_.retry_backoff;
-  for (std::uint32_t i = 1; i < attempt; ++i) delay *= 2.0;
-  return delay;
+  for (std::uint32_t i = 1; i < attempt && delay < params_.max_backoff; ++i) {
+    delay *= 2.0;
+  }
+  return std::min(delay, params_.max_backoff);
 }
 
 void LossyTransport::send_attempt(std::uint32_t slot) {
@@ -136,12 +150,23 @@ void LossyTransport::send_attempt(std::uint32_t slot) {
   // An attempt's fate is sealed at send time: both legs' loss coins and
   // latencies are drawn up front (a fixed four-draw budget per attempt keeps
   // the stream easy to reason about), and exactly one event resolves it —
-  // delivery at now + rtt, or the timeout at now + probe_timeout.
-  bool request_lost = rng_.bernoulli(params_.loss);
-  bool reply_lost = rng_.bernoulli(params_.loss);
-  sim::Duration rtt = draw_latency() + draw_latency();
+  // delivery at now + rtt, or the timeout at now + probe_timeout. Fault
+  // modulation perturbs the *parameters* of the draws, never their count, so
+  // the RNG stream stays aligned across fault windows opening and closing.
+  double loss = params_.loss;
+  double latency_factor = 1.0;
+  bool severed = false;
+  if (modulation_ != nullptr) {
+    severed = modulation_->severed(p.from, p.to);
+    loss = std::min(1.0, loss + modulation_->extra_loss());
+    latency_factor = modulation_->latency_factor();
+  }
+  bool request_lost = rng_.bernoulli(loss);
+  bool reply_lost = rng_.bernoulli(loss);
+  sim::Duration rtt = (draw_latency() + draw_latency()) * latency_factor;
 
-  if (!request_lost && !reply_lost && rtt <= params_.probe_timeout) {
+  if (!severed && !request_lost && !reply_lost &&
+      rtt <= params_.probe_timeout) {
     trace(simulator_.now(), [&](std::ostream& os) {
       os << kind_name(p.kind) << " " << p.from << " -> " << p.to
          << " attempt=" << p.attempt << " rtt=" << rtt;
@@ -150,7 +175,10 @@ void LossyTransport::send_attempt(std::uint32_t slot) {
     return;
   }
 
-  if (request_lost) {
+  if (severed) {
+    // The request crossed a partition boundary: swallowed by the cut.
+    ++counters_.messages_lost;
+  } else if (request_lost) {
     ++counters_.messages_lost;
   } else if (reply_lost) {
     // The reply leg only exists if the request arrived.
@@ -163,8 +191,9 @@ void LossyTransport::send_attempt(std::uint32_t slot) {
   trace(simulator_.now(), [&](std::ostream& os) {
     os << kind_name(p.kind) << " " << p.from << " -> " << p.to
        << " attempt=" << p.attempt
-       << (request_lost ? " lost=request"
-                        : reply_lost ? " lost=reply" : " late")
+       << (severed ? " severed"
+                   : request_lost ? " lost=request"
+                                  : reply_lost ? " lost=reply" : " late")
        << " timeout_at=" << simulator_.now() + params_.probe_timeout;
   });
   simulator_.after(params_.probe_timeout,

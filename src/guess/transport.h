@@ -95,6 +95,12 @@ struct TransportParams {
   Backoff backoff = Backoff::kFixed;
   sim::Duration retry_backoff = 0.0;
 
+  /// Upper bound on a single retransmit delay, seconds. Without a cap the
+  /// exponential schedule doubles unbounded, so a high-retry configuration
+  /// pushes one backoff past any simulation horizon (2^k seconds overflows
+  /// to years within ~25 retries). Surfaced as --max-backoff.
+  sim::Duration max_backoff = 60.0;
+
   /// A lossy configuration with every fault-injection knob at its default.
   static TransportParams lossy(double loss_probability) {
     TransportParams params;
@@ -106,6 +112,29 @@ struct TransportParams {
 
 /// One-line human-readable summary used by bench headers and guess_cli.
 std::string describe(const TransportParams& params);
+
+/// Time-varying fault overlay consulted by a transport on every send
+/// (DESIGN.md §9). The fault-scenario engine flips the answers as partition
+/// and degradation windows open and close; the transport stays oblivious to
+/// *why* the network is currently bad. Installed only while a scenario is
+/// active, so unmodulated runs execute the exact pre-fault code path.
+class TransportModulation {
+ public:
+  virtual ~TransportModulation() = default;
+
+  /// True if a partition currently severs the (from, to) pair. A severed
+  /// request is delivered into the void: the exchange can only time out,
+  /// exactly like a probe to a dead address.
+  virtual bool severed(PeerId from, PeerId to) const = 0;
+
+  /// Additional per-leg loss probability layered on top of the configured
+  /// loss (sum clamped to 1.0) while a degradation window is open; 0 outside.
+  virtual double extra_loss() const = 0;
+
+  /// Multiplier applied to every drawn leg latency (>= 1 during a
+  /// degradation window; exactly 1 outside).
+  virtual double latency_factor() const = 0;
+};
 
 class Transport {
  public:
@@ -132,6 +161,12 @@ class Transport {
   /// Attach an event tracer for the kTransport category (nullptr detaches).
   void set_tracer(Tracer* tracer) { tracer_ = tracer; }
 
+  /// Install a fault-modulation overlay (nullptr detaches). Not owned; must
+  /// outlive the transport or be detached first.
+  void set_modulation(const TransportModulation* modulation) {
+    modulation_ = modulation;
+  }
+
  protected:
   /// Lazily-built kTransport trace record, same idiom as GuessNetwork.
   template <typename Builder>
@@ -145,6 +180,7 @@ class Transport {
 
   TransportCounters counters_;
   Tracer* tracer_ = nullptr;
+  const TransportModulation* modulation_ = nullptr;
 };
 
 /// The §5.1 default: the reply is available the instant the request is sent.

@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 
+#include <algorithm>
 #include <vector>
 
 namespace guess::churn {
@@ -76,6 +77,71 @@ TEST(ChurnManager, ScaledFractionValidated) {
                      [](PeerId) {});
   EXPECT_THROW(churn.register_peer_scaled(1, 0.0), CheckError);
   EXPECT_THROW(churn.register_peer_scaled(1, 1.5), CheckError);
+}
+
+TEST(ChurnManager, DescheduleCancelsTheDeathWithoutCallback) {
+  sim::Simulator simulator;
+  std::vector<PeerId> deaths;
+  ChurnManager churn(simulator, LifetimeDistribution(1.0), Rng(11),
+                     [&](PeerId id) { deaths.push_back(id); });
+  sim::Duration life_a = churn.register_peer(1);
+  sim::Duration life_b = churn.register_peer(2);
+  EXPECT_EQ(churn.pending_count(), 2u);
+
+  EXPECT_TRUE(churn.deschedule(1));
+  EXPECT_EQ(churn.pending_count(), 1u);
+  // Unknown / already-descheduled ids are a no-op (a scenario may kill a
+  // never-registered immortal).
+  EXPECT_FALSE(churn.deschedule(1));
+  EXPECT_FALSE(churn.deschedule(999));
+
+  simulator.run_until(std::max(life_a, life_b) + 1.0);
+  EXPECT_EQ(deaths, std::vector<PeerId>{2});  // only the still-armed peer
+  EXPECT_EQ(churn.deaths(), 1u);
+  EXPECT_EQ(churn.pending_count(), 0u);
+}
+
+TEST(ChurnManager, PendingCountTracksFiredDeaths) {
+  sim::Simulator simulator;
+  ChurnManager churn(simulator, LifetimeDistribution(0.01), Rng(13),
+                     [](PeerId) {});
+  for (PeerId id = 0; id < 20; ++id) churn.register_peer(id);
+  EXPECT_EQ(churn.pending_count(), 20u);
+  simulator.run_until(1e7);
+  EXPECT_EQ(churn.pending_count(), 0u);
+  EXPECT_EQ(churn.deaths(), 20u);
+}
+
+// The death callback itself re-registers (the standard rebirth pattern);
+// the pending map must already have dropped the dying id when the callback
+// runs, so re-registering the SAME id from inside it arms a fresh death.
+TEST(ChurnManager, ReRegisterInsideCallbackArmsFreshDeath) {
+  sim::Simulator simulator;
+  int deaths = 0;
+  ChurnManager* churn_ptr = nullptr;
+  ChurnManager churn(simulator, LifetimeDistribution(0.01), Rng(17),
+                     [&](PeerId id) {
+                       if (++deaths < 5) churn_ptr->register_peer(id);
+                     });
+  churn_ptr = &churn;
+  churn.register_peer(42);
+  simulator.run_until(1e7);
+  EXPECT_EQ(deaths, 5);
+  EXPECT_EQ(churn.pending_count(), 0u);
+}
+
+// Registering an id twice overwrites the first death instead of leaving two
+// armed events for one peer.
+TEST(ChurnManager, DoubleRegistrationOverwrites) {
+  sim::Simulator simulator;
+  int deaths = 0;
+  ChurnManager churn(simulator, LifetimeDistribution(1.0), Rng(19),
+                     [&](PeerId) { ++deaths; });
+  churn.register_peer(7);
+  churn.register_peer(7);
+  EXPECT_EQ(churn.pending_count(), 1u);
+  simulator.run_until(1e9);
+  EXPECT_EQ(deaths, 1);
 }
 
 TEST(ChurnManager, NullCallbackRejected) {

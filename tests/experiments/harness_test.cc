@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+
 #include "common/check.h"
 
 namespace guess::experiments {
@@ -51,6 +54,88 @@ TEST(Scale, NegativeMaxRetriesRejected) {
   // Would otherwise wrap through the unsigned cast into an effectively
   // unbounded retry count.
   EXPECT_THROW(Scale::from_flags(make({"--max-retries=-1"})), CheckError);
+}
+
+TEST(Scale, MaxBackoffFlagThreadsThrough) {
+  auto scale = Scale::from_flags(make({"--loss=0.05", "--max-backoff=7.5"}));
+  EXPECT_EQ(scale.transport.kind, TransportParams::Kind::kLossy);
+  EXPECT_DOUBLE_EQ(scale.transport.max_backoff, 7.5);
+  // --max-backoff alone is a transport flag: it switches on LossyTransport.
+  auto alone = Scale::from_flags(make({"--max-backoff=5"}));
+  EXPECT_EQ(alone.transport.kind, TransportParams::Kind::kLossy);
+}
+
+TEST(Scale, NonFiniteTransportFlagsRejected) {
+  EXPECT_THROW(Scale::from_flags(make({"--loss=nan"})), CheckError);
+  EXPECT_THROW(Scale::from_flags(make({"--loss=0.1", "--link-latency=inf"})),
+               CheckError);
+  EXPECT_THROW(
+      Scale::from_flags(make({"--loss=0.1", "--probe-timeout=nan"})),
+      CheckError);
+  EXPECT_THROW(Scale::from_flags(make({"--loss=0.1", "--max-backoff=inf"})),
+               CheckError);
+  EXPECT_THROW(Scale::from_flags(make({"--interval=nan"})), CheckError);
+  EXPECT_THROW(Scale::from_flags(make({"--interval=-5"})), CheckError);
+}
+
+TEST(Scale, ScenarioFlagParsesAndDefaultsTheInterval) {
+  auto scale =
+      Scale::from_flags(make({"--scenario=at 600 kill 0.3; at 900 join 50"}));
+  ASSERT_EQ(scale.scenario.size(), 2u);
+  EXPECT_DOUBLE_EQ(scale.scenario.first_fault_time(), 600.0);
+  // A scenario without --interval turns the series on at 60 s buckets.
+  EXPECT_DOUBLE_EQ(scale.metrics_interval, 60.0);
+
+  // An explicit --interval wins, including an explicit 0 (series off).
+  auto custom = Scale::from_flags(
+      make({"--scenario=at 600 kill 0.3", "--interval=15"}));
+  EXPECT_DOUBLE_EQ(custom.metrics_interval, 15.0);
+  auto off =
+      Scale::from_flags(make({"--scenario=at 600 kill 0.3", "--interval=0"}));
+  EXPECT_DOUBLE_EQ(off.metrics_interval, 0.0);
+
+  // No scenario: the series stays off by default.
+  EXPECT_DOUBLE_EQ(Scale::from_flags(make({})).metrics_interval, 0.0);
+  EXPECT_TRUE(Scale::from_flags(make({})).scenario.empty());
+}
+
+TEST(Scale, MalformedScenarioFlagThrows) {
+  EXPECT_THROW(Scale::from_flags(make({"--scenario=at 600 explode"})),
+               CheckError);
+}
+
+TEST(Scale, ScenarioFileLoadsAndExclusionEnforced) {
+  const std::string path = ::testing::TempDir() + "/guess_harness_scn.txt";
+  {
+    std::ofstream out(path);
+    out << "at 100 partition 2 for 50\n";
+  }
+  auto scale = Scale::from_flags(make({("--scenario-file=" + path).c_str()}));
+  ASSERT_EQ(scale.scenario.size(), 1u);
+  EXPECT_EQ(scale.scenario.actions()[0].ways, 2);
+  std::remove(path.c_str());
+
+  EXPECT_THROW(Scale::from_flags(make({"--scenario=at 1 join 1",
+                                       "--scenario-file=x"})),
+               CheckError);
+}
+
+TEST(Scale, ScenarioCarriesIntoConfig) {
+  auto scale = Scale::from_flags(
+      make({"--scenario=at 600 kill 0.3", "--interval=30"}));
+  auto config = scale.config();
+  EXPECT_EQ(config.scenario().size(), 1u);
+  EXPECT_DOUBLE_EQ(config.options().metrics_interval, 30.0);
+}
+
+TEST(Harness, PrintHeaderMentionsTheScenario) {
+  std::ostringstream os;
+  auto scale = Scale::from_flags(make({"--scenario=at 600 kill 0.3"}));
+  print_header(os, "Figure 99", "claim", SystemParams{}, ProtocolParams{},
+               scale);
+  std::string text = os.str();
+  EXPECT_NE(text.find("at 600 kill 0.3"), std::string::npos);
+  EXPECT_NE(text.find("interval=60"), std::string::npos);
 }
 
 TEST(PolicyCombo, PaperNamesMapToPolicyTriples) {

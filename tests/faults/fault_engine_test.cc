@@ -1,0 +1,166 @@
+// FaultEngine: a Scenario becomes events on the slab queue. Onsets fire at
+// their exact times, window actions schedule a matching clear at onset +
+// duration, equal-time actions apply in scenario order, and the resulting
+// host-call sequence is identical under the heap and calendar schedulers.
+#include "faults/fault_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "faults/fault_host.h"
+#include "faults/scenario.h"
+#include "sim/simulator.h"
+
+namespace guess::faults {
+namespace {
+
+/// Records every FaultHost call as "(time) name(args)".
+class RecordingHost : public FaultHost {
+ public:
+  explicit RecordingHost(sim::Simulator& simulator) : simulator_(simulator) {}
+
+  void fault_mass_kill(double fraction) override {
+    record("kill(" + std::to_string(fraction) + ")");
+  }
+  void fault_mass_join(std::size_t count) override {
+    record("join(" + std::to_string(count) + ")");
+  }
+  void fault_set_partition(int ways) override {
+    record("partition(" + std::to_string(ways) + ")");
+  }
+  void fault_clear_partition() override { record("heal()"); }
+  void fault_set_degradation(double extra_loss,
+                             double latency_factor) override {
+    record("degrade(" + std::to_string(extra_loss) + "," +
+           std::to_string(latency_factor) + ")");
+  }
+  void fault_clear_degradation() override { record("clear_degrade()"); }
+  void fault_set_poisoning(bool active) override {
+    record(active ? "poison(on)" : "poison(off)");
+  }
+
+  const std::vector<std::pair<sim::Time, std::string>>& calls() const {
+    return calls_;
+  }
+
+ private:
+  void record(std::string call) {
+    calls_.emplace_back(simulator_.now(), std::move(call));
+  }
+
+  sim::Simulator& simulator_;
+  std::vector<std::pair<sim::Time, std::string>> calls_;
+};
+
+TEST(FaultEngine, OnsetsAndWindowEndsFireAtExactTimes) {
+  sim::Simulator simulator;
+  RecordingHost host(simulator);
+  Scenario scenario = Scenario::parse(
+      "at 100 kill 0.25; at 200 partition 2 for 50; "
+      "at 300 degrade loss=0.5 latency=2 for 10; at 400 join 7; "
+      "at 500 poison off");
+  FaultEngine engine(scenario, simulator, host);
+  engine.schedule();
+  simulator.run_until(1000.0);
+
+  const std::vector<std::pair<sim::Time, std::string>> want = {
+      {100.0, "kill(" + std::to_string(0.25) + ")"},
+      {200.0, "partition(2)"},
+      {250.0, "heal()"},
+      {300.0,
+       "degrade(" + std::to_string(0.5) + "," + std::to_string(2.0) + ")"},
+      {310.0, "clear_degrade()"},
+      {400.0, "join(7)"},
+      {500.0, "poison(off)"},
+  };
+  EXPECT_EQ(host.calls(), want);
+  // fired() counts applied onsets, not window ends.
+  EXPECT_EQ(engine.fired(), 5u);
+}
+
+// Actions sharing an onset time apply in scenario (statement) order — the
+// (time, seq) guarantee of the event queue surfaced at the fault layer.
+TEST(FaultEngine, EqualTimeActionsApplyInScenarioOrder) {
+  sim::Simulator simulator;
+  RecordingHost host(simulator);
+  Scenario scenario =
+      Scenario::parse("at 600 kill 0.3; at 600 partition 2 for 300; "
+                      "at 600 poison off; at 600 join 10");
+  FaultEngine engine(scenario, simulator, host);
+  engine.schedule();
+  simulator.run_until(600.0);  // events exactly at the horizon fire
+
+  ASSERT_EQ(host.calls().size(), 4u);
+  EXPECT_EQ(host.calls()[0].second,
+            "kill(" + std::to_string(0.3) + ")");
+  EXPECT_EQ(host.calls()[1].second, "partition(2)");
+  EXPECT_EQ(host.calls()[2].second, "poison(off)");
+  EXPECT_EQ(host.calls()[3].second, "join(10)");
+  EXPECT_EQ(engine.fired(), 4u);
+}
+
+// Back-to-back windows of the same kind (end == next onset) are legal; at
+// the shared instant the earlier window's clear must run before the later
+// window's onset, or the heal would wipe out the fresh partition.
+TEST(FaultEngine, BackToBackWindowsHealBeforeNextOnset) {
+  sim::Simulator simulator;
+  RecordingHost host(simulator);
+  Scenario scenario = Scenario::parse(
+      "at 100 partition 2 for 50; at 150 partition 3 for 50");
+  FaultEngine engine(scenario, simulator, host);
+  engine.schedule();
+  simulator.run_until(1000.0);
+
+  ASSERT_EQ(host.calls().size(), 4u);
+  EXPECT_EQ(host.calls()[0].second, "partition(2)");
+  // schedule() arms onset[0], end[0], onset[1], end[1] in that (seq) order,
+  // so at the t=150 tie the first window's heal precedes the re-partition.
+  EXPECT_EQ(host.calls()[1], (std::pair<sim::Time, std::string>{150.0,
+                                                                "heal()"}));
+  EXPECT_EQ(host.calls()[2].second, "partition(3)");
+  EXPECT_EQ(host.calls()[3],
+            (std::pair<sim::Time, std::string>{200.0, "heal()"}));
+}
+
+TEST(FaultEngine, EmptyScenarioSchedulesNothing) {
+  sim::Simulator simulator;
+  RecordingHost host(simulator);
+  FaultEngine engine(Scenario{}, simulator, host);
+  engine.schedule();
+  EXPECT_EQ(simulator.pending_events(), 0u);
+  simulator.run_all();
+  EXPECT_TRUE(host.calls().empty());
+  EXPECT_EQ(engine.fired(), 0u);
+}
+
+TEST(FaultEngine, ScheduleTwiceThrows) {
+  sim::Simulator simulator;
+  RecordingHost host(simulator);
+  FaultEngine engine(Scenario::parse("at 10 join 1"), simulator, host);
+  engine.schedule();
+  EXPECT_THROW(engine.schedule(), CheckError);
+}
+
+// The whole call sequence — times and arguments — must be identical under
+// both scheduler backends.
+TEST(FaultEngine, HeapAndCalendarProduceIdenticalCallSequences) {
+  auto run = [](sim::Scheduler scheduler) {
+    sim::Simulator simulator(scheduler);
+    RecordingHost host(simulator);
+    Scenario scenario = Scenario::parse(
+        "at 600 kill 0.3; at 600 partition 2 for 300; "
+        "at 1200 degrade loss=0.5 for 120; at 1800 join 2000; "
+        "at 300 poison off; at 2100 poison on");
+    FaultEngine engine(scenario, simulator, host);
+    engine.schedule();
+    simulator.run_until(5000.0);
+    return host.calls();
+  };
+  EXPECT_EQ(run(sim::Scheduler::kHeap), run(sim::Scheduler::kCalendar));
+}
+
+}  // namespace
+}  // namespace guess::faults

@@ -1,0 +1,145 @@
+// Fuzzing the scenario parser: arbitrary byte soup and mutated valid specs
+// must either parse into a scenario that passes validate() or throw
+// CheckError — never crash, hang, or accept non-finite/out-of-range values.
+// Mirrors the model-based fuzz style of sim/event_queue_fuzz_test.cc.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "faults/scenario.h"
+
+namespace guess::faults {
+namespace {
+
+/// Parse must be total: any input either yields a validated scenario or
+/// throws CheckError. Returns true if it parsed.
+bool parse_is_total(const std::string& spec) {
+  try {
+    Scenario s = Scenario::parse(spec);
+    // Whatever parsed must satisfy the semantic invariants the rest of the
+    // system relies on (the FaultEngine schedules end() events, the network
+    // divides by fractions, ...).
+    for (const FaultAction& a : s.actions()) {
+      EXPECT_TRUE(std::isfinite(a.at)) << spec;
+      EXPECT_GE(a.at, 0.0) << spec;
+      switch (a.kind) {
+        case FaultKind::kKill:
+          EXPECT_GT(a.fraction, 0.0) << spec;
+          EXPECT_LE(a.fraction, 1.0) << spec;
+          break;
+        case FaultKind::kJoin:
+          EXPECT_GE(a.count, 1u) << spec;
+          break;
+        case FaultKind::kPartition:
+          EXPECT_GE(a.ways, 2) << spec;
+          break;
+        case FaultKind::kDegrade:
+          EXPECT_GE(a.loss, 0.0) << spec;
+          EXPECT_LE(a.loss, 1.0) << spec;
+          EXPECT_GE(a.latency_factor, 1.0) << spec;
+          break;
+        case FaultKind::kPoison:
+          break;
+      }
+      if (a.windowed()) {
+        EXPECT_GT(a.duration, 0.0) << spec;
+      }
+    }
+    // And it must round-trip: describe() re-parses to the same spec.
+    EXPECT_EQ(Scenario::parse(s.describe()).describe(), s.describe()) << spec;
+    return true;
+  } catch (const CheckError&) {
+    return false;  // rejection is a valid outcome; anything else propagates
+  }
+}
+
+TEST(ScenarioFuzz, RandomByteSoupNeverCrashes) {
+  Rng rng(101);
+  const std::string alphabet =
+      "at kiljonprdegs0123456789.=-+e;# \n\tfor_onff";
+  for (int round = 0; round < 2000; ++round) {
+    std::string spec;
+    std::size_t len = rng.index(80);
+    for (std::size_t i = 0; i < len; ++i) {
+      spec.push_back(alphabet[rng.index(alphabet.size())]);
+    }
+    parse_is_total(spec);
+  }
+}
+
+// Mutations of a valid spec: flip/insert/delete single characters. Most
+// mutants are rejected; the assertion is only that no mutant crashes or
+// parses into an invalid action.
+TEST(ScenarioFuzz, MutatedValidSpecsStayTotal) {
+  const std::string base =
+      "at 600 kill 0.30; at 600 partition 2 for 300; "
+      "at 1200 degrade loss=0.5 latency=4 for 120; "
+      "at 1800 join 2000; at 300 poison off";
+  ASSERT_TRUE(parse_is_total(base));
+
+  Rng rng(202);
+  const std::string alphabet = "atkiljonprde 0123456789.=;#x";
+  for (int round = 0; round < 2000; ++round) {
+    std::string spec = base;
+    int edits = 1 + static_cast<int>(rng.index(3));
+    for (int e = 0; e < edits; ++e) {
+      std::size_t pos = rng.index(spec.size());
+      switch (rng.index(3)) {
+        case 0:  // flip
+          spec[pos] = alphabet[rng.index(alphabet.size())];
+          break;
+        case 1:  // insert
+          spec.insert(pos, 1, alphabet[rng.index(alphabet.size())]);
+          break;
+        default:  // delete
+          spec.erase(pos, 1);
+          break;
+      }
+    }
+    parse_is_total(spec);
+  }
+}
+
+// Randomly generated WELL-FORMED specs must always parse, and round-trip
+// through describe() — the positive half of the fuzz property.
+TEST(ScenarioFuzz, GeneratedValidSpecsAlwaysParse) {
+  Rng rng(303);
+  for (int round = 0; round < 500; ++round) {
+    std::string spec;
+    int statements = 1 + static_cast<int>(rng.index(5));
+    // Disjoint window slots keep the overlap check out of the picture:
+    // statement i's window lives in [1000*i, 1000*i + 999].
+    for (int i = 0; i < statements; ++i) {
+      if (i > 0) spec += "; ";
+      double at = 1000.0 * i + std::floor(rng.uniform(0.0, 500.0));
+      spec += "at " + std::to_string(static_cast<long>(at)) + " ";
+      switch (rng.index(5)) {
+        case 0:
+          spec += "kill 0." + std::to_string(1 + rng.index(9));
+          break;
+        case 1:
+          spec += "join " + std::to_string(1 + rng.index(100));
+          break;
+        case 2:
+          spec += "partition " + std::to_string(2 + rng.index(4)) + " for " +
+                  std::to_string(1 + rng.index(400));
+          break;
+        case 3:
+          spec += "degrade loss=0." + std::to_string(rng.index(10)) +
+                  " for " + std::to_string(1 + rng.index(400));
+          break;
+        default:
+          spec += rng.bernoulli(0.5) ? "poison on" : "poison off";
+          break;
+      }
+    }
+    EXPECT_TRUE(parse_is_total(spec)) << spec;
+  }
+}
+
+}  // namespace
+}  // namespace guess::faults

@@ -1,0 +1,292 @@
+// Fault-scenario spec machinery (DESIGN.md §9): the textual grammar, the
+// strict error paths (every malformed spec must throw a CheckError naming
+// the offending token), semantic validation, file loading, and the
+// describe() <-> parse() round trip.
+#include "faults/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <limits>
+#include <string>
+
+#include "common/check.h"
+
+namespace guess::faults {
+namespace {
+
+/// Run `fn`, require it to throw CheckError, and return the message so the
+/// caller can assert it names the offending token.
+std::string error_of(const std::function<void()>& fn) {
+  try {
+    fn();
+  } catch (const CheckError& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected a CheckError";
+  return "";
+}
+
+std::string parse_error(const std::string& spec) {
+  return error_of([&] { Scenario::parse(spec); });
+}
+
+TEST(ScenarioParse, EveryActionKind) {
+  Scenario s = Scenario::parse(
+      "at 600 kill 0.30; at 600 partition 2 for 300; "
+      "at 1200 degrade loss=0.5 for 120; at 1800 join 2000; "
+      "at 300 poison off");
+  ASSERT_EQ(s.size(), 5u);
+
+  EXPECT_EQ(s.actions()[0].kind, FaultKind::kKill);
+  EXPECT_DOUBLE_EQ(s.actions()[0].at, 600.0);
+  EXPECT_DOUBLE_EQ(s.actions()[0].fraction, 0.30);
+  EXPECT_FALSE(s.actions()[0].windowed());
+
+  EXPECT_EQ(s.actions()[1].kind, FaultKind::kPartition);
+  EXPECT_EQ(s.actions()[1].ways, 2);
+  EXPECT_DOUBLE_EQ(s.actions()[1].duration, 300.0);
+  EXPECT_TRUE(s.actions()[1].windowed());
+  EXPECT_DOUBLE_EQ(s.actions()[1].end(), 900.0);
+
+  EXPECT_EQ(s.actions()[2].kind, FaultKind::kDegrade);
+  EXPECT_DOUBLE_EQ(s.actions()[2].loss, 0.5);
+  EXPECT_DOUBLE_EQ(s.actions()[2].latency_factor, 1.0);  // default
+  EXPECT_DOUBLE_EQ(s.actions()[2].duration, 120.0);
+
+  EXPECT_EQ(s.actions()[3].kind, FaultKind::kJoin);
+  EXPECT_EQ(s.actions()[3].count, 2000u);
+  EXPECT_DOUBLE_EQ(s.actions()[3].end(), 1800.0);  // point action
+
+  EXPECT_EQ(s.actions()[4].kind, FaultKind::kPoison);
+  EXPECT_FALSE(s.actions()[4].poison_on);
+}
+
+TEST(ScenarioParse, DegradeAcceptsBothKnobsInAnyOrder) {
+  Scenario a = Scenario::parse("at 10 degrade loss=0.2 latency=4 for 60");
+  EXPECT_DOUBLE_EQ(a.actions()[0].loss, 0.2);
+  EXPECT_DOUBLE_EQ(a.actions()[0].latency_factor, 4.0);
+
+  Scenario b = Scenario::parse("at 10 degrade latency=2 loss=0.1 for 5");
+  EXPECT_DOUBLE_EQ(b.actions()[0].loss, 0.1);
+  EXPECT_DOUBLE_EQ(b.actions()[0].latency_factor, 2.0);
+
+  Scenario c = Scenario::parse("at 10 degrade latency=2 for 5");
+  EXPECT_DOUBLE_EQ(c.actions()[0].loss, 0.0);  // latency-only window
+}
+
+TEST(ScenarioParse, NewlinesCommentsAndBlanksIgnored) {
+  Scenario s = Scenario::parse(
+      "# warmup ends at 400\n"
+      "at 600 kill 0.3   # correlated departure\n"
+      "\n"
+      ";; at 900 join 50 ; \n"
+      "at 1000 poison on");
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.actions()[0].kind, FaultKind::kKill);
+  EXPECT_EQ(s.actions()[1].kind, FaultKind::kJoin);
+  EXPECT_EQ(s.actions()[2].kind, FaultKind::kPoison);
+  EXPECT_TRUE(s.actions()[2].poison_on);
+}
+
+TEST(ScenarioParse, EmptySpecIsEmptyScenario) {
+  EXPECT_TRUE(Scenario::parse("").empty());
+  EXPECT_TRUE(Scenario::parse("  ; ;\n# only a comment\n").empty());
+  EXPECT_DOUBLE_EQ(Scenario().first_fault_time(), 0.0);
+  EXPECT_DOUBLE_EQ(Scenario().last_fault_end(), 0.0);
+}
+
+// Every malformed spec must throw with a message that names the offending
+// token AND the statement it appeared in — the error is the user interface.
+TEST(ScenarioParse, ErrorsNameTheOffendingToken) {
+  std::string msg = parse_error("at 50 kil 0.3");
+  EXPECT_NE(msg.find("unknown action 'kil'"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("at 50 kil 0.3"), std::string::npos) << msg;
+
+  msg = parse_error("kill 0.3");
+  EXPECT_NE(msg.find("expected 'at'"), std::string::npos) << msg;
+
+  msg = parse_error("at abc kill 0.3");
+  EXPECT_NE(msg.find("bad time 'abc'"), std::string::npos) << msg;
+
+  msg = parse_error("at 50 kill");
+  EXPECT_NE(msg.find("expected kill fraction at end of statement"),
+            std::string::npos)
+      << msg;
+
+  msg = parse_error("at 50 kill 0.3 extra");
+  EXPECT_NE(msg.find("unexpected trailing token 'extra'"), std::string::npos)
+      << msg;
+
+  msg = parse_error("at 50 join 1.5");
+  EXPECT_NE(msg.find("join count must be a whole number"), std::string::npos)
+      << msg;
+
+  msg = parse_error("at 50 partition 2 until 300");
+  EXPECT_NE(msg.find("expected 'for', got 'until'"), std::string::npos)
+      << msg;
+
+  msg = parse_error("at 50 degrade for 10");
+  EXPECT_NE(msg.find("degrade needs at least one of"), std::string::npos)
+      << msg;
+
+  msg = parse_error("at 50 degrade jitter=3 for 10");
+  EXPECT_NE(msg.find("unknown degrade knob 'jitter'"), std::string::npos)
+      << msg;
+
+  msg = parse_error("at 50 degrade loss for 10");
+  EXPECT_NE(msg.find("expected key=value or 'for', got 'loss'"),
+            std::string::npos)
+      << msg;
+
+  msg = parse_error("at 50 poison maybe");
+  EXPECT_NE(msg.find("expected 'on' or 'off', got 'maybe'"),
+            std::string::npos)
+      << msg;
+}
+
+// The number parser is strict: partial parses and non-finite spellings that
+// strtod would happily accept must be rejected.
+TEST(ScenarioParse, RejectsNonFiniteAndPartialNumbers) {
+  EXPECT_NE(parse_error("at nan kill 0.3").find("bad time 'nan'"),
+            std::string::npos);
+  EXPECT_NE(parse_error("at inf kill 0.3").find("bad time 'inf'"),
+            std::string::npos);
+  EXPECT_NE(parse_error("at 50 kill nan").find("bad kill fraction 'nan'"),
+            std::string::npos);
+  EXPECT_NE(
+      parse_error("at 50 degrade loss=inf for 10").find("bad degrade loss"),
+      std::string::npos);
+  EXPECT_NE(parse_error("at 50 kill 0.3x").find("bad kill fraction '0.3x'"),
+            std::string::npos);
+  EXPECT_NE(parse_error("at 1e999 kill 0.3").find("bad time '1e999'"),
+            std::string::npos);  // overflows to inf
+}
+
+TEST(ScenarioValidate, SemanticRanges) {
+  EXPECT_NE(parse_error("at 50 kill 0").find("kill fraction must be in"),
+            std::string::npos);
+  EXPECT_NE(parse_error("at 50 kill 1.5").find("kill fraction must be in"),
+            std::string::npos);
+  EXPECT_NE(parse_error("at 50 join 0").find("join count must be >= 1"),
+            std::string::npos);
+  EXPECT_NE(parse_error("at 50 partition 1 for 10")
+                .find("partition ways must be >= 2"),
+            std::string::npos);
+  EXPECT_NE(parse_error("at 50 partition 2 for 0")
+                .find("window duration must be > 0"),
+            std::string::npos);
+  EXPECT_NE(parse_error("at 50 degrade loss=2 for 10")
+                .find("degrade loss must be in [0, 1]"),
+            std::string::npos);
+  EXPECT_NE(parse_error("at 50 degrade loss=0.1 latency=0.5 for 10")
+                .find("latency factor must be >= 1"),
+            std::string::npos);
+  EXPECT_NE(parse_error("at -5 kill 0.3").find("time must be finite"),
+            std::string::npos);
+  // kill 1.0 (everyone) is legal.
+  EXPECT_NO_THROW(Scenario::parse("at 50 kill 1.0"));
+}
+
+// Non-finite values injected through the programmatic API (the benches build
+// scenarios with add()) must not slip past validate().
+TEST(ScenarioValidate, ProgrammaticNonFiniteRejected) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+
+  FaultAction kill;
+  kill.kind = FaultKind::kKill;
+  kill.at = nan;
+  kill.fraction = 0.5;
+  EXPECT_THROW(Scenario().add(kill).validate(), CheckError);
+
+  kill.at = 10.0;
+  kill.fraction = nan;
+  EXPECT_THROW(Scenario().add(kill).validate(), CheckError);
+
+  FaultAction degrade;
+  degrade.kind = FaultKind::kDegrade;
+  degrade.at = 10.0;
+  degrade.duration = inf;
+  degrade.loss = 0.5;
+  EXPECT_THROW(Scenario().add(degrade).validate(), CheckError);
+
+  degrade.duration = 10.0;
+  degrade.latency_factor = inf;
+  EXPECT_THROW(Scenario().add(degrade).validate(), CheckError);
+}
+
+TEST(ScenarioValidate, OverlappingSameKindWindowsRejected) {
+  std::string msg =
+      parse_error("at 100 partition 2 for 50; at 120 partition 3 for 50");
+  EXPECT_NE(msg.find("overlapping partition windows at t=100 and t=120"),
+            std::string::npos)
+      << msg;
+  EXPECT_THROW(
+      Scenario::parse("at 100 degrade loss=0.5 for 50; "
+                      "at 149 degrade loss=0.1 for 10"),
+      CheckError);
+
+  // Back-to-back (end == next start) is NOT an overlap, and windows of
+  // different kinds may overlap freely.
+  EXPECT_NO_THROW(
+      Scenario::parse("at 100 partition 2 for 50; at 150 partition 2 for 50"));
+  EXPECT_NO_THROW(
+      Scenario::parse("at 100 partition 2 for 50; "
+                      "at 120 degrade loss=0.5 for 50"));
+}
+
+TEST(Scenario, FaultWindowBounds) {
+  Scenario s = Scenario::parse(
+      "at 600 kill 0.3; at 200 poison off; at 500 partition 2 for 1000");
+  EXPECT_DOUBLE_EQ(s.first_fault_time(), 200.0);
+  EXPECT_DOUBLE_EQ(s.last_fault_end(), 1500.0);
+  EXPECT_FALSE(s.uses_degradation());
+  EXPECT_TRUE(
+      Scenario::parse("at 10 degrade loss=0.1 for 5").uses_degradation());
+}
+
+TEST(Scenario, DescribeRoundTripsThroughParse) {
+  const std::string spec =
+      "at 600 kill 0.3; at 600 partition 2 for 300; "
+      "at 1200 degrade loss=0.5 latency=4 for 120; at 1800 join 2000; "
+      "at 300 poison off; at 2000 degrade loss=0.25 for 60";
+  Scenario s = Scenario::parse(spec);
+  EXPECT_EQ(s.describe(), spec);
+  // A second trip is a fixed point.
+  EXPECT_EQ(Scenario::parse(s.describe()).describe(), spec);
+}
+
+TEST(Scenario, LoadFileParsesAndReportsMissingFiles) {
+  const std::string path = ::testing::TempDir() + "/guess_scenario_test.txt";
+  {
+    std::ofstream out(path);
+    out << "# two-phase fault\n"
+        << "at 600 kill 0.3\n"
+        << "at 900 join 30\n";
+  }
+  Scenario s = Scenario::load_file(path);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.actions()[0].kind, FaultKind::kKill);
+  EXPECT_EQ(s.actions()[1].count, 30u);
+  std::remove(path.c_str());
+
+  std::string msg = error_of(
+      [] { Scenario::load_file("/nonexistent/guess-scenario.txt"); });
+  EXPECT_NE(msg.find("cannot read file '/nonexistent/guess-scenario.txt'"),
+            std::string::npos)
+      << msg;
+}
+
+TEST(Scenario, KindNames) {
+  EXPECT_STREQ(fault_kind_name(FaultKind::kKill), "kill");
+  EXPECT_STREQ(fault_kind_name(FaultKind::kJoin), "join");
+  EXPECT_STREQ(fault_kind_name(FaultKind::kPartition), "partition");
+  EXPECT_STREQ(fault_kind_name(FaultKind::kDegrade), "degrade");
+  EXPECT_STREQ(fault_kind_name(FaultKind::kPoison), "poison");
+}
+
+}  // namespace
+}  // namespace guess::faults

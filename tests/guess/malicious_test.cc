@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 
+#include <iterator>
 #include <set>
 
 namespace guess {
@@ -78,6 +79,54 @@ TEST(Poison, BadPeerSetMaintainedThroughChurn) {
     }
   }
   EXPECT_EQ(advertised, (std::set<PeerId>{3, 4}));
+}
+
+// Model-based churn fuzz of the swap-remove bookkeeping: add/remove in
+// random interleavings must keep bad_peers() an exact (unordered) mirror of
+// a reference set, with no duplicates and no stale survivors. A bug in the
+// bad_index_ maintenance (e.g. not re-indexing the swapped-in tail element)
+// shows up as a removal deleting the wrong peer.
+TEST(Poison, SwapRemoveBookkeepingConsistentUnderChurnInterleavings) {
+  PoisonGenerator poison(params(), BadPongBehavior::kBad);
+  Rng rng(12345);
+  std::set<PeerId> reference;
+  PeerId next_id = 0;
+
+  for (int step = 0; step < 5000; ++step) {
+    // Bias toward adds while small, removes while large, so the set keeps
+    // crossing the interesting sizes (empty, one, many).
+    bool add = reference.empty() ||
+               rng.bernoulli(reference.size() < 20 ? 0.7 : 0.3);
+    if (add) {
+      PeerId id = next_id++;
+      poison.add_bad_peer(id);
+      reference.insert(id);
+    } else {
+      // Remove a uniformly random current member — tail, head, middle.
+      auto it = reference.begin();
+      std::advance(it, static_cast<long>(rng.index(reference.size())));
+      poison.remove_bad_peer(*it);
+      reference.erase(it);
+    }
+    ASSERT_EQ(poison.bad_peer_count(), reference.size());
+    std::set<PeerId> tracked(poison.bad_peers().begin(),
+                             poison.bad_peers().end());
+    ASSERT_EQ(tracked.size(), poison.bad_peers().size());  // no duplicates
+    ASSERT_EQ(tracked, reference);
+  }
+
+  // After all that churn the generator still functions: pongs only ever
+  // name current attackers.
+  if (reference.size() < 2) poison.add_bad_peer(next_id++);
+  std::set<PeerId> current(poison.bad_peers().begin(),
+                           poison.bad_peers().end());
+  PeerId self = *current.begin();
+  for (int round = 0; round < 50; ++round) {
+    for (const auto& e : poison.make_pong(self, 5, 0.0, rng)) {
+      EXPECT_TRUE(current.contains(e.id));
+      EXPECT_NE(e.id, self);
+    }
+  }
 }
 
 TEST(Poison, DoubleAddOrBadRemoveThrows) {

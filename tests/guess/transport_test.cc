@@ -103,6 +103,172 @@ TEST(LossyTransport, ExponentialBackoffDoubles) {
   EXPECT_DOUBLE_EQ(res.at, 9.0);
 }
 
+// Regression: the exponential schedule doubles unbounded, so a long retry
+// chain used to push retransmits absurdly far into simulated time (attempt
+// 40 waited ~2^39 s). max_backoff caps every delay:
+//   send@0, timeout@2, +1 -> 3, timeout@5, +2 -> 7, timeout@9, +4 (capped
+//   to 3) -> 12, timeout@14, +3 -> 17, timeout@19 -> failed.
+TEST(LossyTransport, ExponentialBackoffCappedByMaxBackoff) {
+  sim::Simulator simulator;
+  TransportParams params = TransportParams::lossy(1.0);
+  params.probe_timeout = 2.0;
+  params.max_retries = 4;
+  params.backoff = TransportParams::Backoff::kExponential;
+  params.retry_backoff = 1.0;
+  params.max_backoff = 3.0;
+  LossyTransport transport(params, simulator, Rng(7));
+
+  Resolution res;
+  transport.exchange(MessageKind::kPing, 1, 2, [&](DeliveryStatus status) {
+    res = {simulator.now(), status};
+  });
+  simulator.run_until(1000.0);
+  EXPECT_EQ(res.status, DeliveryStatus::kTimedOut);
+  EXPECT_DOUBLE_EQ(res.at, 19.0);
+}
+
+// Even a pathologically long exponential chain resolves within bounded
+// simulated time: retries * (timeout + max_backoff) — not 2^retries.
+TEST(LossyTransport, LongRetryChainStaysWithinLinearTimeBound) {
+  sim::Simulator simulator;
+  TransportParams params = TransportParams::lossy(1.0);
+  params.probe_timeout = 2.0;
+  params.max_retries = 60;  // would be ~2^60 s unbounded
+  params.backoff = TransportParams::Backoff::kExponential;
+  params.retry_backoff = 1.0;
+  params.max_backoff = 30.0;
+  LossyTransport transport(params, simulator, Rng(7));
+
+  Resolution res;
+  transport.exchange(MessageKind::kPing, 1, 2, [&](DeliveryStatus status) {
+    res = {simulator.now(), status};
+  });
+  simulator.run_until(61.0 * 32.0 + 1.0);
+  EXPECT_EQ(res.status, DeliveryStatus::kTimedOut);
+  EXPECT_LE(res.at, 61.0 * 32.0);
+  EXPECT_EQ(transport.counters().retransmits, 60u);
+}
+
+TEST(LossyTransport, MaxBackoffCapsFixedBackoffToo) {
+  sim::Simulator simulator;
+  TransportParams params = TransportParams::lossy(1.0);
+  params.probe_timeout = 2.0;
+  params.max_retries = 1;
+  params.retry_backoff = 10.0;
+  params.max_backoff = 0.5;  // cap below the fixed backoff
+  LossyTransport transport(params, simulator, Rng(7));
+
+  Resolution res;
+  transport.exchange(MessageKind::kPing, 1, 2, [&](DeliveryStatus status) {
+    res = {simulator.now(), status};
+  });
+  simulator.run_until(100.0);
+  // send@0, timeout@2, +0.5 -> resend@2.5, timeout@4.5.
+  EXPECT_DOUBLE_EQ(res.at, 4.5);
+}
+
+/// Scriptable modulation for transport tests.
+struct TestModulation : TransportModulation {
+  bool severed_flag = false;
+  double loss = 0.0;
+  double latency = 1.0;
+  bool severed(PeerId, PeerId) const override { return severed_flag; }
+  double extra_loss() const override { return loss; }
+  double latency_factor() const override { return latency; }
+};
+
+TEST(Modulation, SeveredExchangeFailsOnSynchronousTransport) {
+  SynchronousTransport transport;
+  TestModulation modulation;
+  modulation.severed_flag = true;
+  transport.set_modulation(&modulation);
+  Resolution res;
+  transport.exchange(MessageKind::kPing, 1, 2, [&](DeliveryStatus status) {
+    res = {0.0, status};
+  });
+  EXPECT_EQ(res.status, DeliveryStatus::kTimedOut);
+  EXPECT_EQ(transport.counters().messages_sent, 1u);
+  EXPECT_EQ(transport.counters().messages_lost, 1u);
+  EXPECT_EQ(transport.counters().exchanges_failed, 1u);
+
+  // Clearing the modulation restores delivery.
+  transport.set_modulation(nullptr);
+  transport.exchange(MessageKind::kPing, 1, 2, [&](DeliveryStatus status) {
+    res = {0.0, status};
+  });
+  EXPECT_EQ(res.status, DeliveryStatus::kDelivered);
+}
+
+TEST(Modulation, SeveredLossyExchangeExhaustsRetriesOnSchedule) {
+  sim::Simulator simulator;
+  TransportParams params = TransportParams::lossy(0.0);
+  params.probe_timeout = 2.0;
+  params.max_retries = 1;
+  params.retry_backoff = 1.0;
+  LossyTransport transport(params, simulator, Rng(7));
+  TestModulation modulation;
+  modulation.severed_flag = true;
+  transport.set_modulation(&modulation);
+
+  Resolution res;
+  transport.exchange(MessageKind::kPing, 1, 2, [&](DeliveryStatus status) {
+    res = {simulator.now(), status};
+  });
+  simulator.run_until(100.0);
+  // Severed attempts keep the normal timeout/retry cadence: they fail by
+  // timing out, exactly as a partitioned probe would on a real wire.
+  EXPECT_EQ(res.status, DeliveryStatus::kTimedOut);
+  EXPECT_DOUBLE_EQ(res.at, 5.0);  // send@0, timeout@2, resend@3, timeout@5
+  EXPECT_EQ(transport.counters().messages_lost, 2u);
+}
+
+TEST(Modulation, ExtraLossAddsToConfiguredLoss) {
+  sim::Simulator simulator;
+  TransportParams params = TransportParams::lossy(0.0);  // perfect wire
+  params.max_retries = 0;
+  LossyTransport transport(params, simulator, Rng(7));
+  TestModulation modulation;
+  modulation.loss = 1.0;  // 0 + 1, clamped to 1: every leg drops
+  transport.set_modulation(&modulation);
+
+  Resolution res;
+  transport.exchange(MessageKind::kPing, 1, 2, [&](DeliveryStatus status) {
+    res = {simulator.now(), status};
+  });
+  simulator.run_until(100.0);
+  EXPECT_EQ(res.status, DeliveryStatus::kTimedOut);
+  EXPECT_EQ(transport.counters().messages_lost, 1u);
+}
+
+TEST(Modulation, LatencyFactorStretchesRoundTrip) {
+  sim::Simulator simulator;
+  TransportParams params = TransportParams::lossy(0.0);
+  params.link_latency = 0.05;
+  params.probe_timeout = 2.0;
+  LossyTransport transport(params, simulator, Rng(7));
+  TestModulation modulation;
+  modulation.latency = 4.0;
+  transport.set_modulation(&modulation);
+
+  Resolution res;
+  transport.exchange(MessageKind::kPing, 1, 2, [&](DeliveryStatus status) {
+    res = {simulator.now(), status};
+  });
+  simulator.run_until(10.0);
+  EXPECT_EQ(res.status, DeliveryStatus::kDelivered);
+  EXPECT_DOUBLE_EQ(res.at, 0.4);  // (0.05 + 0.05) * 4
+
+  // A factor that pushes the round trip past the timeout turns the same
+  // exchange into a late reply.
+  modulation.latency = 100.0;
+  transport.exchange(MessageKind::kPing, 1, 2, [&](DeliveryStatus status) {
+    res = {simulator.now(), status};
+  });
+  simulator.run_until(100.0);
+  EXPECT_EQ(res.status, DeliveryStatus::kTimedOut);
+  EXPECT_EQ(transport.counters().late_replies, 1u);
+}
+
 // Both legs survive but the round trip outlasts the timeout: counted as a
 // late reply, resolved as a timeout at exactly probe_timeout.
 TEST(LossyTransport, LateReplyCountsAndTimesOut) {

@@ -156,6 +156,79 @@ TEST(Determinism, LossyTransportHeapAndCalendarBitwiseIdentical) {
   EXPECT_GT(heap.transport.timeouts, 0u);  // the faults actually fired
 }
 
+// The acceptance criterion of the fault-scenario engine: a kill-30%-then-
+// recover scenario — mass kill, flash-crowd rejoin, a partition window and
+// a degradation window, with the interval series on — must be bitwise
+// identical under the heap and calendar schedulers. Fault events, window
+// ends and interval samples all collide at round timestamps, so this leans
+// on the (time, seq) tie-ordering harder than any other run in the suite.
+TEST(Determinism, FaultScenarioHeapAndCalendarBitwiseIdentical) {
+  auto run = [](sim::Scheduler scheduler) {
+    SystemParams system;
+    system.network_size = 150;
+    system.lifespan_multiplier = 0.5;
+    system.content.catalog_size = 400;
+    system.content.query_universe = 500;
+    system.percent_bad_peers = 10.0;
+    system.bad_pong_behavior = BadPongBehavior::kBad;
+    TransportParams transport = TransportParams::lossy(0.05);
+    transport.max_retries = 2;
+    auto config =
+        SimulationConfig()
+            .system(system)
+            .transport(transport)
+            .scenario(faults::Scenario::parse(
+                "at 250 kill 0.3; at 250 poison off; "
+                "at 300 partition 2 for 100; "
+                "at 450 degrade loss=0.3 latency=2 for 50; at 550 join 60"))
+            .metrics_interval(50.0)
+            .seed(77)
+            .warmup(150.0)
+            .measure(600.0)
+            .scheduler(scheduler);
+    GuessSimulation sim(config);
+    return sim.run();
+  };
+  auto heap = run(sim::Scheduler::kHeap);
+  auto calendar = run(sim::Scheduler::kCalendar);
+  testsupport::expect_identical(heap, calendar);
+  // The scenario actually bit: population dipped to 105 and rebounded.
+  // The sample closing exactly at the kill instant (end = 250) already
+  // reflects the post-kill population: fault events win the time tie.
+  ASSERT_GE(heap.interval_series.size(), 15u);
+  EXPECT_EQ(heap.interval_series[3].live_peers, 150u);   // 150..200
+  EXPECT_EQ(heap.interval_series[4].live_peers, 105u);   // 200..250
+  EXPECT_EQ(heap.interval_series.back().live_peers, 165u);
+  EXPECT_GT(heap.transport.exchanges_failed, 0u);
+}
+
+// ... and across worker-thread counts: a scenario replication sweep must be
+// bitwise identical whether the seeds run serially or on a pool.
+TEST(Determinism, FaultScenarioIdenticalAcrossThreadCounts) {
+  SystemParams system;
+  system.network_size = 150;
+  system.content.catalog_size = 400;
+  system.content.query_universe = 500;
+  auto config_for = [&](int threads) {
+    return SimulationConfig()
+        .system(system)
+        .scenario(
+            faults::Scenario::parse("at 200 kill 0.3; at 400 join 45"))
+        .metrics_interval(60.0)
+        .seed(55)
+        .warmup(120.0)
+        .measure(480.0)
+        .threads(threads);
+  };
+  auto serial = run_seeds(config_for(1), 3);
+  auto pooled = run_seeds(config_for(4), 3);
+  ASSERT_EQ(serial.size(), pooled.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    SCOPED_TRACE("seed index " + std::to_string(i));
+    testsupport::expect_identical(serial[i], pooled[i]);
+  }
+}
+
 // run_seeds (which now dispatches replications onto a worker pool) must be
 // indistinguishable from n completely independent single-seed simulations,
 // entry for entry — the contract that makes the parallel path safe to use

@@ -54,6 +54,26 @@ inline void expect_identical(const CacheHealth& a, const CacheHealth& b) {
   EXPECT_EQ(a.samples, b.samples);
 }
 
+inline void expect_identical(const IntervalSample& a,
+                             const IntervalSample& b) {
+  EXPECT_EQ(a.start, b.start);
+  EXPECT_EQ(a.end, b.end);
+  EXPECT_EQ(a.queries_completed, b.queries_completed);
+  EXPECT_EQ(a.queries_satisfied, b.queries_satisfied);
+  EXPECT_EQ(a.probes, b.probes);
+  EXPECT_EQ(a.live_peers, b.live_peers);
+  expect_identical(a.transport, b.transport);
+}
+
+inline void expect_identical(const IntervalSeries& a,
+                             const IntervalSeries& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE("interval " + std::to_string(i));
+    expect_identical(a[i], b[i]);
+  }
+}
+
 /// Every field of SimulationResults, entry-for-entry.
 inline void expect_identical(const SimulationResults& a,
                              const SimulationResults& b) {
@@ -78,6 +98,7 @@ inline void expect_identical(const SimulationResults& a,
   EXPECT_EQ(a.queries_stalled_out, b.queries_stalled_out);
   EXPECT_EQ(a.measure_duration, b.measure_duration);
   EXPECT_EQ(a.network_size, b.network_size);
+  expect_identical(a.interval_series, b.interval_series);
 }
 
 }  // namespace guess::testsupport
