@@ -1,0 +1,36 @@
+// Free-list object pool.
+//
+// Objects that are created and destroyed at a high steady rate (one
+// QueryExecution per query) are recycled instead: finished objects return to
+// the pool and the next acquisition reuses them, so the only allocations are
+// the pool's warm-up. The pooled type supplies its own reset discipline —
+// the pool hands back objects in whatever state they were put() in.
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace guess {
+
+template <typename T>
+class FreeListPool {
+ public:
+  /// A recycled object, or nullptr when the pool is empty (the caller
+  /// constructs a fresh one — this is the warm-up allocation).
+  std::unique_ptr<T> take() {
+    if (free_.empty()) return nullptr;
+    std::unique_ptr<T> obj = std::move(free_.back());
+    free_.pop_back();
+    return obj;
+  }
+
+  void put(std::unique_ptr<T> obj) { free_.push_back(std::move(obj)); }
+
+  std::size_t size() const { return free_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<T>> free_;
+};
+
+}  // namespace guess

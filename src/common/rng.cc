@@ -1,33 +1,46 @@
 #include "common/rng.h"
 
-#include <unordered_set>
-
 namespace guess {
 
 std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
-  GUESS_CHECK(k <= n);
   std::vector<std::size_t> out;
-  out.reserve(k);
-  if (k == 0) return out;
+  std::vector<std::size_t> scratch;
+  sample_indices_into(n, k, out, scratch);
+  return out;
+}
+
+void Rng::sample_indices_into(std::size_t n, std::size_t k,
+                              std::vector<std::size_t>& out,
+                              std::vector<std::size_t>& scratch) {
+  GUESS_CHECK(k <= n);
+  out.clear();
+  if (out.capacity() < k) out.reserve(k);
+  if (k == 0) return;
   // Dense case: partial Fisher–Yates over an explicit index vector.
   if (k * 3 >= n) {
-    std::vector<std::size_t> all(n);
-    for (std::size_t i = 0; i < n; ++i) all[i] = i;
+    scratch.resize(n);
+    for (std::size_t i = 0; i < n; ++i) scratch[i] = i;
     for (std::size_t i = 0; i < k; ++i) {
       std::size_t j = i + index(n - i);
-      std::swap(all[i], all[j]);
-      out.push_back(all[i]);
+      std::swap(scratch[i], scratch[j]);
+      out.push_back(scratch[i]);
     }
-    return out;
+    return;
   }
-  // Sparse case: rejection sampling.
-  std::unordered_set<std::size_t> seen;
-  seen.reserve(k * 2);
+  // Sparse case: rejection sampling. k << n here, so a linear membership
+  // scan of the accepted prefix beats a hash set — and accepts/rejects the
+  // identical candidate sequence, keeping the engine draws unchanged.
   while (out.size() < k) {
     std::size_t candidate = index(n);
-    if (seen.insert(candidate).second) out.push_back(candidate);
+    bool fresh = true;
+    for (std::size_t prior : out) {
+      if (prior == candidate) {
+        fresh = false;
+        break;
+      }
+    }
+    if (fresh) out.push_back(candidate);
   }
-  return out;
 }
 
 }  // namespace guess

@@ -7,32 +7,110 @@
 namespace guess {
 
 LinkCache::LinkCache(PeerId owner, std::size_t capacity)
-    : owner_(owner), capacity_(capacity) {
+    : owner_(owner), capacity_(capacity), index_(capacity) {
   GUESS_CHECK_MSG(capacity > 0, "cache capacity must be positive");
   entries_.reserve(capacity);
-  index_.reserve(capacity * 2);
+  // Selection scratch sized to the bound up front: the cache fills slowly
+  // over a run, and growing these lazily would leak occasional allocations
+  // into the steady-state query path (the zero-alloc test counts them).
+  topk_positions_.reserve(capacity);
+  topk_scratch_.reserve(capacity);
+  sample_out_.reserve(capacity);
+  sample_scratch_.reserve(capacity);
+}
+
+void LinkCache::configure_indices(std::initializer_list<Policy> selection,
+                                  Replacement retention) {
+  selection_indices_.clear();
+  for (Policy policy : selection) {
+    if (policy == Policy::kRandom) continue;
+    if (find_selection(policy) != nullptr) continue;  // dedupe
+    selection_indices_.push_back(SelectionIndex{policy, ScoreIndex{}});
+  }
+  retention_policy_ = retention;
+  has_retention_index_ = retention != Replacement::kRandom;
+  rebuild_indices();
+}
+
+void LinkCache::set_first_hand_only(bool enabled) {
+  if (first_hand_only_ == enabled) return;
+  first_hand_only_ = enabled;
+  // trusted_num_res changed for every non-first-hand entry: re-key.
+  rebuild_indices();
+}
+
+void LinkCache::rebuild_indices() {
+  for (SelectionIndex& sel : selection_indices_) {
+    sel.index.reset(ScoreIndex::Order::kMaxFirst, capacity_);
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      sel.index.on_insert(i, deterministic_selection_score(
+                                 sel.policy, entries_[i], first_hand_only_));
+    }
+  }
+  if (has_retention_index_) {
+    retention_index_.reset(ScoreIndex::Order::kMinFirst, capacity_);
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      retention_index_.on_insert(
+          i, deterministic_retention_score(retention_policy_, entries_[i],
+                                           first_hand_only_));
+    }
+  }
+}
+
+const ScoreIndex* LinkCache::find_selection(Policy policy) const {
+  for (const SelectionIndex& sel : selection_indices_) {
+    if (sel.policy == policy) return &sel.index;
+  }
+  return nullptr;
+}
+
+void LinkCache::note_insert() {
+  std::size_t pos = entries_.size() - 1;
+  for (SelectionIndex& sel : selection_indices_) {
+    sel.index.on_insert(pos, deterministic_selection_score(
+                                 sel.policy, entries_[pos], first_hand_only_));
+  }
+  if (has_retention_index_) {
+    retention_index_.on_insert(
+        pos, deterministic_retention_score(retention_policy_, entries_[pos],
+                                           first_hand_only_));
+  }
+}
+
+void LinkCache::note_update(std::size_t pos) {
+  for (SelectionIndex& sel : selection_indices_) {
+    sel.index.on_update(pos, deterministic_selection_score(
+                                 sel.policy, entries_[pos], first_hand_only_));
+  }
+  if (has_retention_index_) {
+    retention_index_.on_update(
+        pos, deterministic_retention_score(retention_policy_, entries_[pos],
+                                           first_hand_only_));
+  }
 }
 
 std::optional<CacheEntry> LinkCache::get(PeerId id) const {
-  auto it = index_.find(id);
-  if (it == index_.end()) return std::nullopt;
-  return entries_[it->second];
+  std::uint32_t pos = index_.find(id);
+  if (pos == FlatIdMap::kNotFound) return std::nullopt;
+  return entries_[pos];
 }
 
 void LinkCache::insert_free(const CacheEntry& entry) {
   GUESS_CHECK(entry.id != owner_);
   GUESS_CHECK(!full());
   GUESS_CHECK(!contains(entry.id));
-  index_.emplace(entry.id, entries_.size());
+  index_.insert(entry.id, static_cast<std::uint32_t>(entries_.size()));
   entries_.push_back(entry);
+  note_insert();
 }
 
 bool LinkCache::offer(const CacheEntry& candidate, Replacement policy,
                       Rng& rng) {
   if (candidate.id == owner_ || contains(candidate.id)) return false;
   if (!full()) {
-    index_.emplace(candidate.id, entries_.size());
+    index_.insert(candidate.id, static_cast<std::uint32_t>(entries_.size()));
     entries_.push_back(candidate);
+    note_insert();
     return true;
   }
   // Random replacement is the always-insert baseline: the candidate
@@ -41,56 +119,75 @@ bool LinkCache::offer(const CacheEntry& candidate, Replacement policy,
     std::size_t victim = rng.index(entries_.size());
     index_.erase(entries_[victim].id);
     entries_[victim] = candidate;
-    index_.emplace(candidate.id, victim);
+    index_.insert(candidate.id, static_cast<std::uint32_t>(victim));
+    note_update(victim);
     return true;
   }
-  // Victim = lowest retention score among current entries.
-  std::size_t victim = 0;
-  double victim_score =
-      retention_score(policy, entries_[0], rng, first_hand_only_);
-  for (std::size_t i = 1; i < entries_.size(); ++i) {
-    double s = retention_score(policy, entries_[i], rng, first_hand_only_);
-    if (s < victim_score) {
-      victim_score = s;
-      victim = i;
+  // Victim = lowest retention score among current entries (first position
+  // on ties). The maintained ordering answers in O(1); unconfigured
+  // policies fall back to the scan, which picks the identical victim.
+  std::size_t victim;
+  double victim_score;
+  if (has_retention_index_ && retention_policy_ == policy) {
+    const ScoreIndex::Item& top = retention_index_.top();
+    victim = top.pos;
+    victim_score = top.score;
+  } else {
+    victim = 0;
+    victim_score =
+        retention_score(policy, entries_[0], rng, first_hand_only_);
+    for (std::size_t i = 1; i < entries_.size(); ++i) {
+      double s = retention_score(policy, entries_[i], rng, first_hand_only_);
+      if (s < victim_score) {
+        victim_score = s;
+        victim = i;
+      }
     }
   }
-  if (retention_score(policy, candidate, rng, first_hand_only_) <=
+  if (deterministic_retention_score(policy, candidate, first_hand_only_) <=
       victim_score)
     return false;
   index_.erase(entries_[victim].id);
   entries_[victim] = candidate;
-  index_.emplace(candidate.id, victim);
+  index_.insert(candidate.id, static_cast<std::uint32_t>(victim));
+  note_update(victim);
   return true;
 }
 
 void LinkCache::erase_at(std::size_t pos) {
+  std::size_t last = entries_.size() - 1;
   index_.erase(entries_[pos].id);
-  if (pos != entries_.size() - 1) {
-    entries_[pos] = entries_.back();
-    index_[entries_[pos].id] = pos;
+  if (pos != last) {
+    entries_[pos] = entries_[last];
+    index_.assign(entries_[pos].id, static_cast<std::uint32_t>(pos));
   }
   entries_.pop_back();
+  for (SelectionIndex& sel : selection_indices_) {
+    sel.index.on_swap_remove(pos, last);
+  }
+  if (has_retention_index_) retention_index_.on_swap_remove(pos, last);
 }
 
 bool LinkCache::evict(PeerId id) {
-  auto it = index_.find(id);
-  if (it == index_.end()) return false;
-  erase_at(it->second);
+  std::uint32_t pos = index_.find(id);
+  if (pos == FlatIdMap::kNotFound) return false;
+  erase_at(pos);
   return true;
 }
 
 void LinkCache::touch(PeerId id, sim::Time now) {
-  auto it = index_.find(id);
-  if (it == index_.end()) return;
-  entries_[it->second].ts = now;
+  std::uint32_t pos = index_.find(id);
+  if (pos == FlatIdMap::kNotFound) return;
+  entries_[pos].ts = now;
+  note_update(pos);
 }
 
 void LinkCache::set_num_res(PeerId id, std::uint32_t num_res) {
-  auto it = index_.find(id);
-  if (it == index_.end()) return;
-  entries_[it->second].num_res = num_res;
-  entries_[it->second].first_hand = true;
+  std::uint32_t pos = index_.find(id);
+  if (pos == FlatIdMap::kNotFound) return;
+  entries_[pos].num_res = num_res;
+  entries_[pos].first_hand = true;
+  note_update(pos);
 }
 
 std::optional<CacheEntry> LinkCache::select_best(Policy policy,
@@ -98,6 +195,9 @@ std::optional<CacheEntry> LinkCache::select_best(Policy policy,
   if (entries_.empty()) return std::nullopt;
   // Uniform pick is the argmax of i.i.d. random scores — skip the scan.
   if (policy == Policy::kRandom) return entries_[rng.index(entries_.size())];
+  if (const ScoreIndex* index = find_selection(policy)) {
+    return entries_[index->top().pos];
+  }
   std::size_t best = 0;
   double best_score =
       selection_score(policy, entries_[0], rng, first_hand_only_);
@@ -114,16 +214,33 @@ std::optional<CacheEntry> LinkCache::select_best(Policy policy,
 std::vector<CacheEntry> LinkCache::select_top(Policy policy,
                                               std::size_t count,
                                               Rng& rng) const {
+  std::vector<CacheEntry> out;
+  select_top_into(policy, count, rng, out);
+  return out;
+}
+
+void LinkCache::select_top_into(Policy policy, std::size_t count, Rng& rng,
+                                std::vector<CacheEntry>& out) const {
+  out.clear();
   count = std::min(count, entries_.size());
-  if (count == 0) return {};
+  if (count == 0) return;
+  if (out.capacity() < count) out.reserve(count);
   // A uniform k-subset is the top-k of i.i.d. random scores — skip the sort.
   if (policy == Policy::kRandom) {
-    std::vector<CacheEntry> out;
-    out.reserve(count);
-    for (std::size_t idx : rng.sample_indices(entries_.size(), count)) {
+    rng.sample_indices_into(entries_.size(), count, sample_out_,
+                            sample_scratch_);
+    for (std::size_t idx : sample_out_) {
       out.push_back(entries_[idx]);
     }
-    return out;
+    return;
+  }
+  if (const ScoreIndex* index = find_selection(policy)) {
+    topk_positions_.clear();
+    index->top_k(count, topk_positions_, topk_scratch_);
+    for (std::uint32_t pos : topk_positions_) {
+      out.push_back(entries_[pos]);
+    }
+    return;
   }
   std::vector<std::pair<double, std::size_t>> scored;
   scored.reserve(entries_.size());
@@ -139,12 +256,9 @@ std::vector<CacheEntry> LinkCache::select_top(Policy policy,
                       if (a.first != b.first) return a.first > b.first;
                       return a.second < b.second;
                     });
-  std::vector<CacheEntry> out;
-  out.reserve(count);
   for (std::size_t k = 0; k < count; ++k) {
     out.push_back(entries_[scored[k].second]);
   }
-  return out;
 }
 
 }  // namespace guess

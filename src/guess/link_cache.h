@@ -3,17 +3,28 @@
 //
 // Invariants: at most `capacity` entries; at most one entry per peer id;
 // never contains the owner's own id.
+//
+// Hot-path structure: the id -> position index is a flat open-addressing
+// table (FlatIdMap) sized once for the bounded capacity, and the policy
+// orderings the run actually uses are maintained incrementally as
+// ScoreIndex heaps (configure_indices), so select_best is O(1), select_top
+// is O(k log n), and a full-cache offer decides accept/reject in O(1) —
+// none of which rescores the whole cache or allocates. Policies that were
+// not configured fall back to the legacy full-scan paths, which produce
+// bitwise-identical selections (the index comparators replicate the scans'
+// position tie-breaks exactly).
 #pragma once
 
 #include <cstddef>
 #include <optional>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
+#include "common/id_map.h"
 #include "common/rng.h"
 #include "guess/cache_entry.h"
 #include "guess/policy.h"
+#include "guess/score_index.h"
 
 namespace guess {
 
@@ -23,10 +34,17 @@ class LinkCache {
   /// @param capacity  the paper's CacheSize parameter
   LinkCache(PeerId owner, std::size_t capacity);
 
+  /// Maintain incremental score orderings for the given selection policies
+  /// and retention policy (kRandom entries are ignored — random scores are
+  /// per-decision draws and cannot be indexed). Call once after
+  /// construction; selections under other policies use the legacy scans.
+  void configure_indices(std::initializer_list<Policy> selection,
+                         Replacement retention);
+
   /// First-hand-only mode (MR* / detection-triggered switch): ranking and
   /// retention treat NumRes values not set by the owner's own probes as 0.
   /// Stored and forwarded values are untouched (§2.2).
-  void set_first_hand_only(bool enabled) { first_hand_only_ = enabled; }
+  void set_first_hand_only(bool enabled);
   bool first_hand_only() const { return first_hand_only_; }
 
   std::size_t capacity() const { return capacity_; }
@@ -73,6 +91,11 @@ class LinkCache {
   std::vector<CacheEntry> select_top(Policy policy, std::size_t count,
                                      Rng& rng) const;
 
+  /// Allocation-free select_top: clears and fills `out` (which keeps its
+  /// capacity across calls — a warmed caller never allocates).
+  void select_top_into(Policy policy, std::size_t count, Rng& rng,
+                       std::vector<CacheEntry>& out) const;
+
   /// Number of entries matching a predicate — used by the cache-health
   /// metrics (fraction live, good entries).
   template <typename Pred>
@@ -84,13 +107,34 @@ class LinkCache {
   }
 
  private:
+  struct SelectionIndex {
+    Policy policy;
+    ScoreIndex index;
+  };
+
   void erase_at(std::size_t pos);
+  /// Index maintenance after entries_.push_back / entries_[pos] = ...
+  void note_insert();
+  void note_update(std::size_t pos);
+  void rebuild_indices();
+  const ScoreIndex* find_selection(Policy policy) const;
 
   PeerId owner_;
   std::size_t capacity_;
   bool first_hand_only_ = false;
   std::vector<CacheEntry> entries_;
-  std::unordered_map<PeerId, std::size_t> index_;  // id -> position
+  FlatIdMap index_;  // id -> position
+
+  std::vector<SelectionIndex> selection_indices_;
+  Replacement retention_policy_ = Replacement::kRandom;  // kRandom = none
+  bool has_retention_index_ = false;
+  ScoreIndex retention_index_;
+
+  // Scratch buffers for the allocation-free selection paths (grown once).
+  mutable std::vector<std::uint32_t> topk_positions_;
+  mutable std::vector<ScoreIndex::Item> topk_scratch_;
+  mutable std::vector<std::size_t> sample_out_;
+  mutable std::vector<std::size_t> sample_scratch_;
 };
 
 }  // namespace guess

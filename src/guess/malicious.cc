@@ -40,26 +40,33 @@ std::vector<CacheEntry> PoisonGenerator::make_pong(PeerId self,
                                                    sim::Time now,
                                                    Rng& rng) const {
   std::vector<CacheEntry> pong;
-  pong.reserve(pong_size);
+  make_pong_into(self, pong_size, now, rng, pong);
+  return pong;
+}
+
+void PoisonGenerator::make_pong_into(PeerId self, std::size_t pong_size,
+                                     sim::Time now, Rng& rng,
+                                     std::vector<CacheEntry>& out) const {
+  out.clear();
+  if (out.capacity() < pong_size) out.reserve(pong_size);
   if (behavior_ == BadPongBehavior::kDead) {
-    if (dead_pool_.empty()) return pong;
+    if (dead_pool_.empty()) return;
     for (std::size_t i = 0; i < pong_size; ++i) {
-      pong.push_back(poison_entry(
+      out.push_back(poison_entry(
           dead_pool_[rng.index(dead_pool_.size())], now));
     }
-    return pong;
+    return;
   }
   // Collusion: name fellow attackers. With only `self` in the system there
   // is nobody to advertise.
-  if (bad_peers_.size() <= 1) return pong;
+  if (bad_peers_.size() <= 1) return;
   for (std::size_t i = 0; i < pong_size; ++i) {
     PeerId id = self;
     // Retry until we name someone else; the population is > 1 so this
     // terminates quickly.
     while (id == self) id = bad_peers_[rng.index(bad_peers_.size())];
-    pong.push_back(poison_entry(id, now));
+    out.push_back(poison_entry(id, now));
   }
-  return pong;
 }
 
 }  // namespace guess

@@ -39,6 +39,11 @@ class PoisonGenerator {
   std::vector<CacheEntry> make_pong(PeerId self, std::size_t pong_size,
                                     sim::Time now, Rng& rng) const;
 
+  /// Allocation-free make_pong: clears and fills `out` (same entries, same
+  /// RNG draws; a warmed caller never allocates).
+  void make_pong_into(PeerId self, std::size_t pong_size, sim::Time now,
+                      Rng& rng, std::vector<CacheEntry>& out) const;
+
   const MaliciousParams& params() const { return params_; }
   BadPongBehavior behavior() const { return behavior_; }
 

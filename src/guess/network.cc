@@ -130,23 +130,15 @@ GuessNetwork::GuessNetwork(SystemParams system, ProtocolParams protocol,
 
 GuessNetwork::~GuessNetwork() = default;
 
-const Peer* GuessNetwork::find(PeerId id) const {
-  auto it = peers_.find(id);
-  return it == peers_.end() ? nullptr : it->second.get();
-}
-
-Peer* GuessNetwork::find(PeerId id) {
-  auto it = peers_.find(id);
-  return it == peers_.end() ? nullptr : it->second.get();
-}
-
 bool GuessNetwork::is_malicious(PeerId id) const {
   const Peer* peer = find(id);
   return peer != nullptr && peer->malicious();
 }
 
 void GuessNetwork::initialize() {
-  GUESS_CHECK_MSG(peers_.empty(), "initialize() called twice");
+  GUESS_CHECK_MSG(table_.size() == 0 && next_id_ == 0,
+                  "initialize() called twice");
+  table_.reserve(system_.network_size);
   // Fabricated dead addresses for non-colluding attackers: allocate a block
   // of ids that will never belong to a real peer.
   if (system_.bad_fraction() > 0.0 &&
@@ -184,21 +176,24 @@ PeerId GuessNetwork::spawn_peer(bool malicious, bool selfish, bool initial) {
   PeerId id = next_id_++;
   content::Library library =
       malicious ? content::Library{} : content_.sample_peer_library(rng_);
-  auto peer = std::make_unique<Peer>(id, simulator_.now(), std::move(library),
-                                     protocol_.cache_size, malicious,
-                                     selfish);
-  peer->set_credit(protocol_.payments.initial_credit);
+  Peer& ref = table_.create(id, simulator_.now(), std::move(library),
+                            protocol_.cache_size, malicious, selfish);
+  ref.set_credit(protocol_.payments.initial_credit);
+  // Maintain incremental orderings for exactly the policies this run's
+  // selections use; everything else keeps the (bitwise-identical) scans.
+  ref.cache().configure_indices(
+      {protocol_.ping_probe, protocol_.ping_pong, protocol_.query_pong},
+      protocol_.cache_replacement);
   // MR*: ranking ignores foreign NumRes claims from the start.
-  peer->cache().set_first_hand_only(protocol_.reset_num_results);
-  Peer& ref = *peer;
-  peers_.emplace(id, std::move(peer));
-  alive_index_.emplace(id, alive_ids_.size());
-  alive_ids_.push_back(id);
+  ref.cache().set_first_hand_only(protocol_.reset_num_results);
+  ensure_slot_arrays();
   if (malicious) poison_.add_bad_peer(id);
   // A peer born during a partition lands on a random side of it.
   if (partition_ways_ > 0) {
-    partition_group_[id] = static_cast<int>(
+    std::uint32_t slot = table_.slot_of(id);
+    partition_group_by_slot_[slot] = static_cast<int>(
         rng_.index(static_cast<std::size_t>(partition_ways_)));
+    partition_epoch_by_slot_[slot] = partition_epoch_;
   }
   trace(TraceCategory::kChurn, [&](std::ostream& os) {
     os << "birth peer=" << id << " files=" << ref.num_files()
@@ -220,7 +215,7 @@ PeerId GuessNetwork::spawn_peer(bool malicious, bool selfish, bool initial) {
 void GuessNetwork::seed_initial_caches() {
   std::size_t seed_size = system_.resolved_cache_seed(protocol_.cache_size);
   // Seed from the initial population only (all alive at time 0).
-  std::vector<PeerId> population = alive_ids_;
+  std::vector<PeerId> population = table_.alive_ids();
   for (PeerId id : population) {
     Peer& peer = *find(id);
     auto picks = rng_.sample_indices(population.size(),
@@ -263,11 +258,11 @@ void GuessNetwork::seed_from_friend(Peer& newborn) {
 }
 
 std::optional<PeerId> GuessNetwork::random_alive_peer(PeerId exclude) {
-  if (alive_ids_.empty()) return std::nullopt;
-  if (alive_ids_.size() == 1 && alive_ids_[0] == exclude)
-    return std::nullopt;
+  const std::vector<PeerId>& alive = table_.alive_ids();
+  if (alive.empty()) return std::nullopt;
+  if (alive.size() == 1 && alive[0] == exclude) return std::nullopt;
   for (;;) {
-    PeerId id = alive_ids_[rng_.index(alive_ids_.size())];
+    PeerId id = alive[rng_.index(alive.size())];
     if (id != exclude) return id;
   }
 }
@@ -289,33 +284,34 @@ void GuessNetwork::on_peer_death(PeerId id) {
 }
 
 void GuessNetwork::remove_peer(PeerId id) {
-  Peer* peer = find(id);
+  Peer* peer = table_.find(id);
   GUESS_CHECK_MSG(peer != nullptr, "removal of unknown peer");
   peer->ping_timer.cancel();
   peer->burst_timer.cancel();
-  // Erasing the active query bumps nothing else: in-flight lossy exchanges
-  // of this query resolve against a stale token and are dropped (releasing
-  // any credit reservation defensively), and probes *to* this peer resolve
-  // as dead once the map entry is gone.
-  active_queries_.erase(id);
+  // Releasing the active query bumps nothing else: in-flight lossy
+  // exchanges of this query resolve against a stale token and are dropped
+  // (releasing any credit reservation defensively), and probes *to* this
+  // peer resolve as dead once the table entry is gone. Partition membership
+  // needs no cleanup — lookups for a dead id fail at the slot table, and
+  // the slot's next tenant is stamped at birth.
+  release_active_query(table_.slot_of(id));
   flush_load(*peer);
   if (peer->malicious()) poison_.remove_bad_peer(id);
-  partition_group_.erase(id);
+  table_.destroy(id);
+}
 
-  // Swap-remove from the alive list.
-  std::size_t pos = alive_index_.at(id);
-  alive_index_.erase(id);
-  if (pos != alive_ids_.size() - 1) {
-    alive_ids_[pos] = alive_ids_.back();
-    alive_index_[alive_ids_[pos]] = pos;
+void GuessNetwork::ensure_slot_arrays() {
+  std::size_t n = table_.slot_count();
+  if (active_query_by_slot_.size() < n) active_query_by_slot_.resize(n);
+  if (partition_group_by_slot_.size() < n) {
+    partition_group_by_slot_.resize(n, -1);
+    partition_epoch_by_slot_.resize(n, 0);
   }
-  alive_ids_.pop_back();
-  peers_.erase(id);
 }
 
 void GuessNetwork::flush_load(const Peer& peer) {
   if (peer.malicious()) return;  // load fairness is about honest peers
-  dead_peer_loads_.emplace(peer.id(), peer.probes_received());
+  dead_peer_loads_.push_back(peer.probes_received());
 }
 
 // --- pings -----------------------------------------------------------------
@@ -385,11 +381,13 @@ void GuessNetwork::ping_resolved(PeerId pinger_id, PeerId target_id,
   target->cache().touch(pinger_id, simulator_.now());
   maybe_introduce(*target, *pinger);
 
-  std::vector<CacheEntry> pong = target->malicious() && poisoning_active_
-      ? poison_.make_pong(target->id(), protocol_.pong_size, simulator_.now(),
-                          rng_)
-      : make_pong(*target, protocol_.ping_pong);
-  process_pong_entries(*pinger, target->id(), pong);
+  if (target->malicious() && poisoning_active_) {
+    poison_.make_pong_into(target->id(), protocol_.pong_size,
+                           simulator_.now(), rng_, pong_scratch_);
+  } else {
+    make_pong_into(*target, protocol_.ping_pong, pong_scratch_);
+  }
+  process_pong_entries(*pinger, target->id(), pong_scratch_);
 }
 
 // §6.1's healing path: a peer whose cache has been eaten below the
@@ -416,20 +414,18 @@ void GuessNetwork::maybe_reseed_from_pong_server(Peer& peer) {
   }
 }
 
-std::vector<CacheEntry> GuessNetwork::make_pong(Peer& responder,
-                                                Policy policy) {
-  std::vector<CacheEntry> pong =
-      responder.cache().select_top(policy, protocol_.pong_size, rng_);
+void GuessNetwork::make_pong_into(Peer& responder, Policy policy,
+                                  std::vector<CacheEntry>& out) {
+  responder.cache().select_top_into(policy, protocol_.pong_size, rng_, out);
   // Fields travel unmodified (§2.2), but "first hand" is local knowledge.
-  for (CacheEntry& entry : pong) entry.first_hand = false;
-  return pong;
+  for (CacheEntry& entry : out) entry.first_hand = false;
 }
 
 void GuessNetwork::process_pong_entries(
     Peer& receiver, PeerId source, const std::vector<CacheEntry>& entries) {
   if (receiver.blacklisted(source)) return;
   for (const CacheEntry& entry : entries) {
-    if (find(entry.id) == &receiver) continue;
+    if (entry.id == receiver.id()) continue;
     if (receiver.blacklisted(entry.id)) continue;
     receiver.cache().offer(entry, protocol_.cache_replacement, rng_);
   }
@@ -474,6 +470,18 @@ void GuessNetwork::submit_query(PeerId origin, content::FileId file) {
   if (!peer->query_active()) start_next_query(*peer);
 }
 
+QueryExecution* GuessNetwork::active_query_for(PeerId origin_id) {
+  std::uint32_t slot = table_.slot_of(origin_id);
+  if (slot == PeerTable::kNoSlot) return nullptr;
+  return active_query_by_slot_[slot].get();
+}
+
+void GuessNetwork::release_active_query(std::uint32_t slot) {
+  if (active_query_by_slot_[slot] == nullptr) return;
+  query_pool_.put(std::move(active_query_by_slot_[slot]));
+  --active_query_count_;
+}
+
 void GuessNetwork::start_next_query(Peer& origin) {
   GUESS_CHECK(!origin.query_active());
   if (!origin.has_pending_query()) return;
@@ -482,14 +490,27 @@ void GuessNetwork::start_next_query(Peer& origin) {
   // Selfish peers ignore the serial-probing rule and blast wide (§3.3).
   std::size_t parallel = origin.selfish() ? system_.selfish_parallel_probes
                                           : protocol_.parallel_probes;
-  auto query = std::make_unique<QueryExecution>(
-      id, file, static_cast<std::uint32_t>(system_.num_desired_results),
-      protocol_.query_probe, simulator_.now(), parallel,
-      protocol_.reset_num_results || origin.first_hand_only());
+  auto desired = static_cast<std::uint32_t>(system_.num_desired_results);
+  bool fho = protocol_.reset_num_results || origin.first_hand_only();
+  // Recycle a pooled execution (reset is equivalent to construction but
+  // keeps the heap / dedup storage: steady-state queries don't allocate).
+  std::unique_ptr<QueryExecution> query = query_pool_.take();
+  if (query != nullptr) {
+    query->reset(id, file, desired, protocol_.query_probe, simulator_.now(),
+                 parallel, fho);
+  } else {
+    query = std::make_unique<QueryExecution>(id, file, desired,
+                                             protocol_.query_probe,
+                                             simulator_.now(), parallel, fho);
+  }
   // The token lets late transport completions (lossy mode) recognise that
   // the query they belong to already finished — they are dropped instead of
   // being misattributed to the origin's next query.
   query->set_token(++next_query_token_);
+  // Expected candidate volume: the initial link-cache sweep plus a few
+  // slots' worth of Pong fan-in; arrivals beyond this grow the heap once
+  // and the capacity then survives in the pool.
+  query->reserve_candidates(origin.cache().size() + protocol_.pong_size * 4);
   // Initial candidates: the origin's link cache (§2.3).
   for (const CacheEntry& entry : origin.cache().entries()) {
     query->add_candidate(entry, rng_);
@@ -501,18 +522,19 @@ void GuessNetwork::start_next_query(Peer& origin) {
                                              : static_cast<long long>(file))
        << " candidates=" << query->queued();
   });
-  active_queries_[id] = std::move(query);
+  active_query_by_slot_[table_.slot_of(id)] = std::move(query);
+  ++active_query_count_;
   // First probe fires immediately; later probes pace at the probe slot.
   static_assert(sim::EventQueue::Callback::stores_inline<QueryStepFired>());
   simulator_.after(0.0, QueryStepFired{this, id});
 }
 
 void GuessNetwork::query_step(PeerId origin_id) {
-  auto it = active_queries_.find(origin_id);
-  if (it == active_queries_.end()) return;  // origin died or query finished
+  QueryExecution* active = active_query_for(origin_id);
+  if (active == nullptr) return;  // origin died or query finished
   Peer* origin = find(origin_id);
-  GUESS_CHECK(origin != nullptr);  // death erases the active query
-  QueryExecution& query = *it->second;
+  GUESS_CHECK(origin != nullptr);  // death releases the active query
+  QueryExecution& query = *active;
   const PaymentParams& payments = protocol_.payments;
 
   query.begin_slot();
@@ -558,8 +580,8 @@ void GuessNetwork::query_step(PeerId origin_id) {
 void GuessNetwork::probe_resolved(PeerId origin_id, std::uint64_t token,
                                   const QueryExecution::Candidate& candidate,
                                   DeliveryStatus status) {
-  auto it = active_queries_.find(origin_id);
-  if (it == active_queries_.end() || it->second->token() != token) {
+  QueryExecution* active = active_query_for(origin_id);
+  if (active == nullptr || active->token() != token) {
     // Lossy mode only: the query this probe belonged to already finished
     // (or its origin died) while the exchange was in flight.
     trace(TraceCategory::kQuery, [&](std::ostream& os) {
@@ -575,8 +597,8 @@ void GuessNetwork::probe_resolved(PeerId origin_id, std::uint64_t token,
     return;
   }
   Peer* origin = find(origin_id);
-  GUESS_CHECK(origin != nullptr);  // death erases the active query
-  QueryExecution& query = *it->second;
+  GUESS_CHECK(origin != nullptr);  // death releases the active query
+  QueryExecution& query = *active;
   PeerId target_id = candidate.entry.id;
   PeerId referrer = candidate.source;
 
@@ -676,11 +698,13 @@ void GuessNetwork::probe_resolved(PeerId origin_id, std::uint64_t token,
 
   // Every probed peer answers with a Pong (§2.3): entries feed the query
   // cache and, subject to CacheReplacement, the link cache.
-  std::vector<CacheEntry> pong = target->malicious() && poisoning_active_
-      ? poison_.make_pong(target_id, protocol_.pong_size, simulator_.now(),
-                          rng_)
-      : make_pong(*target, protocol_.query_pong);
-  offer_query_pong(*origin, query, target_id, std::move(pong));
+  if (target->malicious() && poisoning_active_) {
+    poison_.make_pong_into(target_id, protocol_.pong_size, simulator_.now(),
+                           rng_, pong_scratch_);
+  } else {
+    make_pong_into(*target, protocol_.query_pong, pong_scratch_);
+  }
+  offer_query_pong(*origin, query, target_id, pong_scratch_);
 
   if (query.note_probe_resolved()) finish_slot(origin_id);
 }
@@ -689,11 +713,11 @@ void GuessNetwork::probe_resolved(PeerId origin_id, std::uint64_t token,
 // the end of query_step under SynchronousTransport; at the last transport
 // completion under LossyTransport).
 void GuessNetwork::finish_slot(PeerId origin_id) {
-  auto it = active_queries_.find(origin_id);
-  GUESS_CHECK(it != active_queries_.end());
+  QueryExecution* active = active_query_for(origin_id);
+  GUESS_CHECK(active != nullptr);
   Peer* origin = find(origin_id);
   GUESS_CHECK(origin != nullptr);
-  QueryExecution& query = *it->second;
+  QueryExecution& query = *active;
   const PaymentParams& payments = protocol_.payments;
   std::size_t probes_this_slot = query.slot_probes_issued();
   bool creditless = query.slot_creditless();
@@ -736,7 +760,7 @@ void GuessNetwork::finish_slot(PeerId origin_id) {
 
 void GuessNetwork::offer_query_pong(Peer& origin, QueryExecution& query,
                                     PeerId source,
-                                    std::vector<CacheEntry> entries) {
+                                    const std::vector<CacheEntry>& entries) {
   // Detection: Pongs from blacklisted peers are dropped wholesale, and
   // entries naming blacklisted peers never re-enter circulation.
   if (origin.blacklisted(source)) return;
@@ -785,25 +809,27 @@ void GuessNetwork::finish_query(Peer& origin, QueryExecution& query,
        << query.counters().refused << ") seen=" << query.seen();
   });
   origin.set_query_active(false);
-  active_queries_.erase(id);
+  // `query` aliases the pooled object from here on — do not touch it.
+  release_active_query(table_.slot_of(id));
   if (origin.has_pending_query()) start_next_query(origin);
 }
 
 // --- fault-scenario hooks (DESIGN.md §9) -----------------------------------
 
 void GuessNetwork::fault_mass_kill(double fraction) {
+  const std::vector<PeerId>& alive = table_.alive_ids();
   std::size_t victims = static_cast<std::size_t>(
-      fraction * static_cast<double>(alive_ids_.size()));
-  victims = std::min(victims, alive_ids_.size());
+      fraction * static_cast<double>(alive.size()));
+  victims = std::min(victims, alive.size());
   // Draw victims from the alive list (deterministic order), then copy out:
-  // each removal swap-mutates alive_ids_ underneath the indices.
-  auto picks = rng_.sample_indices(alive_ids_.size(), victims);
+  // each removal swap-mutates the alive list underneath the indices.
+  auto picks = rng_.sample_indices(alive.size(), victims);
   std::vector<PeerId> chosen;
   chosen.reserve(picks.size());
-  for (std::size_t idx : picks) chosen.push_back(alive_ids_[idx]);
+  for (std::size_t idx : picks) chosen.push_back(alive[idx]);
   trace(TraceCategory::kFault, [&](std::ostream& os) {
     os << "mass-kill fraction=" << fraction << " victims=" << chosen.size()
-       << " alive=" << alive_ids_.size();
+       << " alive=" << table_.size();
   });
   for (PeerId id : chosen) {
     // Cancel the victim's scheduled natural death — it must not fire later
@@ -816,7 +842,7 @@ void GuessNetwork::fault_mass_kill(double fraction) {
 
 void GuessNetwork::fault_mass_join(std::size_t count) {
   trace(TraceCategory::kFault, [&](std::ostream& os) {
-    os << "mass-join count=" << count << " alive=" << alive_ids_.size();
+    os << "mass-join count=" << count << " alive=" << table_.size();
   });
   for (std::size_t i = 0; i < count; ++i) {
     spawn_peer(/*malicious=*/false, /*selfish=*/false, /*initial=*/false);
@@ -826,19 +852,24 @@ void GuessNetwork::fault_mass_join(std::size_t count) {
 void GuessNetwork::fault_set_partition(int ways) {
   GUESS_CHECK_MSG(ways >= 2, "partition ways must be >= 2, got " << ways);
   partition_ways_ = ways;
-  partition_group_.clear();
-  for (PeerId id : alive_ids_) {
-    partition_group_[id] =
+  // A fresh epoch invalidates every earlier stamp in O(1); assignments are
+  // drawn in alive order, exactly as before the dense table.
+  ++partition_epoch_;
+  ensure_slot_arrays();
+  for (PeerId id : table_.alive_ids()) {
+    std::uint32_t slot = table_.slot_of(id);
+    partition_group_by_slot_[slot] =
         static_cast<int>(rng_.index(static_cast<std::size_t>(ways)));
+    partition_epoch_by_slot_[slot] = partition_epoch_;
   }
   trace(TraceCategory::kFault, [&](std::ostream& os) {
-    os << "partition ways=" << ways << " alive=" << alive_ids_.size();
+    os << "partition ways=" << ways << " alive=" << table_.size();
   });
 }
 
 void GuessNetwork::fault_clear_partition() {
   partition_ways_ = 0;
-  partition_group_.clear();
+  ++partition_epoch_;  // stale stamps die without touching the arrays
   trace(TraceCategory::kFault,
         [&](std::ostream& os) { os << "partition healed"; });
 }
@@ -869,18 +900,23 @@ void GuessNetwork::fault_set_poisoning(bool active) {
 
 bool GuessNetwork::severed(PeerId from, PeerId to) const {
   if (partition_ways_ <= 0) return false;
-  // Addresses outside the map (dead-pool fabrications, corpses) are not
+  // Unassigned addresses (dead-pool fabrications, corpses) are not
   // severed — exchanges to them time out on their own.
-  auto a = partition_group_.find(from);
-  if (a == partition_group_.end()) return false;
-  auto b = partition_group_.find(to);
-  if (b == partition_group_.end()) return false;
-  return a->second != b->second;
+  int a = partition_group(from);
+  if (a < 0) return false;
+  int b = partition_group(to);
+  if (b < 0) return false;
+  return a != b;
 }
 
 int GuessNetwork::partition_group(PeerId id) const {
-  auto it = partition_group_.find(id);
-  return it == partition_group_.end() ? -1 : it->second;
+  std::uint32_t slot = table_.slot_of(id);
+  if (slot == PeerTable::kNoSlot ||
+      slot >= partition_epoch_by_slot_.size() ||
+      partition_epoch_by_slot_[slot] != partition_epoch_) {
+    return -1;
+  }
+  return partition_group_by_slot_[slot];
 }
 
 // --- interval metrics (DESIGN.md §9) ---------------------------------------
@@ -902,7 +938,7 @@ void GuessNetwork::sample_interval() {
   sample.queries_completed = interval_completed_;
   sample.queries_satisfied = interval_satisfied_;
   sample.probes = interval_probes_;
-  sample.live_peers = alive_ids_.size();
+  sample.live_peers = table_.size();
   sample.transport = transport_->counters() - interval_transport_baseline_;
   interval_series_.push_back(sample);
   interval_start_ = sample.end;
@@ -928,8 +964,8 @@ void GuessNetwork::sample_cache_health() {
   double good_sum = 0.0;
   double entries_sum = 0.0;
   std::size_t counted = 0;
-  for (PeerId id : alive_ids_) {
-    const Peer& peer = *find(id);
+  for (PeerId id : table_.alive_ids()) {
+    const Peer& peer = *table_.find(id);
     if (peer.malicious()) continue;
     std::size_t entries = peer.cache().size();
     std::size_t live = peer.cache().count_if(
@@ -967,14 +1003,12 @@ void GuessNetwork::for_each_live_edge(
 }
 
 std::size_t GuessNetwork::largest_component() const {
-  if (alive_ids_.empty()) return 0;
-  std::unordered_map<PeerId, std::size_t> dense;
-  dense.reserve(alive_ids_.size() * 2);
-  for (std::size_t i = 0; i < alive_ids_.size(); ++i)
-    dense.emplace(alive_ids_[i], i);
-  UnionFind uf(alive_ids_.size());
+  if (table_.size() == 0) return 0;
+  // The peer table already maintains each live peer's position in the alive
+  // list — that IS the dense vertex numbering, so no map needs building.
+  UnionFind uf(table_.size());
   visit_live_edges([&](PeerId from, PeerId to) {
-    uf.unite(dense.at(from), dense.at(to));
+    uf.unite(table_.alive_pos(from), table_.alive_pos(to));
   });
   return uf.largest();
 }
@@ -989,12 +1023,11 @@ SimulationResults GuessNetwork::collect_results() {
   out.network_size = system_.network_size;
   out.transport = transport_->counters() - transport_baseline_;
   // Figure 13 loads: every honest peer that existed during measurement.
-  for (const auto& [id, load] : dead_peer_loads_) {
-    (void)id;
+  for (std::uint64_t load : dead_peer_loads_) {
     out.peer_loads.add(static_cast<double>(load));
   }
-  for (PeerId id : alive_ids_) {
-    const Peer& peer = *peers_.at(id);
+  for (PeerId id : table_.alive_ids()) {
+    const Peer& peer = *table_.find(id);
     if (!peer.malicious())
       out.peer_loads.add(static_cast<double>(peer.probes_received()));
   }
@@ -1008,7 +1041,7 @@ SimulationResults GuessNetwork::collect_results() {
     tail.queries_completed = interval_completed_;
     tail.queries_satisfied = interval_satisfied_;
     tail.probes = interval_probes_;
-    tail.live_peers = alive_ids_.size();
+    tail.live_peers = table_.size();
     tail.transport = transport_->counters() - interval_transport_baseline_;
     out.interval_series.push_back(tail);
   }

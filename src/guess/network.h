@@ -15,10 +15,10 @@
 #include <memory>
 #include <optional>
 #include <sstream>
-#include <unordered_map>
 #include <vector>
 
 #include "churn/churn_manager.h"
+#include "common/pool.h"
 #include "common/rng.h"
 #include "common/trace.h"
 #include "content/content_model.h"
@@ -29,6 +29,7 @@
 #include "guess/metrics.h"
 #include "guess/params.h"
 #include "guess/peer.h"
+#include "guess/peer_table.h"
 #include "guess/query_execution.h"
 #include "guess/transport.h"
 #include "sim/simulator.h"
@@ -122,11 +123,11 @@ class GuessNetwork : public faults::FaultHost, public TransportModulation {
 
   // --- introspection (tests, analysis) ---
 
-  bool alive(PeerId id) const { return peers_.contains(id); }
-  const Peer* find(PeerId id) const;
-  Peer* find(PeerId id);
-  std::size_t alive_count() const { return alive_ids_.size(); }
-  const std::vector<PeerId>& alive_ids() const { return alive_ids_; }
+  bool alive(PeerId id) const { return table_.alive(id); }
+  const Peer* find(PeerId id) const { return table_.find(id); }
+  Peer* find(PeerId id) { return table_.find(id); }
+  std::size_t alive_count() const { return table_.size(); }
+  const std::vector<PeerId>& alive_ids() const { return table_.alive_ids(); }
   bool is_malicious(PeerId id) const;
   bool poisoning_active() const { return poisoning_active_; }
   int partition_ways() const { return partition_ways_; }
@@ -134,7 +135,7 @@ class GuessNetwork : public faults::FaultHost, public TransportModulation {
   int partition_group(PeerId id) const;
   const IntervalSeries& interval_series() const { return interval_series_; }
   std::uint64_t deaths() const { return churn_->deaths(); }
-  std::size_t active_queries() const { return active_queries_.size(); }
+  std::size_t active_queries() const { return active_query_count_; }
   const SystemParams& system() const { return system_; }
   const ProtocolParams& protocol() const { return protocol_; }
   const content::ContentModel& content() const { return content_; }
@@ -145,8 +146,8 @@ class GuessNetwork : public faults::FaultHost, public TransportModulation {
   /// dispatch per edge.
   template <typename Visitor>
   void visit_live_edges(Visitor&& visit) const {
-    for (PeerId id : alive_ids_) {
-      const Peer& peer = *peers_.at(id);
+    for (PeerId id : table_.alive_ids()) {
+      const Peer& peer = *table_.find(id);
       for (const CacheEntry& entry : peer.cache().entries()) {
         if (alive(entry.id)) visit(id, entry.id);
       }
@@ -176,6 +177,13 @@ class GuessNetwork : public faults::FaultHost, public TransportModulation {
   /// The message transport in use (tests inspect counters / in-flight).
   const Transport& transport() const { return *transport_; }
   const TransportParams& transport_params() const { return transport_params_; }
+
+  /// Test hook (determinism suite): force births to claim dense slots in
+  /// the given order instead of 0, 1, 2, ... — results must be bitwise
+  /// identical either way. Call before initialize().
+  void debug_seed_free_slots(std::vector<std::uint32_t> order) {
+    table_.debug_seed_free_slots(std::move(order));
+  }
 
  private:
   // --- event thunks ---
@@ -214,7 +222,12 @@ class GuessNetwork : public faults::FaultHost, public TransportModulation {
   void ping_resolved(PeerId pinger_id, PeerId target_id, bool measured,
                      DeliveryStatus status);
   void maybe_reseed_from_pong_server(Peer& peer);
-  std::vector<CacheEntry> make_pong(Peer& responder, Policy policy);
+  /// Fill `out` with the responder's Pong (select_top under `policy`).
+  /// Callers pass the shared pong_scratch_; no path generates a Pong while
+  /// another is being consumed (single-threaded event loop, and neither
+  /// process_pong_entries nor offer_query_pong can re-enter a Pong build).
+  void make_pong_into(Peer& responder, Policy policy,
+                      std::vector<CacheEntry>& out);
   void process_pong_entries(Peer& receiver, PeerId source,
                             const std::vector<CacheEntry>& entries);
   void maybe_introduce(Peer& responder, const Peer& initiator);
@@ -229,11 +242,18 @@ class GuessNetwork : public faults::FaultHost, public TransportModulation {
   void finish_slot(PeerId origin_id);
   void finish_query(Peer& origin, QueryExecution& query, bool satisfied);
   void offer_query_pong(Peer& origin, QueryExecution& query, PeerId source,
-                        std::vector<CacheEntry> entries);
+                        const std::vector<CacheEntry>& entries);
+  /// The origin's active query, or nullptr (dead origin / no query). O(1):
+  /// two array indexings through the dense slot table.
+  QueryExecution* active_query_for(PeerId origin_id);
+  /// Return the slot's active query (if any) to the pool.
+  void release_active_query(std::uint32_t slot);
 
   // --- bookkeeping ---
   void flush_load(const Peer& peer);
   std::optional<PeerId> random_alive_peer(PeerId exclude);
+  /// Grow the per-slot side arrays to cover every allocated slot.
+  void ensure_slot_arrays();
 
   /// Lazily-built trace record: the builder runs only if the category is on.
   template <typename Builder>
@@ -259,23 +279,37 @@ class GuessNetwork : public faults::FaultHost, public TransportModulation {
   std::unique_ptr<Transport> transport_;
 
   PeerId next_id_ = 0;
-  std::unordered_map<PeerId, std::unique_ptr<Peer>> peers_;
-  std::vector<PeerId> alive_ids_;
-  std::unordered_map<PeerId, std::size_t> alive_index_;
+  PeerTable table_;
 
-  std::unordered_map<PeerId, std::unique_ptr<QueryExecution>> active_queries_;
+  // Active queries, indexed by the origin's dense slot. A slot's entry is
+  // returned to the pool when its query finishes or its origin dies, so a
+  // slot's next tenant always starts clean; late transport completions are
+  // rejected by token mismatch. Steady-state queries recycle pooled
+  // executions and never allocate.
+  std::vector<std::unique_ptr<QueryExecution>> active_query_by_slot_;
+  FreeListPool<QueryExecution> query_pool_;
+  std::size_t active_query_count_ = 0;
   std::uint64_t next_query_token_ = 0;
 
   bool measuring_ = false;
   SimulationResults results_;
   TransportCounters transport_baseline_;
-  std::unordered_map<PeerId, std::uint64_t> dead_peer_loads_;
+  // Lifetime loads of honest corpses (Figure 13); ids are not needed, the
+  // loads feed an order-insensitive summary.
+  std::vector<std::uint64_t> dead_peer_loads_;
+  // Shared Pong build buffer (see make_pong_into).
+  std::vector<CacheEntry> pong_scratch_;
   Tracer* tracer_ = nullptr;
 
   // --- fault-scenario state (DESIGN.md §9) ---
   bool poisoning_active_ = true;
   int partition_ways_ = 0;  ///< 0 = no partition active
-  std::unordered_map<PeerId, int> partition_group_;
+  // Partition membership as per-slot arrays: an entry is valid only when
+  // its stamp matches partition_epoch_, so clearing a partition (or letting
+  // a slot change tenants) never walks the arrays.
+  std::vector<int> partition_group_by_slot_;
+  std::vector<std::uint32_t> partition_epoch_by_slot_;
+  std::uint32_t partition_epoch_ = 0;
   double degrade_extra_loss_ = 0.0;
   double degrade_latency_factor_ = 1.0;
 

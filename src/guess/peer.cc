@@ -14,7 +14,12 @@ Peer::Peer(PeerId id, sim::Time birth, content::Library library,
       malicious_(malicious),
       selfish_(selfish),
       library_(std::move(library)),
-      cache_(id, cache_capacity) {}
+      cache_(id, cache_capacity) {
+  // Pending-query ring sized at birth for a realistic backlog (queries run
+  // one at a time and bursts are 1..5): growing it lazily would leak a
+  // first-enqueue allocation into the steady-state query path.
+  pending_queries_.reserve(8);
+}
 
 void Peer::spend_credit(double cost) {
   GUESS_CHECK_MSG(credit_ >= cost, "spending unaffordable probe");
@@ -84,7 +89,34 @@ bool Peer::note_referral(PeerId source, bool bad,
   if (!params.enabled || source == kInvalidPeer || blacklisted(source)) {
     return false;
   }
-  ReferralStats& stats = referral_stats_[source];
+  auto it = referral_stats_.find(source);
+  if (it == referral_stats_.end()) {
+    // Bound the tracker at the link-cache working set — cache residents
+    // plus the Pong fan-in that feeds query caches; 4x capacity covers a
+    // colluding population larger than the cache itself without letting the
+    // map grow with every peer ever referred. When full, displace the
+    // least-incriminated entry (fewest bad referrals, then fewest total,
+    // then lowest id — deterministic). Clean-record referrers can never be
+    // blacklisted, so recycling their slots costs nothing, while
+    // accumulated evidence against likely attackers survives the churn.
+    if (referral_stats_.size() >= 4 * cache_.capacity()) {
+      auto victim = referral_stats_.begin();
+      auto worse = [](const std::pair<const PeerId, ReferralStats>& a,
+                      const std::pair<const PeerId, ReferralStats>& b) {
+        if (a.second.bad != b.second.bad) return a.second.bad < b.second.bad;
+        if (a.second.total != b.second.total)
+          return a.second.total < b.second.total;
+        return a.first < b.first;
+      };
+      for (auto cand = referral_stats_.begin(); cand != referral_stats_.end();
+           ++cand) {
+        if (worse(*cand, *victim)) victim = cand;
+      }
+      referral_stats_.erase(victim);
+    }
+    it = referral_stats_.emplace(source, ReferralStats{}).first;
+  }
+  ReferralStats& stats = it->second;
   ++stats.total;
   if (bad) ++stats.bad;
   if (stats.total < params.min_referrals) return false;
@@ -101,15 +133,31 @@ bool Peer::note_referral(PeerId source, bool bad,
   return true;
 }
 
-bool Peer::backed_off(PeerId target, sim::Time now) const {
+bool Peer::backed_off(PeerId target, sim::Time now) {
   auto it = backoff_until_.find(target);
-  return it != backoff_until_.end() && it->second > now;
+  if (it == backoff_until_.end()) return false;
+  if (it->second > now) return true;
+  backoff_until_.erase(it);  // expired: prune so the map stays bounded
+  return false;
 }
 
 content::FileId Peer::pop_pending_query() {
-  GUESS_CHECK(!pending_queries_.empty());
-  content::FileId file = pending_queries_.front();
-  pending_queries_.pop_front();
+  GUESS_CHECK(has_pending_query());
+  content::FileId file = pending_queries_[pending_head_++];
+  if (pending_head_ == pending_queries_.size()) {
+    pending_queries_.clear();
+    pending_head_ = 0;
+  } else if (pending_head_ >= 8 &&
+             pending_head_ * 2 >= pending_queries_.size()) {
+    // A peer that always has a fresh burst queued before the old one drains
+    // would otherwise grow the vector with its cumulative throughput, not
+    // its backlog. Sliding the live suffix down reuses the buffer —
+    // amortized O(1), and never an allocation.
+    pending_queries_.erase(pending_queries_.begin(),
+                           pending_queries_.begin() +
+                               static_cast<std::ptrdiff_t>(pending_head_));
+    pending_head_ = 0;
+  }
   return file;
 }
 

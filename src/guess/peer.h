@@ -6,9 +6,9 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "content/content_model.h"
 #include "guess/link_cache.h"
@@ -109,7 +109,9 @@ class Peer {
   void set_backoff(PeerId target, sim::Time until) {
     backoff_until_[target] = until;
   }
-  bool backed_off(PeerId target, sim::Time now) const;
+  /// Non-const: an expired entry is erased on lookup, so the map holds only
+  /// live backoffs instead of growing with every peer ever backed off.
+  bool backed_off(PeerId target, sim::Time now);
 
   // --- load accounting (Figure 13/14) ---
 
@@ -121,7 +123,9 @@ class Peer {
   // --- workload state: a peer executes queries strictly one at a time ---
 
   void enqueue_query(content::FileId file) { pending_queries_.push_back(file); }
-  bool has_pending_query() const { return !pending_queries_.empty(); }
+  bool has_pending_query() const {
+    return pending_head_ < pending_queries_.size();
+  }
   content::FileId pop_pending_query();
   bool query_active() const { return query_active_; }
   void set_query_active(bool active) { query_active_ = active; }
@@ -153,6 +157,8 @@ class Peer {
     std::uint32_t total = 0;
     std::uint32_t bad = 0;
   };
+  // Bounded at the link-cache working set (see note_referral): when full, a
+  // new referrer displaces the entry with the least evidence.
   std::unordered_map<PeerId, ReferralStats> referral_stats_;
   std::unordered_set<PeerId> blacklist_;
   bool first_hand_only_ = false;
@@ -161,7 +167,10 @@ class Peer {
   std::uint64_t probes_received_ = 0;
   std::uint64_t pings_received_ = 0;
 
-  std::deque<content::FileId> pending_queries_;
+  // FIFO as a vector + head index (allocation-free once warm: the storage
+  // is reclaimed wholesale whenever the queue drains).
+  std::vector<content::FileId> pending_queries_;
+  std::size_t pending_head_ = 0;
   bool query_active_ = false;
 };
 

@@ -1,0 +1,44 @@
+#include "guess/peer_table.h"
+
+#include <algorithm>
+
+namespace guess {
+
+void PeerTable::destroy(PeerId id) {
+  GUESS_CHECK_MSG(id < id_to_slot_.size() && id_to_slot_[id].slot != kNoSlot,
+                  "destroy of unknown peer " << id);
+  std::uint32_t slot = id_to_slot_[id].slot;
+  Slot& s = slots_[slot];
+  // Swap-remove from the alive list, re-keying the moved peer's position.
+  std::uint32_t pos = s.alive_pos;
+  std::uint32_t last = static_cast<std::uint32_t>(alive_ids_.size()) - 1;
+  if (pos != last) {
+    PeerId moved = alive_ids_[last];
+    alive_ids_[pos] = moved;
+    slots_[id_to_slot_[moved].slot].alive_pos = pos;
+  }
+  alive_ids_.pop_back();
+  // Tombstone (generation 1, vs 0 for never-born): lookups still miss, but
+  // create() can tell a retired id from a fresh one and reject reuse.
+  id_to_slot_[id] = IdRef{kNoSlot, 1};
+  s.peer.reset();
+  ++s.generation;  // stale (slot, generation) references die here
+  free_slots_.push_back(slot);
+}
+
+void PeerTable::reserve(std::size_t n) {
+  slots_.reserve(n);
+  alive_ids_.reserve(n);
+  free_slots_.reserve(n);
+}
+
+void PeerTable::debug_seed_free_slots(std::vector<std::uint32_t> order) {
+  GUESS_CHECK_MSG(slots_.empty() && alive_ids_.empty(),
+                  "free-list seeding requires an empty table");
+  slots_.resize(order.size());
+  // The free list pops from the back: store the order reversed so births
+  // claim order[0], order[1], ...
+  free_slots_.assign(order.rbegin(), order.rend());
+}
+
+}  // namespace guess

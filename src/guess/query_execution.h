@@ -12,12 +12,12 @@
 // driven by GuessNetwork.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
+#include "common/epoch_set.h"
 #include "common/rng.h"
 #include "content/types.h"
 #include "guess/cache_entry.h"
@@ -57,6 +57,23 @@ class QueryExecution {
   QueryExecution(PeerId origin, content::FileId file, std::uint32_t desired,
                  Policy probe_policy, sim::Time start,
                  std::size_t parallel = 1, bool first_hand_only = false);
+
+  /// Re-arm a pooled execution for a new query: every per-query field is
+  /// reinitialized; the heap's and dedup set's storage is retained, so a
+  /// recycled execution performs zero heap allocations (the dedup clear is
+  /// an O(1) epoch bump). Equivalent to constructing afresh.
+  void reset(PeerId origin, content::FileId file, std::uint32_t desired,
+             Policy probe_policy, sim::Time start, std::size_t parallel = 1,
+             bool first_hand_only = false);
+
+  /// Pre-size the candidate heap and dedup set (start_query reserves the
+  /// link-cache size plus the expected Pong fan-in up front, so candidate
+  /// arrivals do not grow the heap one doubling at a time).
+  void reserve_candidates(std::size_t n) {
+    if (heap_.capacity() < n) heap_.reserve(n);
+    if (candidates_.capacity() < n) candidates_.reserve(n);
+    seen_.reserve(n);
+  }
 
   PeerId origin() const { return origin_; }
   content::FileId file() const { return file_; }
@@ -167,10 +184,16 @@ class QueryExecution {
   std::uint64_t token() const { return token_; }
 
  private:
+  // The heap orders 16-byte (score, seq, idx) keys; the 40-byte Candidate
+  // payloads sit in a side pool indexed by `idx`. Queries ingest far more
+  // candidates than they probe (a satisfied query abandons most of its
+  // queue), so cheap push/sift moves dominate — and since (score, seq) is a
+  // total order (seq is unique), pop order is identical to a heap that
+  // carried the payloads inline.
   struct Scored {
     double score;
-    std::uint64_t seq;  // FIFO tie-break keeps runs deterministic
-    Candidate candidate;
+    std::uint32_t seq;  // FIFO tie-break keeps runs deterministic
+    std::uint32_t idx;  // payload slot in candidates_
     bool operator<(const Scored& other) const {
       if (score != other.score) return score < other.score;
       return seq > other.seq;
@@ -184,9 +207,15 @@ class QueryExecution {
   sim::Time start_;
   bool first_hand_only_;
 
-  std::priority_queue<Scored> heap_;
-  std::unordered_set<PeerId> seen_;
-  std::uint64_t next_seq_ = 0;
+  // Max-heap via push_heap/pop_heap over a plain vector (what
+  // priority_queue does under the hood, per the standard) so a pooled
+  // execution can clear it while keeping the storage. (score, seq) pairs
+  // are a total order — seq is unique — so pop order is independent of
+  // heap layout.
+  std::vector<Scored> heap_;
+  std::vector<Candidate> candidates_;  // append-only per query; idx-stable
+  EpochSet seen_;
+  std::uint32_t next_seq_ = 0;
 
   std::uint32_t results_ = 0;
   ProbeCounters counters_;

@@ -1,0 +1,93 @@
+// EpochSet: the per-query dedup set whose clear() is an epoch bump. Unit
+// tests plus a randomized model check against std::unordered_set across
+// many clear cycles (the epoch mechanism must never leak keys between
+// cycles, including across rehashes).
+#include "common/epoch_set.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "common/rng.h"
+
+namespace guess {
+namespace {
+
+TEST(EpochSet, InsertAndContains) {
+  EpochSet set;
+  EXPECT_FALSE(set.contains(7));
+  EXPECT_TRUE(set.insert(7));
+  EXPECT_TRUE(set.contains(7));
+  EXPECT_FALSE(set.insert(7));  // duplicate
+  EXPECT_EQ(set.size(), 1u);
+  EXPECT_TRUE(set.insert(8));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(EpochSet, ClearForgetsEverything) {
+  EpochSet set;
+  for (std::uint64_t k = 0; k < 100; ++k) set.insert(k);
+  EXPECT_EQ(set.size(), 100u);
+  set.clear();
+  EXPECT_EQ(set.size(), 0u);
+  for (std::uint64_t k = 0; k < 100; ++k) {
+    EXPECT_FALSE(set.contains(k)) << "key " << k << " survived clear()";
+    EXPECT_TRUE(set.insert(k));  // reinsertable as fresh
+  }
+}
+
+TEST(EpochSet, ZeroKeyIsAnOrdinaryKey) {
+  // Slot.key defaults to 0; an inserted 0 must still be distinguishable
+  // from an empty slot (the epoch stamp carries occupancy, not the key).
+  EpochSet set;
+  EXPECT_FALSE(set.contains(0));
+  EXPECT_TRUE(set.insert(0));
+  EXPECT_TRUE(set.contains(0));
+  set.clear();
+  EXPECT_FALSE(set.contains(0));
+}
+
+TEST(EpochSet, GrowthPreservesCurrentEpochOnly) {
+  EpochSet set;
+  set.insert(1);
+  set.clear();
+  // Force rehash while stale (epoch-invalidated) slots still hold old keys.
+  for (std::uint64_t k = 100; k < 200; ++k) set.insert(k);
+  EXPECT_FALSE(set.contains(1));
+  for (std::uint64_t k = 100; k < 200; ++k) EXPECT_TRUE(set.contains(k));
+}
+
+TEST(EpochSet, ReserveAvoidsGrowthNotCorrectness) {
+  EpochSet set;
+  set.reserve(1000);
+  for (std::uint64_t k = 0; k < 1000; ++k) EXPECT_TRUE(set.insert(k * 977));
+  for (std::uint64_t k = 0; k < 1000; ++k) EXPECT_TRUE(set.contains(k * 977));
+  EXPECT_FALSE(set.contains(977 * 1001));
+}
+
+TEST(EpochSetFuzz, MatchesUnorderedSetAcrossClearCycles) {
+  Rng rng(42);
+  EpochSet set;
+  std::unordered_set<std::uint64_t> model;
+  for (int step = 0; step < 20000; ++step) {
+    double roll = rng.uniform();
+    if (roll < 0.02) {
+      set.clear();
+      model.clear();
+    } else {
+      // Narrow key range: plenty of duplicate inserts and hash collisions.
+      std::uint64_t key = rng.index(512);
+      ASSERT_EQ(set.insert(key), model.insert(key).second);
+    }
+    if (step % 64 == 0) {
+      ASSERT_EQ(set.size(), model.size());
+      for (std::uint64_t k = 0; k < 512; ++k) {
+        ASSERT_EQ(set.contains(k), model.contains(k)) << "key " << k;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace guess

@@ -151,6 +151,31 @@ TEST(Rng, SampleIndicesKLargerThanNThrows) {
   EXPECT_THROW(rng.sample_indices(3, 4), CheckError);
 }
 
+// The allocation-free variant must draw the exact engine sequence of
+// sample_indices: the network switched the query hot path to
+// sample_indices_into, and every pinned result depends on the draws not
+// shifting by a single call.
+TEST(Rng, SampleIndicesIntoDrawIdentity) {
+  Rng a(53);
+  Rng b(53);
+  std::vector<std::size_t> out;
+  std::vector<std::size_t> scratch;
+  // Sweep both branches (sparse k << n and dense k ~ n), interleaved so a
+  // draw-count mismatch in any call desynchronises everything after it.
+  const std::vector<std::pair<std::size_t, std::size_t>> cases = {
+      {1, 0}, {1, 1}, {10, 3}, {10, 10}, {100, 5},
+      {100, 99}, {1000, 2}, {7, 6}, {64, 32}};
+  for (int round = 0; round < 50; ++round) {
+    for (auto [n, k] : cases) {
+      auto expected = a.sample_indices(n, k);
+      b.sample_indices_into(n, k, out, scratch);
+      ASSERT_EQ(out, expected) << "n=" << n << " k=" << k;
+    }
+  }
+  // Same number of raw draws consumed overall.
+  EXPECT_EQ(a.engine()(), b.engine()());
+}
+
 TEST(Rng, SampleIndicesUniformity) {
   // Every index should be sampled with roughly equal frequency.
   Rng rng(41);

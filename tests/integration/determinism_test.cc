@@ -259,5 +259,108 @@ TEST(Determinism, RunSeedsEqualsIndependentRuns) {
   }
 }
 
+// --- dense slot assignment is pure mechanism -----------------------------
+//
+// The dense peer table maps each PeerId to a slab slot at birth; which slot
+// a peer lands in is an implementation detail that must be invisible in
+// results. debug_seed_free_slots pre-shuffles the free list so every birth
+// claims a maximally different slot than the natural run, and the results
+// must still be bitwise identical: iteration and sampling orders depend
+// only on the birth/death sequence, never on slot numbers.
+
+namespace {
+
+// Runs `config` with births claiming slots in a shuffled order when
+// `shuffle_seed` is nonzero (0 = natural slot order).
+SimulationResults run_with_slot_order(const SimulationConfig& config,
+                                      std::uint64_t shuffle_seed,
+                                      std::size_t seeded_slots) {
+  GuessSimulation sim(config);
+  if (shuffle_seed != 0) {
+    std::vector<std::uint32_t> order(seeded_slots);
+    for (std::size_t i = 0; i < seeded_slots; ++i) {
+      order[i] = static_cast<std::uint32_t>(i);
+    }
+    Rng(shuffle_seed).shuffle(order);
+    sim.network().debug_seed_free_slots(std::move(order));
+  }
+  return sim.run();
+}
+
+}  // namespace
+
+TEST(Determinism, SlotAssignmentInvisibleUnderChurn) {
+  SystemParams system;
+  system.network_size = 150;
+  system.lifespan_multiplier = 0.5;  // heavy churn: slots free and refill
+  system.content.catalog_size = 400;
+  system.content.query_universe = 500;
+  system.percent_bad_peers = 10.0;
+  system.bad_pong_behavior = BadPongBehavior::kBad;
+  ProtocolParams protocol;
+  protocol.query_probe = Policy::kMR;
+  protocol.cache_replacement = Replacement::kLR;
+  protocol.detection.enabled = true;
+  protocol.do_backoff = true;
+  auto config = SimulationConfig()
+                    .system(system)
+                    .protocol(protocol)
+                    .seed(77)
+                    .warmup(150.0)
+                    .measure(600.0);
+  auto natural = run_with_slot_order(config, 0, 0);
+  auto shuffled = run_with_slot_order(config, 1234, 400);
+  testsupport::expect_identical(natural, shuffled);
+  EXPECT_GT(natural.deaths, 0u);  // slots actually cycled through reuse
+
+  // Two different shuffles also agree — and under either scheduler backend.
+  auto reshuffled = run_with_slot_order(config, 5678, 400);
+  testsupport::expect_identical(natural, reshuffled);
+  auto calendar = run_with_slot_order(
+      SimulationConfig(config).scheduler(sim::Scheduler::kCalendar), 1234,
+      400);
+  testsupport::expect_identical(natural, calendar);
+}
+
+// The sharpest variant: lossy transport plus a full fault scenario (mass
+// kill, partition window, degradation window, flash-crowd join) with the
+// interval series on. Partition stamps, per-slot query slots and dead-load
+// flushing all index by slot here; a shuffled slab must not shift a single
+// sample.
+TEST(Determinism, SlotAssignmentInvisibleUnderFaultScenario) {
+  SystemParams system;
+  system.network_size = 150;
+  system.lifespan_multiplier = 0.5;
+  system.content.catalog_size = 400;
+  system.content.query_universe = 500;
+  system.percent_bad_peers = 10.0;
+  system.bad_pong_behavior = BadPongBehavior::kBad;
+  TransportParams transport = TransportParams::lossy(0.05);
+  transport.max_retries = 2;
+  auto config =
+      SimulationConfig()
+          .system(system)
+          .transport(transport)
+          .scenario(faults::Scenario::parse(
+              "at 250 kill 0.3; at 250 poison off; "
+              "at 300 partition 2 for 100; "
+              "at 450 degrade loss=0.3 latency=2 for 50; at 550 join 60"))
+          .metrics_interval(50.0)
+          .seed(77)
+          .warmup(150.0)
+          .measure(600.0);
+  auto natural = run_with_slot_order(config, 0, 0);
+  auto shuffled = run_with_slot_order(config, 4321, 400);
+  testsupport::expect_identical(natural, shuffled);
+  auto calendar_shuffled = run_with_slot_order(
+      SimulationConfig(config).scheduler(sim::Scheduler::kCalendar), 4321,
+      400);
+  testsupport::expect_identical(natural, calendar_shuffled);
+  // The scenario bit exactly as in the unshuffled pinned run.
+  ASSERT_GE(shuffled.interval_series.size(), 15u);
+  EXPECT_EQ(shuffled.interval_series[4].live_peers, 105u);
+  EXPECT_EQ(shuffled.interval_series.back().live_peers, 165u);
+}
+
 }  // namespace
 }  // namespace guess
