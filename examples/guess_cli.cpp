@@ -40,6 +40,14 @@ Protocol (Table 2):
 Extensions:
   --payments               probe-payment economy (§3.3)
   --detection              malicious-peer detection + adaptive MR->MR* (§6.4)
+  --detection-hardened     hardened preset (DESIGN.md §11): enables detection
+                           plus oversize-pong caps, no-reply charging and a
+                           first-hand cache floor
+  --max-pong-entries=0     discard pongs above this many entries and
+                           blacklist the sender (0 = off)
+  --charge-no-reply        charge peers whose pings/probes time out
+  --first-hand-floor=0     LinkCache keeps at least this many first-hand
+                           entries against foreign displacement (0 = off)
   --reseed                 pong-server rebootstrap (§6.1)
   --adaptive-ping          adaptive PingInterval (§6.1)
   --adaptive-parallel      adaptive probe-rate ramp (§6.2)
@@ -52,9 +60,12 @@ Transport fault injection (presence of any switches on LossyTransport):
   --max-retries=0          retransmits after the first timeout
   --max-backoff=60         cap on a single retransmit backoff delay (s)
 
-Fault scenarios (DESIGN.md §9):
+Fault scenarios (DESIGN.md §9) and attacks (DESIGN.md §11):
   --scenario="at 600 kill 0.3; at 600 partition 2 for 300"
                            inline fault-scenario spec
+  --scenario="at 600 attack eclipse frac=0.1 for 300"
+                           adversary attack window; kinds: eclipse | sybil |
+                           pong-flood | withhold
   --scenario-file=PATH     load the spec from a file
   --interval=60            time-resolved metrics interval (s); defaults to
                            60 when a scenario is given, else off
@@ -111,7 +122,19 @@ int main(int argc, char** argv) {
   protocol.parallel_probes =
       static_cast<std::size_t>(flags.get_int("parallel", 1));
   protocol.payments.enabled = flags.get_bool("payments", false);
-  protocol.detection.enabled = flags.get_bool("detection", false);
+  if (flags.get_bool("detection-hardened", false)) {
+    protocol.detection = guess::DetectionParams::hardened();
+  }
+  protocol.detection.enabled =
+      flags.get_bool("detection", protocol.detection.enabled);
+  protocol.detection.max_pong_entries = static_cast<std::size_t>(
+      flags.get_int("max-pong-entries",
+                    static_cast<int>(protocol.detection.max_pong_entries)));
+  protocol.detection.charge_no_reply =
+      flags.get_bool("charge-no-reply", protocol.detection.charge_no_reply);
+  protocol.detection.first_hand_floor = static_cast<std::size_t>(
+      flags.get_int("first-hand-floor",
+                    static_cast<int>(protocol.detection.first_hand_floor)));
   protocol.bootstrap.pong_server_reseed = flags.get_bool("reseed", false);
   protocol.adaptive_ping.enabled = flags.get_bool("adaptive-ping", false);
   protocol.adaptive_parallel = flags.get_bool("adaptive-parallel", false);
@@ -189,6 +212,16 @@ int main(int argc, char** argv) {
               << " timeouts, " << tc.retransmits << " retransmits, "
               << tc.late_replies << " late replies, " << tc.exchanges_failed
               << " failed exchanges\n";
+  }
+  if (scenario.uses_attacks()) {
+    const guess::AttackStats& as = results.attack;
+    std::cout << "attack                " << as.adversaries_spawned
+              << " spawned, " << as.adversaries_retired << " retired, "
+              << as.sybil_respawns << " sybil respawns, "
+              << as.withheld_exchanges << " withheld, " << as.oversized_pongs
+              << " oversized pongs (" << as.pong_entries_dropped
+              << " entries dropped), " << as.no_reply_charges
+              << " no-reply charges\n";
   }
   if (config.options().sample_connectivity) {
     std::cout << "largest component     " << results.largest_component.mean()

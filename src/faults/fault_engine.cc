@@ -58,6 +58,9 @@ void FaultEngine::apply(std::uint32_t index) {
     case FaultKind::kPoison:
       host_.fault_set_poisoning(action.poison_on);
       break;
+    case FaultKind::kAttack:
+      host_.fault_start_attack(action.attack, action.fraction);
+      break;
   }
 }
 
@@ -69,6 +72,9 @@ void FaultEngine::expire(std::uint32_t index) {
       break;
     case FaultKind::kDegrade:
       host_.fault_clear_degradation();
+      break;
+    case FaultKind::kAttack:
+      host_.fault_stop_attack(action.attack);
       break;
     default:
       GUESS_CHECK_MSG(false, "window end for a non-window action");

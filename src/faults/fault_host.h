@@ -10,6 +10,8 @@
 
 #include <cstddef>
 
+#include "faults/scenario.h"
+
 namespace guess::faults {
 
 class FaultHost {
@@ -39,6 +41,14 @@ class FaultHost {
   /// Toggle the poisoning attack (§6.4): while off, malicious peers answer
   /// with honest Pongs (they still share no files).
   virtual void fault_set_poisoning(bool active) = 0;
+
+  /// Adversary attack window (DESIGN.md §11): at onset the host deploys a
+  /// cohort of `fraction` (of the live population) adversaries running the
+  /// given behavior; at the window end the whole cohort is retired without
+  /// replacement. Overlapping windows of different kinds may be active at
+  /// once; the engine never starts the same kind twice concurrently.
+  virtual void fault_start_attack(AttackKind kind, double fraction) = 0;
+  virtual void fault_stop_attack(AttackKind kind) = 0;
 };
 
 }  // namespace guess::faults

@@ -132,6 +132,28 @@ FaultAction parse_statement(const std::string& statement) {
                     "scenario: expected 'on' or 'off', got '"
                         << state << "' in '" << statement << "'");
     action.poison_on = state == "on";
+  } else if (verb == "attack") {
+    action.kind = FaultKind::kAttack;
+    const std::string& kind = cursor.take("an attack kind");
+    if (kind == "eclipse") {
+      action.attack = AttackKind::kEclipse;
+    } else if (kind == "sybil") {
+      action.attack = AttackKind::kSybil;
+    } else if (kind == "pong-flood") {
+      action.attack = AttackKind::kPongFlood;
+    } else if (kind == "withhold") {
+      action.attack = AttackKind::kWithhold;
+    } else {
+      GUESS_CHECK_MSG(false, "scenario: unknown attack kind '"
+                                 << kind << "' in '" << statement << "'");
+    }
+    const std::string& frac = cursor.take("frac=<fraction>");
+    GUESS_CHECK_MSG(frac.rfind("frac=", 0) == 0,
+                    "scenario: expected frac=<fraction>, got '"
+                        << frac << "' in '" << statement << "'");
+    action.fraction = cursor.number(frac.substr(5), "attack fraction");
+    cursor.expect_keyword("for");
+    action.duration = cursor.take_number("attack duration");
   } else {
     GUESS_CHECK_MSG(false, "scenario: unknown action '" << verb << "' in '"
                                                         << statement << "'");
@@ -167,6 +189,17 @@ const char* fault_kind_name(FaultKind kind) {
     case FaultKind::kPartition: return "partition";
     case FaultKind::kDegrade: return "degrade";
     case FaultKind::kPoison: return "poison";
+    case FaultKind::kAttack: return "attack";
+  }
+  return "?";
+}
+
+const char* attack_kind_name(AttackKind kind) {
+  switch (kind) {
+    case AttackKind::kEclipse: return "eclipse";
+    case AttackKind::kSybil: return "sybil";
+    case AttackKind::kPongFlood: return "pong-flood";
+    case AttackKind::kWithhold: return "withhold";
   }
   return "?";
 }
@@ -226,6 +259,13 @@ void Scenario::validate() const {
         break;
       case FaultKind::kPoison:
         break;
+      case FaultKind::kAttack:
+        GUESS_CHECK_MSG(
+            std::isfinite(action.fraction) && action.fraction > 0.0 &&
+                action.fraction <= 1.0,
+            "scenario: attack fraction must be in (0, 1], got "
+                << action.fraction);
+        break;
     }
     if (action.windowed()) {
       GUESS_CHECK_MSG(std::isfinite(action.duration) && action.duration > 0.0,
@@ -240,12 +280,26 @@ void Scenario::validate() const {
     if (!actions_[i].windowed()) continue;
     for (std::size_t j = i + 1; j < actions_.size(); ++j) {
       if (actions_[j].kind != actions_[i].kind) continue;
+      // Attack windows only clash with the same attack kind — combined
+      // attacks (e.g. eclipse + withhold) are legitimate scenarios.
+      if (actions_[i].kind == FaultKind::kAttack &&
+          actions_[j].attack != actions_[i].attack) {
+        continue;
+      }
       bool disjoint = actions_[j].at >= actions_[i].end() ||
                       actions_[i].at >= actions_[j].end();
-      GUESS_CHECK_MSG(disjoint, "scenario: overlapping "
-                                    << fault_kind_name(actions_[i].kind)
-                                    << " windows at t=" << actions_[i].at
-                                    << " and t=" << actions_[j].at);
+      if (actions_[i].kind == FaultKind::kAttack) {
+        GUESS_CHECK_MSG(disjoint, "scenario: overlapping "
+                                      << attack_kind_name(actions_[i].attack)
+                                      << " attack windows at t="
+                                      << actions_[i].at << " and t="
+                                      << actions_[j].at);
+      } else {
+        GUESS_CHECK_MSG(disjoint, "scenario: overlapping "
+                                      << fault_kind_name(actions_[i].kind)
+                                      << " windows at t=" << actions_[i].at
+                                      << " and t=" << actions_[j].at);
+      }
     }
   }
 }
@@ -253,6 +307,13 @@ void Scenario::validate() const {
 bool Scenario::uses_degradation() const {
   for (const FaultAction& action : actions_) {
     if (action.kind == FaultKind::kDegrade) return true;
+  }
+  return false;
+}
+
+bool Scenario::uses_attacks() const {
+  for (const FaultAction& action : actions_) {
+    if (action.kind == FaultKind::kAttack) return true;
   }
   return false;
 }
@@ -293,6 +354,10 @@ std::string Scenario::describe() const {
         os << " for " << a.duration;
         break;
       case FaultKind::kPoison: os << (a.poison_on ? " on" : " off"); break;
+      case FaultKind::kAttack:
+        os << " " << attack_kind_name(a.attack) << " frac=" << a.fraction
+           << " for " << a.duration;
+        break;
     }
   }
   return os.str();

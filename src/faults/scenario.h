@@ -12,6 +12,8 @@
 //   at 1200 degrade loss=0.2 latency=4 for 60
 //   at 1800 join 2000                     # flash crowd of 2000 newcomers
 //   at 300 poison off                     # attackers behave until "poison on"
+//   at 600 attack eclipse frac=0.05 for 300   # adversary cohort window
+//   at 900 attack withhold frac=0.1 for 200   # slowloris probe stalling
 //
 // Times are absolute simulated seconds (t = 0 is simulation start, i.e. the
 // beginning of warmup). Parsing is strict: every malformed spec throws a
@@ -21,6 +23,7 @@
 // deterministic across scheduler backends and thread counts.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -36,10 +39,26 @@ enum class FaultKind {
   kPartition,  ///< k-way partition for `duration` (cross-partition silence)
   kDegrade,    ///< transport degradation window: extra loss / slower links
   kPoison,     ///< toggle the PoisonGenerator on or off (§6.4 onset)
+  kAttack,     ///< adversary-cohort window: an active attack for `duration`
 };
 
-/// "kill" / "join" / "partition" / "degrade" / "poison".
+/// Which adversary behavior a kAttack window deploys (adversary zoo,
+/// DESIGN.md §11). Values are stable — they index per-kind rosters.
+enum class AttackKind {
+  kEclipse,    ///< colluders saturate victims' link caches via pongs
+  kSybil,      ///< flash crowd of short-lived identities (tombstone churn)
+  kPongFlood,  ///< oversized pong payloads to inflate bookkeeping
+  kWithhold,   ///< accept probes, never reply (slowloris probe stalling)
+};
+
+/// Number of AttackKind enumerators (roster array sizing).
+inline constexpr std::size_t kNumAttackKinds = 4;
+
+/// "kill" / "join" / "partition" / "degrade" / "poison" / "attack".
 const char* fault_kind_name(FaultKind kind);
+
+/// "eclipse" / "sybil" / "pong-flood" / "withhold".
+const char* attack_kind_name(AttackKind kind);
 
 /// One scheduled fault. Only the fields of the action's kind are meaningful.
 struct FaultAction {
@@ -53,10 +72,13 @@ struct FaultAction {
   double loss = 0.0;            ///< kDegrade: extra per-leg loss in [0, 1]
   double latency_factor = 1.0;  ///< kDegrade: multiplier on drawn latency
   bool poison_on = false;       ///< kPoison: the toggle's new state
+  AttackKind attack = AttackKind::kEclipse;  ///< kAttack: adversary behavior
 
-  /// True for window actions (partition/degrade) that schedule an end event.
+  /// True for window actions (partition/degrade/attack) that schedule an end
+  /// event.
   bool windowed() const {
-    return kind == FaultKind::kPartition || kind == FaultKind::kDegrade;
+    return kind == FaultKind::kPartition || kind == FaultKind::kDegrade ||
+           kind == FaultKind::kAttack;
   }
 
   sim::Time end() const { return windowed() ? at + duration : at; }
@@ -82,7 +104,9 @@ class Scenario {
   /// Semantic checks beyond the grammar: fractions in (0, 1], join counts
   /// >= 1, partition ways >= 2, positive window durations, finite values,
   /// and no overlapping windows of the same kind (overlap would make
-  /// "which window is active" ambiguous). Throws CheckError.
+  /// "which window is active" ambiguous). Attack windows of *different*
+  /// AttackKinds may overlap (combined attacks are legitimate scenarios);
+  /// same-kind attack windows may not. Throws CheckError.
   void validate() const;
 
   const std::vector<FaultAction>& actions() const { return actions_; }
@@ -99,6 +123,9 @@ class Scenario {
   /// True if any action opens a transport degradation window (these require
   /// the lossy transport; SimulationConfig::validate enforces it).
   bool uses_degradation() const;
+
+  /// True if any action opens an adversary attack window.
+  bool uses_attacks() const;
 
   /// Onset of the earliest fault (0 when empty).
   sim::Time first_fault_time() const;

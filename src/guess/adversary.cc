@@ -1,0 +1,186 @@
+#include "guess/adversary.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace guess {
+
+namespace {
+
+std::size_t kind_slot(faults::AttackKind kind) {
+  auto slot = static_cast<std::size_t>(kind);
+  GUESS_CHECK(slot < faults::kNumAttackKinds);
+  return slot;
+}
+
+/// Shared colluding-pong shape (eclipse and sybil): up to `pong_size`
+/// entries naming fellow cohort members, never `self`. A lone member has
+/// nobody to advertise and answers with an empty pong (no RNG draws, like
+/// PoisonGenerator's collusion path).
+void colluding_pong(const std::vector<PeerId>& roster, PeerId self,
+                    std::size_t pong_size, sim::Time now, Rng& rng,
+                    std::vector<CacheEntry>& out,
+                    const MaliciousParams& params) {
+  out.clear();
+  if (roster.size() <= 1) return;
+  if (out.capacity() < pong_size) out.reserve(pong_size);
+  for (std::size_t i = 0; i < pong_size; ++i) {
+    PeerId id = self;
+    // Retry until we name someone else; the roster is > 1 so this
+    // terminates quickly.
+    while (id == self) id = roster[rng.index(roster.size())];
+    out.push_back(CacheEntry{id, now, params.claimed_num_files,
+                             params.claimed_num_res});
+  }
+}
+
+class EclipseBehavior final : public AdversaryBehavior {
+ public:
+  using AdversaryBehavior::AdversaryBehavior;
+  faults::AttackKind kind() const override {
+    return faults::AttackKind::kEclipse;
+  }
+  double ping_interval_factor() const override {
+    return 1.0 / zoo().params().adversary.eclipse_ping_boost;
+  }
+  void make_pong_into(PeerId self, std::size_t pong_size, sim::Time now,
+                      Rng& rng, std::vector<CacheEntry>& out) const override {
+    colluding_pong(zoo().roster(kind()), self, pong_size, now, rng, out,
+                   zoo().params());
+  }
+};
+
+class SybilBehavior final : public AdversaryBehavior {
+ public:
+  using AdversaryBehavior::AdversaryBehavior;
+  faults::AttackKind kind() const override {
+    return faults::AttackKind::kSybil;
+  }
+  sim::Duration identity_lifetime() const override {
+    return zoo().params().adversary.sybil_lifetime;
+  }
+  void make_pong_into(PeerId self, std::size_t pong_size, sim::Time now,
+                      Rng& rng, std::vector<CacheEntry>& out) const override {
+    colluding_pong(zoo().roster(kind()), self, pong_size, now, rng, out,
+                   zoo().params());
+  }
+};
+
+class PongFloodBehavior final : public AdversaryBehavior {
+ public:
+  using AdversaryBehavior::AdversaryBehavior;
+  faults::AttackKind kind() const override {
+    return faults::AttackKind::kPongFlood;
+  }
+  // Amplification needs contact surface: the flooder pings as aggressively
+  // as an eclipse colluder so introductions spread its address quickly.
+  double ping_interval_factor() const override {
+    return 1.0 / zoo().params().adversary.eclipse_ping_boost;
+  }
+  void make_pong_into(PeerId /*self*/, std::size_t pong_size, sim::Time now,
+                      Rng& rng, std::vector<CacheEntry>& out) const override {
+    out.clear();
+    const std::vector<PeerId>& pool = zoo().flood_pool();
+    if (pool.empty()) return;
+    auto flood = static_cast<std::size_t>(
+        zoo().params().adversary.pong_flood_factor *
+        static_cast<double>(pong_size));
+    if (flood < pong_size) flood = pong_size;
+    if (out.capacity() < flood) out.reserve(flood);
+    for (std::size_t i = 0; i < flood; ++i) {
+      out.push_back(claim_entry(pool[rng.index(pool.size())], now));
+    }
+  }
+};
+
+class WithholdBehavior final : public AdversaryBehavior {
+ public:
+  using AdversaryBehavior::AdversaryBehavior;
+  faults::AttackKind kind() const override {
+    return faults::AttackKind::kWithhold;
+  }
+  bool withholds_replies() const override { return true; }
+  void make_pong_into(PeerId /*self*/, std::size_t /*pong_size*/,
+                      sim::Time /*now*/, Rng& /*rng*/,
+                      std::vector<CacheEntry>& out) const override {
+    // Unreachable in a run (the transport swallows the exchange before a
+    // pong is built), but keep the contract total.
+    out.clear();
+  }
+};
+
+}  // namespace
+
+CacheEntry AdversaryBehavior::claim_entry(PeerId id, sim::Time now) const {
+  return CacheEntry{id, now, zoo_.params().claimed_num_files,
+                    zoo_.params().claimed_num_res};
+}
+
+AdversaryZoo::AdversaryZoo(MaliciousParams params) : params_(params) {
+  behaviors_[kind_slot(faults::AttackKind::kEclipse)] =
+      std::make_unique<EclipseBehavior>(*this);
+  behaviors_[kind_slot(faults::AttackKind::kSybil)] =
+      std::make_unique<SybilBehavior>(*this);
+  behaviors_[kind_slot(faults::AttackKind::kPongFlood)] =
+      std::make_unique<PongFloodBehavior>(*this);
+  behaviors_[kind_slot(faults::AttackKind::kWithhold)] =
+      std::make_unique<WithholdBehavior>(*this);
+}
+
+AdversaryZoo::~AdversaryZoo() = default;
+
+void AdversaryZoo::set_flood_pool(std::vector<PeerId> pool) {
+  flood_pool_ = std::move(pool);
+}
+
+const AdversaryBehavior& AdversaryZoo::behavior(
+    faults::AttackKind kind) const {
+  return *behaviors_[kind_slot(kind)];
+}
+
+void AdversaryZoo::add(faults::AttackKind kind, PeerId id) {
+  GUESS_CHECK(!index_.contains(id));
+  std::vector<PeerId>& roster = rosters_[kind_slot(kind)];
+  index_.emplace(id, Membership{kind, roster.size()});
+  roster.push_back(id);
+}
+
+void AdversaryZoo::remove(PeerId id) {
+  auto it = index_.find(id);
+  GUESS_CHECK(it != index_.end());
+  Membership membership = it->second;
+  index_.erase(it);
+  std::vector<PeerId>& roster = rosters_[kind_slot(membership.kind)];
+  if (membership.pos != roster.size() - 1) {
+    roster[membership.pos] = roster.back();
+    index_[roster[membership.pos]].pos = membership.pos;
+  }
+  roster.pop_back();
+}
+
+const AdversaryBehavior* AdversaryZoo::behavior_of(PeerId id) const {
+  auto it = index_.find(id);
+  if (it == index_.end()) return nullptr;
+  return behaviors_[kind_slot(it->second.kind)].get();
+}
+
+bool AdversaryZoo::withholds(PeerId id) const {
+  const AdversaryBehavior* behavior = behavior_of(id);
+  return behavior != nullptr && behavior->withholds_replies();
+}
+
+const std::vector<PeerId>& AdversaryZoo::roster(
+    faults::AttackKind kind) const {
+  return rosters_[kind_slot(kind)];
+}
+
+void AdversaryZoo::make_pong_into(PeerId self, std::size_t pong_size,
+                                  sim::Time now, Rng& rng,
+                                  std::vector<CacheEntry>& out) const {
+  const AdversaryBehavior* behavior = behavior_of(self);
+  GUESS_CHECK(behavior != nullptr);
+  behavior->make_pong_into(self, pong_size, now, rng, out);
+}
+
+}  // namespace guess

@@ -1,0 +1,136 @@
+// The adversary zoo (DESIGN.md §11) — active attackers beyond §6.4's cache
+// poisoners, generalizing PoisonGenerator's roster/pong machinery into an
+// AdversaryBehavior interface with one concrete behavior per AttackKind:
+//
+//   eclipse    — colluders ping aggressively and answer every Ping/Probe
+//                with a full-width pong naming fellow colluders under
+//                top-of-distribution claims, displacing honest entries from
+//                victims' link caches;
+//   sybil      — a flash crowd of short-lived identities: each sybil
+//                retires after `sybil_lifetime` and is replaced by a fresh
+//                PeerId (the old id is tombstoned forever), filling victim
+//                caches with soon-dead entries and churning the PeerTable's
+//                id/generation machinery;
+//   pong-flood — oversized pong payloads (`pong_flood_factor` × PongSize
+//                fabricated dead addresses) to inflate victims' cache and
+//                referral bookkeeping;
+//   withhold   — slowloris probe stalling: accept Pings/QueryProbes and
+//                never reply, burning the sender's timeout (and retries,
+//                under the lossy transport) per exchange.
+//
+// Cohorts are deployed and retired deterministically by FaultEngine via
+// `at T attack <kind> frac=F for D` scenario windows; the zoo itself is pure
+// bookkeeping + payload generation and draws randomness only from the RNG
+// the network passes in, so attack runs stay bitwise reproducible.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "faults/scenario.h"
+#include "guess/cache_entry.h"
+#include "guess/params.h"
+
+namespace guess {
+
+class AdversaryZoo;
+
+/// One attack strategy. Stateless apart from a back-reference to the zoo
+/// (for rosters and the flood pool); per-member state lives in the network
+/// (timers) and the zoo (membership).
+class AdversaryBehavior {
+ public:
+  explicit AdversaryBehavior(const AdversaryZoo& zoo) : zoo_(zoo) {}
+  virtual ~AdversaryBehavior() = default;
+
+  virtual faults::AttackKind kind() const = 0;
+
+  /// Multiplier on the honest PingInterval for cohort members; < 1 means
+  /// the attacker pings faster than honest peers.
+  virtual double ping_interval_factor() const { return 1.0; }
+
+  /// True if the attacker swallows inbound exchanges entirely — the sender
+  /// sees a timeout (and pays retries under the lossy transport).
+  virtual bool withholds_replies() const { return false; }
+
+  /// Identity lifetime: 0 = the member lives for the whole attack window;
+  /// > 0 = it retires after this long and a fresh identity replaces it.
+  virtual sim::Duration identity_lifetime() const { return 0.0; }
+
+  /// Fill `out` with the attack pong this member answers a Ping/QueryProbe
+  /// with. May exceed `pong_size` (pong-flood) or be empty (a lone colluder
+  /// has nobody to advertise).
+  virtual void make_pong_into(PeerId self, std::size_t pong_size,
+                              sim::Time now, Rng& rng,
+                              std::vector<CacheEntry>& out) const = 0;
+
+ protected:
+  const AdversaryZoo& zoo() const { return zoo_; }
+
+  /// An entry with the top-of-distribution claims (§6.4's lie, reused by
+  /// every behavior so trusting policies rank attack entries first).
+  CacheEntry claim_entry(PeerId id, sim::Time now) const;
+
+ private:
+  const AdversaryZoo& zoo_;
+};
+
+/// Rosters of deployed adversaries (one per AttackKind, PoisonGenerator's
+/// swap-remove idiom) plus the behavior instances and the fabricated
+/// address pool backing pong-flood payloads.
+class AdversaryZoo {
+ public:
+  explicit AdversaryZoo(MaliciousParams params);
+  ~AdversaryZoo();
+
+  AdversaryZoo(const AdversaryZoo&) = delete;
+  AdversaryZoo& operator=(const AdversaryZoo&) = delete;
+
+  /// Fabricated dead addresses for pong-flood payloads (allocated by the
+  /// network from its id space so they can never collide with real peers).
+  void set_flood_pool(std::vector<PeerId> pool);
+  const std::vector<PeerId>& flood_pool() const { return flood_pool_; }
+
+  const AdversaryBehavior& behavior(faults::AttackKind kind) const;
+
+  /// Membership bookkeeping. An id belongs to at most one roster; add
+  /// checks freshness, remove checks membership (GUESS_CHECK).
+  void add(faults::AttackKind kind, PeerId id);
+  void remove(PeerId id);
+  bool contains(PeerId id) const { return index_.contains(id); }
+  std::size_t size() const { return index_.size(); }
+
+  /// The deployed behavior of `id`, or nullptr if `id` is no adversary.
+  const AdversaryBehavior* behavior_of(PeerId id) const;
+
+  /// True iff `id` is a deployed reply-withholding adversary.
+  bool withholds(PeerId id) const;
+
+  /// Deployed members of `kind`, in swap-remove order.
+  const std::vector<PeerId>& roster(faults::AttackKind kind) const;
+
+  /// Dispatch to the member's behavior (GUESS_CHECKs membership).
+  void make_pong_into(PeerId self, std::size_t pong_size, sim::Time now,
+                      Rng& rng, std::vector<CacheEntry>& out) const;
+
+  const MaliciousParams& params() const { return params_; }
+
+ private:
+  struct Membership {
+    faults::AttackKind kind;
+    std::size_t pos;  ///< index into rosters_[kind]
+  };
+
+  MaliciousParams params_;
+  std::array<std::unique_ptr<AdversaryBehavior>, faults::kNumAttackKinds>
+      behaviors_;
+  std::array<std::vector<PeerId>, faults::kNumAttackKinds> rosters_;
+  std::unordered_map<PeerId, Membership> index_;
+  std::vector<PeerId> flood_pool_;
+};
+
+}  // namespace guess

@@ -101,6 +101,7 @@ void LinkCache::insert_free(const CacheEntry& entry) {
   GUESS_CHECK(!contains(entry.id));
   index_.insert(entry.id, static_cast<std::uint32_t>(entries_.size()));
   entries_.push_back(entry);
+  if (entry.first_hand) ++first_hand_count_;
   note_insert();
 }
 
@@ -110,6 +111,7 @@ bool LinkCache::offer(const CacheEntry& candidate, Replacement policy,
   if (!full()) {
     index_.insert(candidate.id, static_cast<std::uint32_t>(entries_.size()));
     entries_.push_back(candidate);
+    if (candidate.first_hand) ++first_hand_count_;
     note_insert();
     return true;
   }
@@ -117,6 +119,9 @@ bool LinkCache::offer(const CacheEntry& candidate, Replacement policy,
   // replaces a uniformly chosen victim (documented in policy.h).
   if (policy == Replacement::kRandom) {
     std::size_t victim = rng.index(entries_.size());
+    if (floor_protects(victim, candidate)) return false;
+    if (entries_[victim].first_hand) --first_hand_count_;
+    if (candidate.first_hand) ++first_hand_count_;
     index_.erase(entries_[victim].id);
     entries_[victim] = candidate;
     index_.insert(candidate.id, static_cast<std::uint32_t>(victim));
@@ -147,6 +152,9 @@ bool LinkCache::offer(const CacheEntry& candidate, Replacement policy,
   if (deterministic_retention_score(policy, candidate, first_hand_only_) <=
       victim_score)
     return false;
+  if (floor_protects(victim, candidate)) return false;
+  if (entries_[victim].first_hand) --first_hand_count_;
+  if (candidate.first_hand) ++first_hand_count_;
   index_.erase(entries_[victim].id);
   entries_[victim] = candidate;
   index_.insert(candidate.id, static_cast<std::uint32_t>(victim));
@@ -156,6 +164,7 @@ bool LinkCache::offer(const CacheEntry& candidate, Replacement policy,
 
 void LinkCache::erase_at(std::size_t pos) {
   std::size_t last = entries_.size() - 1;
+  if (entries_[pos].first_hand) --first_hand_count_;
   index_.erase(entries_[pos].id);
   if (pos != last) {
     entries_[pos] = entries_[last];
@@ -185,6 +194,7 @@ void LinkCache::touch(PeerId id, sim::Time now) {
 void LinkCache::set_num_res(PeerId id, std::uint32_t num_res) {
   std::uint32_t pos = index_.find(id);
   if (pos == FlatIdMap::kNotFound) return;
+  if (!entries_[pos].first_hand) ++first_hand_count_;
   entries_[pos].num_res = num_res;
   entries_[pos].first_hand = true;
   note_update(pos);

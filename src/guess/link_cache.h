@@ -47,6 +47,19 @@ class LinkCache {
   void set_first_hand_only(bool enabled);
   bool first_hand_only() const { return first_hand_only_; }
 
+  /// Eclipse resistance (DetectionParams::first_hand_floor): when > 0, a
+  /// full cache refuses to replace a first-hand entry with a non-first-hand
+  /// candidate while at most `floor` first-hand entries remain. Attack
+  /// pongs are never first-hand, so a colluding cohort cannot displace the
+  /// victim's last `floor` entries of direct experience. Evictions (dead or
+  /// blacklisted peers) are unaffected.
+  void set_first_hand_floor(std::size_t floor) { first_hand_floor_ = floor; }
+  std::size_t first_hand_floor() const { return first_hand_floor_; }
+
+  /// Number of entries whose NumRes is the owner's own observation
+  /// (maintained incrementally; the floor guard and tests read it).
+  std::size_t first_hand_count() const { return first_hand_count_; }
+
   std::size_t capacity() const { return capacity_; }
   std::size_t size() const { return entries_.size(); }
   bool empty() const { return entries_.empty(); }
@@ -118,10 +131,19 @@ class LinkCache {
   void note_update(std::size_t pos);
   void rebuild_indices();
   const ScoreIndex* find_selection(Policy policy) const;
+  /// The first-hand-floor guard: true iff replacing `victim` with
+  /// `candidate` would dig into the protected first-hand reserve.
+  bool floor_protects(std::size_t victim, const CacheEntry& candidate) const {
+    return first_hand_floor_ > 0 && !candidate.first_hand &&
+           entries_[victim].first_hand &&
+           first_hand_count_ <= first_hand_floor_;
+  }
 
   PeerId owner_;
   std::size_t capacity_;
   bool first_hand_only_ = false;
+  std::size_t first_hand_floor_ = 0;
+  std::size_t first_hand_count_ = 0;
   std::vector<CacheEntry> entries_;
   FlatIdMap index_;  // id -> position
 

@@ -39,6 +39,19 @@ struct TransportCounters {
   TransportCounters operator-(const TransportCounters& other) const;
 };
 
+/// Adversary-zoo activity and the defenses it triggered (DESIGN.md §11).
+/// Counted over the whole run (attack windows rarely align with the
+/// measurement window); all zeros when the scenario deploys no attacks.
+struct AttackStats {
+  std::uint64_t adversaries_spawned = 0;  ///< cohort members ever deployed
+  std::uint64_t adversaries_retired = 0;  ///< removed at window end / expiry
+  std::uint64_t sybil_respawns = 0;       ///< fresh identities after expiry
+  std::uint64_t withheld_exchanges = 0;   ///< send attempts withholders swallowed
+  std::uint64_t oversized_pongs = 0;      ///< pongs over max_pong_entries
+  std::uint64_t pong_entries_dropped = 0; ///< entries discarded by the cap
+  std::uint64_t no_reply_charges = 0;     ///< charge_no_reply referrals filed
+};
+
 /// One closed sampling interval of the time-resolved series (DESIGN.md §9).
 /// Queries are attributed to the interval in which they *finish*; population
 /// and transport counters are read at the interval boundary.
@@ -143,6 +156,9 @@ struct SimulationResults {
 
   /// Transport-level message accounting during measurement (DESIGN.md §8).
   TransportCounters transport;
+
+  /// Adversary-zoo activity and triggered defenses, whole-run (§11).
+  AttackStats attack;
 
   /// Queries abandoned because a creditless peer stalled past the limit
   /// (§3.3 probe payments; counted within queries_completed, unsatisfied).

@@ -76,6 +76,12 @@ struct GuessNetwork::PingResolved {
     net->ping_resolved(pinger, target, measured, status);
   }
 };
+struct GuessNetwork::SybilExpired {
+  GuessNetwork* net;
+  PeerId id;
+  void operator()() const { net->sybil_expired(id); }
+};
+
 struct GuessNetwork::QueryProbeResolved {
   GuessNetwork* net;
   PeerId origin;
@@ -97,7 +103,8 @@ GuessNetwork::GuessNetwork(const SimulationConfig& config,
       query_stream_(content::BurstParams{system_.query_rate,
                                          system_.burst_min,
                                          system_.burst_max}),
-      poison_(config.malicious(), system_.bad_pong_behavior) {
+      poison_(config.malicious(), system_.bad_pong_behavior),
+      zoo_(config.malicious()) {
   config.validate();
   churn_ = std::make_unique<churn::ChurnManager>(
       simulator_, churn::LifetimeDistribution(system_.lifespan_multiplier),
@@ -186,6 +193,10 @@ PeerId GuessNetwork::spawn_peer(bool malicious, bool selfish, bool initial) {
       protocol_.cache_replacement);
   // MR*: ranking ignores foreign NumRes claims from the start.
   ref.cache().set_first_hand_only(protocol_.reset_num_results);
+  // Eclipse resistance (§11): protect a reserve of first-hand entries.
+  if (protocol_.detection.enabled) {
+    ref.cache().set_first_hand_floor(protocol_.detection.first_hand_floor);
+  }
   ensure_slot_arrays();
   if (malicious) poison_.add_bad_peer(id);
   // A peer born during a partition lands on a random side of it.
@@ -212,6 +223,63 @@ PeerId GuessNetwork::spawn_peer(bool malicious, bool selfish, bool initial) {
   return id;
 }
 
+PeerId GuessNetwork::spawn_adversary(faults::AttackKind kind) {
+  PeerId id = next_id_++;
+  Peer& ref = table_.create(id, simulator_.now(), content::Library{},
+                            protocol_.cache_size, /*malicious=*/true,
+                            /*selfish=*/false);
+  ref.set_credit(protocol_.payments.initial_credit);
+  ref.cache().configure_indices(
+      {protocol_.ping_probe, protocol_.ping_pong, protocol_.query_pong},
+      protocol_.cache_replacement);
+  ref.cache().set_first_hand_only(protocol_.reset_num_results);
+  ensure_slot_arrays();
+  zoo_.add(kind, id);
+  ++attack_stats_.adversaries_spawned;
+  if (partition_ways_ > 0) {
+    std::uint32_t slot = table_.slot_of(id);
+    partition_group_by_slot_[slot] = static_cast<int>(
+        rng_.index(static_cast<std::size_t>(partition_ways_)));
+    partition_epoch_by_slot_[slot] = partition_epoch_;
+  }
+  trace(TraceCategory::kChurn, [&](std::ostream& os) {
+    os << "birth adversary=" << id
+       << " kind=" << faults::attack_kind_name(kind);
+  });
+  // Deliberately NOT churn-registered: the cohort's lifetime is the attack
+  // window (fault_stop_attack retires it), and a sybil recycles identities
+  // through its own expiry timer instead of the death/replacement path.
+  seed_from_friend(ref);
+  const AdversaryBehavior& behavior = zoo_.behavior(kind);
+  sim::Duration interval =
+      protocol_.ping_interval * behavior.ping_interval_factor();
+  ref.set_ping_interval(interval);
+  schedule_next_ping(ref, rng_.uniform(0.0, interval));
+  // Adversaries run no query workload, so the burst timer slot is free to
+  // carry the sybil identity-expiry event.
+  sim::Duration lifetime = behavior.identity_lifetime();
+  if (lifetime > 0.0) {
+    static_assert(sim::EventQueue::Callback::stores_inline<SybilExpired>());
+    ref.burst_timer = simulator_.after(lifetime, SybilExpired{this, id});
+  }
+  return id;
+}
+
+void GuessNetwork::sybil_expired(PeerId id) {
+  // The cohort may already have been retired (window end) or mass-killed;
+  // remove_peer cancelled the timer then, but stay defensive.
+  if (!zoo_.contains(id)) return;
+  trace(TraceCategory::kFault, [&](std::ostream& os) {
+    os << "sybil expire peer=" << id;
+  });
+  remove_peer(id);
+  ++attack_stats_.adversaries_retired;
+  ++attack_stats_.sybil_respawns;
+  // A fresh identity replaces it: a new PeerId (the old one is tombstoned
+  // by the PeerTable forever), a fresh cache, a fresh timer phase.
+  spawn_adversary(faults::AttackKind::kSybil);
+}
+
 void GuessNetwork::seed_initial_caches() {
   std::size_t seed_size = system_.resolved_cache_seed(protocol_.cache_size);
   // Seed from the initial population only (all alive at time 0).
@@ -234,10 +302,22 @@ void GuessNetwork::seed_initial_caches() {
 }
 
 CacheEntry GuessNetwork::introduction_entry(const Peer& peer) const {
-  std::uint32_t advertised =
-      peer.malicious() && poisoning_active_
-          ? poison_.params().claimed_num_files
-          : peer.num_files();
+  // Zoo adversaries always lie about their library (the attack windows are
+  // independent of the §6.4 poison toggle); poison attackers lie only while
+  // poisoning is active.
+  std::uint32_t advertised = peer.num_files();
+  if (peer.malicious() && zoo_.contains(peer.id())) {
+    // The zoo also fabricates NumRes in its introductions — a withholder's
+    // only advertising channel (it builds no pongs), and the bait that
+    // pulls MR-ranked probes into its timeout trap. Never first-hand, so
+    // the first_hand_floor defense still holds.
+    return CacheEntry{peer.id(), simulator_.now(),
+                      poison_.params().claimed_num_files,
+                      poison_.params().claimed_num_res};
+  }
+  if (peer.malicious() && poisoning_active_) {
+    advertised = poison_.params().claimed_num_files;
+  }
   return CacheEntry{peer.id(), simulator_.now(), advertised, 0};
 }
 
@@ -296,7 +376,15 @@ void GuessNetwork::remove_peer(PeerId id) {
   // the slot's next tenant is stamped at birth.
   release_active_query(table_.slot_of(id));
   flush_load(*peer);
-  if (peer->malicious()) poison_.remove_bad_peer(id);
+  // Adversary-zoo members are malicious but never entered the §6.4 poison
+  // roster; each registry removes only its own.
+  if (peer->malicious()) {
+    if (zoo_.contains(id)) {
+      zoo_.remove(id);
+    } else {
+      poison_.remove_bad_peer(id);
+    }
+  }
   table_.destroy(id);
 }
 
@@ -364,6 +452,7 @@ void GuessNetwork::ping_resolved(PeerId pinger_id, PeerId target_id,
     pinger->cache().evict(target_id);
     if (measured) ++results_.pings_to_dead;
     pinger->note_ping_result(/*dead=*/true, protocol_.adaptive_ping);
+    charge_no_reply(*pinger, target_id);
     trace(TraceCategory::kPing, [&](std::ostream& os) {
       os << "ping peer=" << pinger_id << " -> " << target_id
          << " dead, evicted";
@@ -381,7 +470,12 @@ void GuessNetwork::ping_resolved(PeerId pinger_id, PeerId target_id,
   target->cache().touch(pinger_id, simulator_.now());
   maybe_introduce(*target, *pinger);
 
-  if (target->malicious() && poisoning_active_) {
+  if (target->malicious() && zoo_.contains(target_id)) {
+    // Zoo adversaries answer with their behavior's attack pong (attack
+    // windows are independent of the §6.4 poison toggle).
+    zoo_.make_pong_into(target_id, protocol_.pong_size, simulator_.now(),
+                        rng_, pong_scratch_);
+  } else if (target->malicious() && poisoning_active_) {
     poison_.make_pong_into(target->id(), protocol_.pong_size,
                            simulator_.now(), rng_, pong_scratch_);
   } else {
@@ -421,10 +515,60 @@ void GuessNetwork::make_pong_into(Peer& responder, Policy policy,
   for (CacheEntry& entry : out) entry.first_hand = false;
 }
 
+// The pong-flood countermeasure (DetectionParams::max_pong_entries): honest
+// pongs carry at most PongSize entries, so an oversized one is itself the
+// attack signature — discard it wholesale (nothing a proven liar lists is
+// worth ingesting) and charge the sender one bad referral.
+// @returns how many leading entries of `entries` the receiver may ingest.
+std::size_t GuessNetwork::accepted_pong_entries(
+    Peer& receiver, PeerId source, std::size_t entry_count) {
+  const DetectionParams& detection = protocol_.detection;
+  if (!detection.enabled || detection.max_pong_entries == 0 ||
+      entry_count <= detection.max_pong_entries) {
+    return entry_count;
+  }
+  ++attack_stats_.oversized_pongs;
+  attack_stats_.pong_entries_dropped += entry_count;
+  // An oversized pong is unambiguous on one observation — honest pongs
+  // structurally cannot exceed PongSize — so the sender is blacklisted
+  // outright rather than charged one referral and given min_referrals more
+  // flood rounds, and the receiver drops to first-hand-only ingestion at
+  // once (blacklist_now): the attack is proven, so the MR -> MR* posture
+  // need not wait for switch_threshold statistical convictions.
+  if (receiver.blacklist_now(source, detection)) {
+    receiver.cache().evict(source);
+    trace(TraceCategory::kAttack, [&](std::ostream& os) {
+      os << "blacklist peer=" << receiver.id()
+         << " oversized-pong=" << source;
+    });
+  }
+  return 0;
+}
+
+// The reply-withholding countermeasure (DetectionParams::charge_no_reply):
+// a Ping/QueryProbe of ours that nobody answered charges the silent target
+// itself, windowing with the pings_to_dead accounting (both are measured at
+// the exchange that failed). Withholders keep reinserting themselves via
+// introductions, so the charges accumulate to a blacklisting; honest dead
+// peers collect a posthumous one at worst (their ids are never reused).
+void GuessNetwork::charge_no_reply(Peer& prober, PeerId target_id) {
+  const DetectionParams& detection = protocol_.detection;
+  if (!detection.enabled || !detection.charge_no_reply) return;
+  ++attack_stats_.no_reply_charges;
+  if (prober.note_referral(target_id, /*bad=*/true, detection)) {
+    trace(TraceCategory::kAttack, [&](std::ostream& os) {
+      os << "blacklist peer=" << prober.id() << " no-reply=" << target_id;
+    });
+  }
+}
+
 void GuessNetwork::process_pong_entries(
     Peer& receiver, PeerId source, const std::vector<CacheEntry>& entries) {
   if (receiver.blacklisted(source)) return;
-  for (const CacheEntry& entry : entries) {
+  std::size_t accepted =
+      accepted_pong_entries(receiver, source, entries.size());
+  for (std::size_t i = 0; i < accepted; ++i) {
+    const CacheEntry& entry = entries[i];
     if (entry.id == receiver.id()) continue;
     if (receiver.blacklisted(entry.id)) continue;
     receiver.cache().offer(entry, protocol_.cache_replacement, rng_);
@@ -433,6 +577,7 @@ void GuessNetwork::process_pong_entries(
 
 void GuessNetwork::maybe_introduce(Peer& responder, const Peer& initiator) {
   if (!rng_.bernoulli(protocol_.intro_prob)) return;
+  if (responder.blacklisted(initiator.id())) return;
   responder.cache().offer(introduction_entry(initiator),
                           protocol_.cache_replacement, rng_);
 }
@@ -622,6 +767,7 @@ void GuessNetwork::probe_resolved(PeerId origin_id, std::uint64_t token,
            << referrer;
       });
     }
+    charge_no_reply(*origin, target_id);
     if (query.note_probe_resolved()) finish_slot(origin_id);
     return;
   }
@@ -698,7 +844,10 @@ void GuessNetwork::probe_resolved(PeerId origin_id, std::uint64_t token,
 
   // Every probed peer answers with a Pong (§2.3): entries feed the query
   // cache and, subject to CacheReplacement, the link cache.
-  if (target->malicious() && poisoning_active_) {
+  if (target->malicious() && zoo_.contains(target_id)) {
+    zoo_.make_pong_into(target_id, protocol_.pong_size, simulator_.now(),
+                        rng_, pong_scratch_);
+  } else if (target->malicious() && poisoning_active_) {
     poison_.make_pong_into(target_id, protocol_.pong_size, simulator_.now(),
                            rng_, pong_scratch_);
   } else {
@@ -764,7 +913,9 @@ void GuessNetwork::offer_query_pong(Peer& origin, QueryExecution& query,
   // Detection: Pongs from blacklisted peers are dropped wholesale, and
   // entries naming blacklisted peers never re-enter circulation.
   if (origin.blacklisted(source)) return;
-  for (const CacheEntry& entry : entries) {
+  std::size_t accepted = accepted_pong_entries(origin, source, entries.size());
+  for (std::size_t i = 0; i < accepted; ++i) {
+    const CacheEntry& entry = entries[i];
     if (origin.blacklisted(entry.id)) continue;
     // Without the query cache (ablation), Pong entries may refresh the link
     // cache but do not extend this query's candidate set.
@@ -898,7 +1049,53 @@ void GuessNetwork::fault_set_poisoning(bool active) {
   });
 }
 
+void GuessNetwork::fault_start_attack(faults::AttackKind kind,
+                                      double fraction) {
+  GUESS_CHECK_MSG(zoo_.roster(kind).empty(),
+                  "attack onset for an already-active "
+                      << faults::attack_kind_name(kind) << " cohort");
+  // Pong-flood ammunition: fabricated addresses that will never belong to a
+  // real peer, allocated once at first onset (mirrors the poison dead pool).
+  if (kind == faults::AttackKind::kPongFlood && zoo_.flood_pool().empty()) {
+    auto pool_size = static_cast<std::size_t>(
+        zoo_.params().adversary.flood_pool_factor *
+        static_cast<double>(system_.network_size));
+    std::vector<PeerId> pool(std::max<std::size_t>(1, pool_size));
+    for (auto& id : pool) id = next_id_++;
+    zoo_.set_flood_pool(std::move(pool));
+  }
+  std::size_t cohort = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             fraction * static_cast<double>(table_.size())));
+  trace(TraceCategory::kFault, [&](std::ostream& os) {
+    os << "attack " << faults::attack_kind_name(kind)
+       << " onset cohort=" << cohort << " alive=" << table_.size();
+  });
+  for (std::size_t i = 0; i < cohort; ++i) spawn_adversary(kind);
+}
+
+void GuessNetwork::fault_stop_attack(faults::AttackKind kind) {
+  // Copy the roster: every removal swap-mutates it underneath the loop.
+  std::vector<PeerId> cohort = zoo_.roster(kind);
+  trace(TraceCategory::kFault, [&](std::ostream& os) {
+    os << "attack " << faults::attack_kind_name(kind)
+       << " retired cohort=" << cohort.size();
+  });
+  for (PeerId id : cohort) {
+    remove_peer(id);
+    ++attack_stats_.adversaries_retired;
+  }
+}
+
 bool GuessNetwork::severed(PeerId from, PeerId to) const {
+  // Reply withholding: a deployed withholder swallows every exchange sent
+  // *to* it — the sender sees a timeout (and pays retries under the lossy
+  // transport). The withholder's own outbound exchanges go through, which
+  // is what keeps it circulating via introductions.
+  if (zoo_.withholds(to)) {
+    ++attack_stats_.withheld_exchanges;
+    return true;
+  }
   if (partition_ways_ <= 0) return false;
   // Unassigned addresses (dead-pool fabrications, corpses) are not
   // severed — exchanges to them time out on their own.
@@ -1022,6 +1219,7 @@ SimulationResults GuessNetwork::collect_results() {
   out.deaths = churn_->deaths();
   out.network_size = system_.network_size;
   out.transport = transport_->counters() - transport_baseline_;
+  out.attack = attack_stats_;
   // Figure 13 loads: every honest peer that existed during measurement.
   for (std::uint64_t load : dead_peer_loads_) {
     out.peer_loads.add(static_cast<double>(load));

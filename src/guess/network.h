@@ -24,6 +24,7 @@
 #include "content/content_model.h"
 #include "content/query_stream.h"
 #include "faults/fault_host.h"
+#include "guess/adversary.h"
 #include "guess/config.h"
 #include "guess/malicious.h"
 #include "guess/metrics.h"
@@ -85,6 +86,13 @@ class GuessNetwork : public faults::FaultHost, public TransportModulation {
   /// Toggle attacker pong poisoning. While off, malicious peers answer with
   /// their real (empty) caches and honest introduction entries.
   void fault_set_poisoning(bool active) override;
+  /// Deploy an adversary cohort of floor(fraction * alive) members (min 1)
+  /// running `kind`'s behavior (DESIGN.md §11). Cohort members are not
+  /// churn-registered — their lifetime is the attack window (sybils recycle
+  /// identities within it) — and they never enter the §6.4 poison roster.
+  void fault_start_attack(faults::AttackKind kind, double fraction) override;
+  /// Retire the whole cohort of `kind` without replacement births.
+  void fault_stop_attack(faults::AttackKind kind) override;
 
   // --- TransportModulation (consulted by the transport per send) ---
 
@@ -130,6 +138,11 @@ class GuessNetwork : public faults::FaultHost, public TransportModulation {
   const std::vector<PeerId>& alive_ids() const { return table_.alive_ids(); }
   bool is_malicious(PeerId id) const;
   bool poisoning_active() const { return poisoning_active_; }
+  /// True iff `id` is a deployed adversary-zoo member (tests).
+  bool is_adversary(PeerId id) const { return zoo_.contains(id); }
+  const AdversaryZoo& adversary_zoo() const { return zoo_; }
+  /// Whole-run attack/defense counters (also snapshotted into results).
+  const AttackStats& attack_stats() const { return attack_stats_; }
   int partition_ways() const { return partition_ways_; }
   /// Partition group of `id`, or -1 when unpartitioned/unknown (tests).
   int partition_group(PeerId id) const;
@@ -201,8 +214,16 @@ class GuessNetwork : public faults::FaultHost, public TransportModulation {
   struct PingResolved;
   struct QueryProbeResolved;
 
+  // --- adversary-zoo event thunk (sybil identity expiry) ---
+  struct SybilExpired;
+
   // --- lifecycle ---
   PeerId spawn_peer(bool malicious, bool selfish, bool initial);
+  /// Birth one cohort member of `kind`: malicious, friend-seeded, not
+  /// churn-registered, no query workload, ping timer scaled by the
+  /// behavior's factor; sybils also arm their identity-expiry timer.
+  PeerId spawn_adversary(faults::AttackKind kind);
+  void sybil_expired(PeerId id);
   void on_peer_death(PeerId id);
   /// Tear one peer out of the network (timers, queries, alive list, poison
   /// registry) WITHOUT the replacement birth. The death path and the
@@ -230,6 +251,13 @@ class GuessNetwork : public faults::FaultHost, public TransportModulation {
                       std::vector<CacheEntry>& out);
   void process_pong_entries(Peer& receiver, PeerId source,
                             const std::vector<CacheEntry>& entries);
+  /// Pong-size cap (max_pong_entries): discards oversized pongs, charging
+  /// the sender. Returns the accepted prefix length of the pong.
+  std::size_t accepted_pong_entries(Peer& receiver, PeerId source,
+                                    std::size_t entry_count);
+  /// charge_no_reply: file a bad referral against a target that never
+  /// answered our Ping/QueryProbe (reply-withholding defense).
+  void charge_no_reply(Peer& prober, PeerId target_id);
   void maybe_introduce(Peer& responder, const Peer& initiator);
   CacheEntry introduction_entry(const Peer& peer) const;
 
@@ -275,6 +303,7 @@ class GuessNetwork : public faults::FaultHost, public TransportModulation {
   content::ContentModel content_;
   content::QueryStream query_stream_;
   PoisonGenerator poison_;
+  AdversaryZoo zoo_;
   std::unique_ptr<churn::ChurnManager> churn_;
   std::unique_ptr<Transport> transport_;
 
@@ -300,6 +329,12 @@ class GuessNetwork : public faults::FaultHost, public TransportModulation {
   // Shared Pong build buffer (see make_pong_into).
   std::vector<CacheEntry> pong_scratch_;
   Tracer* tracer_ = nullptr;
+
+  // --- adversary-zoo state (DESIGN.md §11) ---
+  // Whole-run counters; mutable because severed() — a const modulation
+  // callback the transport consults per send — is where a withholder
+  // swallowing an exchange is observed.
+  mutable AttackStats attack_stats_;
 
   // --- fault-scenario state (DESIGN.md §9) ---
   bool poisoning_active_ = true;

@@ -16,6 +16,19 @@ std::size_t SystemParams::resolved_cache_seed(std::size_t cache_size) const {
   return seed;
 }
 
+DetectionParams DetectionParams::hardened() {
+  DetectionParams params;
+  params.enabled = true;
+  params.min_referrals = 2;
+  params.bad_threshold = 0.5;
+  params.switch_threshold = 3;
+  params.lie_claim_threshold = 3;
+  params.max_pong_entries = 8;
+  params.charge_no_reply = true;
+  params.first_hand_floor = 10;
+  return params;
+}
+
 ProtocolParams ProtocolParams::mr_star_defaults() {
   ProtocolParams params;
   params.query_probe = Policy::kMR;

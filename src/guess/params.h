@@ -124,6 +124,37 @@ struct DetectionParams {
   /// while the MR-hijacking attack needs outsized claims to win the
   /// ordering — so the magnitude of the claim is itself the signature.
   std::uint32_t lie_claim_threshold = 5;
+
+  // --- Hardening against the adversary zoo (DESIGN.md §11) ---
+
+  /// Cap on entries accepted from a single Pong (0 = unlimited, the
+  /// protocol's implicit trust). A Pong exceeding the cap is discarded
+  /// wholesale and its sender blacklisted outright — the pong-flood
+  /// amplification signature is the oversize itself (honest Pongs carry
+  /// PongSize entries), so one observation is proof: no referral
+  /// accumulation is needed, and nothing a proven liar lists is worth
+  /// ingesting.
+  std::size_t max_pong_entries = 0;
+
+  /// Charge a peer that never replies to our own Ping/QueryProbe with a bad
+  /// referral against *itself*. Counters reply-withholding (slowloris):
+  /// a withholder keeps reinserting itself via introductions, so each
+  /// timeout it costs us is evidence, and the charges window consistently
+  /// with the pings_to_dead accounting (measured at issue time). Dead
+  /// honest peers collect charges too, but their ids are never reused, so
+  /// a posthumous blacklisting is harmless.
+  bool charge_no_reply = false;
+
+  /// Eclipse resistance: when > 0, a link cache refuses to replace a
+  /// first-hand entry with a non-first-hand candidate while first-hand
+  /// entries number at most this floor. Attack pongs are never first-hand,
+  /// so a colluding cohort cannot displace the last `first_hand_floor`
+  /// entries of a victim's own direct experience.
+  std::size_t first_hand_floor = 0;
+
+  /// The hardened preset the adversary-matrix bench evaluates: detection on
+  /// with tighter thresholds plus all three zoo countermeasures.
+  static DetectionParams hardened();
 };
 
 /// Pong-server rebootstrap. §6.1: "unless there is some form of centralized
@@ -204,6 +235,29 @@ struct ProtocolParams {
   static ProtocolParams mr_star_defaults();
 };
 
+/// Knobs of the adversary zoo's attack behaviors (DESIGN.md §11). Cohorts
+/// are deployed by `at T attack <kind> frac=F for D` scenario windows; these
+/// parameters shape what each cohort member does while deployed.
+struct AdversaryParams {
+  /// Eclipse (and pong-flood, which needs the same contact surface): cohort
+  /// members ping this many times faster than honest peers, spreading their
+  /// attack pongs (and introductions) aggressively.
+  double eclipse_ping_boost = 8.0;
+
+  /// Sybil flash crowd: each sybil identity lives this long, then retires
+  /// and is replaced by a fresh identity (new PeerId — the old one is
+  /// tombstoned forever), so victims' caches fill with soon-dead entries.
+  sim::Duration sybil_lifetime = 30.0;
+
+  /// Pong-flood amplification: attack pongs carry this multiple of PongSize
+  /// entries (fabricated dead addresses with top-of-distribution claims).
+  double pong_flood_factor = 8.0;
+
+  /// Fabricated dead addresses backing pong-flood payloads, as a multiple
+  /// of NetworkSize (finite, so caches can dedupe repeats like real IPs).
+  double flood_pool_factor = 4.0;
+};
+
 /// Parameters of malicious peers (§6.4). The attack claims are chosen at the
 /// top of the honest distributions so trusting policies rank attackers first.
 struct MaliciousParams {
@@ -212,6 +266,9 @@ struct MaliciousParams {
   /// Pool of fabricated dead addresses shared by attackers, as a multiple of
   /// NetworkSize (kept finite so caches can dedupe repeats, like real IPs).
   double dead_pool_factor = 10.0;
+
+  /// Adversary-zoo behavior knobs (scenario `attack` windows).
+  AdversaryParams adversary;
 };
 
 std::string to_string(BadPongBehavior behavior);

@@ -123,14 +123,39 @@ bool Peer::note_referral(PeerId source, bool bad,
   double rate = static_cast<double>(stats.bad) /
                 static_cast<double>(stats.total);
   if (rate <= params.bad_threshold) return false;
-  blacklist_.insert(source);
-  referral_stats_.erase(source);
+  convict(source);
   if (params.adaptive_policy_switch &&
       blacklist_.size() >= params.switch_threshold) {
     first_hand_only_ = true;  // under attack: stop trusting foreign claims
     cache_.set_first_hand_only(true);
   }
   return true;
+}
+
+bool Peer::blacklist_now(PeerId source, const DetectionParams& params) {
+  if (!params.enabled || source == kInvalidPeer || blacklisted(source)) {
+    return false;
+  }
+  convict(source);
+  // Statistical convictions wait for the blacklist to reach
+  // switch_threshold before abandoning foreign claims, because each one
+  // might be a false positive. A structurally-impossible message is proof
+  // of an active attacker, so the defensive posture follows immediately.
+  if (params.adaptive_policy_switch) {
+    first_hand_only_ = true;
+    cache_.set_first_hand_only(true);
+  }
+  return true;
+}
+
+void Peer::convict(PeerId source) {
+  blacklist_.insert(source);
+  referral_stats_.erase(source);
+  // A blacklisted peer is never probed again, so a pending backoff window
+  // for it is dead weight — and a peer that never replies (withholding)
+  // reaches here through repeated timeout charges while also being backed
+  // off; erase the window so the two verdicts stay consistent.
+  backoff_until_.erase(source);
 }
 
 bool Peer::backed_off(PeerId target, sim::Time now) {

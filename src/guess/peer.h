@@ -95,6 +95,16 @@ class Peer {
   /// @returns true if this tipped `source` over the blacklist threshold.
   bool note_referral(PeerId source, bool bad, const DetectionParams& params);
 
+  /// Blacklist `source` immediately, skipping referral accumulation — for
+  /// evidence that is unambiguous on one observation (an oversized pong:
+  /// honest pongs structurally cannot exceed PongSize). Shares the
+  /// conviction bookkeeping with note_referral (referral stats and backoff
+  /// cleared), and — being proof of an active attack rather than a
+  /// statistical verdict — trips the adaptive MR -> MR* switch at once
+  /// instead of waiting for switch_threshold convictions.
+  /// @returns true if `source` was newly blacklisted.
+  bool blacklist_now(PeerId source, const DetectionParams& params);
+
   /// True once the peer has switched itself to first-hand-only ingestion
   /// (the detection-triggered MR → MR* adaptation).
   bool first_hand_only() const { return first_hand_only_; }
@@ -106,12 +116,20 @@ class Peer {
 
   // --- querier-side backoff (§6.3, DoBackoff) ---
 
+  /// No-op for blacklisted targets: blacklist is the stronger verdict
+  /// (never probed again), so tracking a backoff window for one would only
+  /// leave the two mechanisms disagreeing about the same peer.
   void set_backoff(PeerId target, sim::Time until) {
+    if (blacklisted(target)) return;
     backoff_until_[target] = until;
   }
   /// Non-const: an expired entry is erased on lookup, so the map holds only
   /// live backoffs instead of growing with every peer ever backed off.
   bool backed_off(PeerId target, sim::Time now);
+  /// Drop any backoff window for `target` (used by tests; note_referral
+  /// clears it automatically when a target crosses into the blacklist).
+  void clear_backoff(PeerId target) { backoff_until_.erase(target); }
+  std::size_t backoff_entries() const { return backoff_until_.size(); }
 
   // --- load accounting (Figure 13/14) ---
 
@@ -152,6 +170,10 @@ class Peer {
   sim::Duration ping_interval_ = 30.0;
   std::size_t ping_window_total_ = 0;
   std::size_t ping_window_dead_ = 0;
+
+  /// Shared conviction bookkeeping: blacklist `source` and drop its
+  /// now-redundant referral stats and backoff window.
+  void convict(PeerId source);
 
   struct ReferralStats {
     std::uint32_t total = 0;

@@ -35,6 +35,16 @@ class PeerTable {
   /// may move peers; nothing outside an event keeps Peer pointers).
   template <typename... Args>
   Peer& create(PeerId id, Args&&... args) {
+    // Reject tombstoned / live ids before touching any slot state, so a
+    // rejected re-create (a recycled sybil identity, say) cannot leak a
+    // free-list slot.
+    if (id >= id_to_slot_.size()) {
+      id_to_slot_.resize(static_cast<std::size_t>(id) + 1,
+                         IdRef{kNoSlot, 0});
+    }
+    GUESS_CHECK_MSG(id_to_slot_[id].slot == kNoSlot &&
+                        id_to_slot_[id].generation == 0,
+                    "PeerId reused");
     std::uint32_t slot;
     if (!free_slots_.empty()) {
       slot = free_slots_.back();
@@ -47,13 +57,6 @@ class PeerTable {
     GUESS_CHECK(!s.peer.has_value());
     s.peer.emplace(id, std::forward<Args>(args)...);
     s.alive_pos = static_cast<std::uint32_t>(alive_ids_.size());
-    if (id >= id_to_slot_.size()) {
-      id_to_slot_.resize(static_cast<std::size_t>(id) + 1,
-                         IdRef{kNoSlot, 0});
-    }
-    GUESS_CHECK_MSG(id_to_slot_[id].slot == kNoSlot &&
-                        id_to_slot_[id].generation == 0,
-                    "PeerId reused");
     id_to_slot_[id] = IdRef{slot, s.generation};
     alive_ids_.push_back(id);
     return *s.peer;

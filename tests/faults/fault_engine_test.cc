@@ -41,6 +41,13 @@ class RecordingHost : public FaultHost {
   void fault_set_poisoning(bool active) override {
     record(active ? "poison(on)" : "poison(off)");
   }
+  void fault_start_attack(AttackKind kind, double fraction) override {
+    record(std::string("attack(") + attack_kind_name(kind) + "," +
+           std::to_string(fraction) + ")");
+  }
+  void fault_stop_attack(AttackKind kind) override {
+    record(std::string("stop_attack(") + attack_kind_name(kind) + ")");
+  }
 
   const std::vector<std::pair<sim::Time, std::string>>& calls() const {
     return calls_;
@@ -123,6 +130,35 @@ TEST(FaultEngine, BackToBackWindowsHealBeforeNextOnset) {
   EXPECT_EQ(host.calls()[2].second, "partition(3)");
   EXPECT_EQ(host.calls()[3],
             (std::pair<sim::Time, std::string>{200.0, "heal()"}));
+}
+
+// Attack windows dispatch like any other windowed action: onset carries the
+// kind and fraction, the end event stops exactly that kind. Different kinds
+// may overlap in time.
+TEST(FaultEngine, AttackWindowsStartAndStopPerKind) {
+  sim::Simulator simulator;
+  RecordingHost host(simulator);
+  Scenario scenario = Scenario::parse(
+      "at 100 attack eclipse frac=0.05 for 200; "
+      "at 150 attack withhold frac=0.1 for 50; "
+      "at 400 attack sybil frac=0.02 for 100; "
+      "at 400 attack pong-flood frac=0.02 for 100");
+  FaultEngine engine(scenario, simulator, host);
+  engine.schedule();
+  simulator.run_until(1000.0);
+
+  const std::vector<std::pair<sim::Time, std::string>> want = {
+      {100.0, "attack(eclipse," + std::to_string(0.05) + ")"},
+      {150.0, "attack(withhold," + std::to_string(0.1) + ")"},
+      {200.0, "stop_attack(withhold)"},
+      {300.0, "stop_attack(eclipse)"},
+      {400.0, "attack(sybil," + std::to_string(0.02) + ")"},
+      {400.0, "attack(pong-flood," + std::to_string(0.02) + ")"},
+      {500.0, "stop_attack(sybil)"},
+      {500.0, "stop_attack(pong-flood)"},
+  };
+  EXPECT_EQ(host.calls(), want);
+  EXPECT_EQ(engine.fired(), 4u);
 }
 
 TEST(FaultEngine, EmptyScenarioSchedulesNothing) {

@@ -44,6 +44,10 @@ bool parse_is_total(const std::string& spec) {
           break;
         case FaultKind::kPoison:
           break;
+        case FaultKind::kAttack:
+          EXPECT_GT(a.fraction, 0.0) << spec;
+          EXPECT_LE(a.fraction, 1.0) << spec;
+          break;
       }
       if (a.windowed()) {
         EXPECT_GT(a.duration, 0.0) << spec;
@@ -59,8 +63,10 @@ bool parse_is_total(const std::string& spec) {
 
 TEST(ScenarioFuzz, RandomByteSoupNeverCrashes) {
   Rng rng(101);
+  // Covers every verb including the attack clauses (eclipse, sybil,
+  // pong-flood, withhold, frac=).
   const std::string alphabet =
-      "at kiljonprdegs0123456789.=-+e;# \n\tfor_onff";
+      "at kiljonprdegs0123456789.=-+e;# \n\tfor_onffacybwh";
   for (int round = 0; round < 2000; ++round) {
     std::string spec;
     std::size_t len = rng.index(80);
@@ -78,11 +84,13 @@ TEST(ScenarioFuzz, MutatedValidSpecsStayTotal) {
   const std::string base =
       "at 600 kill 0.30; at 600 partition 2 for 300; "
       "at 1200 degrade loss=0.5 latency=4 for 120; "
-      "at 1800 join 2000; at 300 poison off";
+      "at 1800 join 2000; at 300 poison off; "
+      "at 2400 attack eclipse frac=0.05 for 300; "
+      "at 3000 attack withhold frac=0.1 for 200";
   ASSERT_TRUE(parse_is_total(base));
 
   Rng rng(202);
-  const std::string alphabet = "atkiljonprde 0123456789.=;#x";
+  const std::string alphabet = "atkiljonprde 0123456789.=;#xcfsybwh-";
   for (int round = 0; round < 2000; ++round) {
     std::string spec = base;
     int edits = 1 + static_cast<int>(rng.index(3));
@@ -117,7 +125,7 @@ TEST(ScenarioFuzz, GeneratedValidSpecsAlwaysParse) {
       if (i > 0) spec += "; ";
       double at = 1000.0 * i + std::floor(rng.uniform(0.0, 500.0));
       spec += "at " + std::to_string(static_cast<long>(at)) + " ";
-      switch (rng.index(5)) {
+      switch (rng.index(6)) {
         case 0:
           spec += "kill 0." + std::to_string(1 + rng.index(9));
           break;
@@ -132,6 +140,14 @@ TEST(ScenarioFuzz, GeneratedValidSpecsAlwaysParse) {
           spec += "degrade loss=0." + std::to_string(rng.index(10)) +
                   " for " + std::to_string(1 + rng.index(400));
           break;
+        case 4: {
+          static const char* kKinds[] = {"eclipse", "sybil", "pong-flood",
+                                         "withhold"};
+          spec += std::string("attack ") + kKinds[rng.index(4)] + " frac=0." +
+                  std::to_string(1 + rng.index(9)) + " for " +
+                  std::to_string(1 + rng.index(400));
+          break;
+        }
         default:
           spec += rng.bernoulli(0.5) ? "poison on" : "poison off";
           break;

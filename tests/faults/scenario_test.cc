@@ -64,6 +64,76 @@ TEST(ScenarioParse, EveryActionKind) {
   EXPECT_FALSE(s.actions()[4].poison_on);
 }
 
+TEST(ScenarioParse, AttackClauses) {
+  Scenario s = Scenario::parse(
+      "at 600 attack eclipse frac=0.05 for 300; "
+      "at 1200 attack sybil frac=0.02 for 400; "
+      "at 1700 attack pong-flood frac=0.03 for 100; "
+      "at 1900 attack withhold frac=0.1 for 200");
+  ASSERT_EQ(s.size(), 4u);
+  EXPECT_EQ(s.actions()[0].kind, FaultKind::kAttack);
+  EXPECT_EQ(s.actions()[0].attack, AttackKind::kEclipse);
+  EXPECT_DOUBLE_EQ(s.actions()[0].fraction, 0.05);
+  EXPECT_TRUE(s.actions()[0].windowed());
+  EXPECT_DOUBLE_EQ(s.actions()[0].end(), 900.0);
+  EXPECT_EQ(s.actions()[1].attack, AttackKind::kSybil);
+  EXPECT_EQ(s.actions()[2].attack, AttackKind::kPongFlood);
+  EXPECT_EQ(s.actions()[3].attack, AttackKind::kWithhold);
+  EXPECT_TRUE(s.uses_attacks());
+  EXPECT_FALSE(Scenario::parse("at 10 kill 0.5").uses_attacks());
+}
+
+TEST(ScenarioParse, AttackErrorsNameTheOffendingToken) {
+  std::string msg = parse_error("at 50 attack blackhole frac=0.1 for 10");
+  EXPECT_NE(msg.find("unknown attack kind 'blackhole'"), std::string::npos)
+      << msg;
+
+  msg = parse_error("at 50 attack eclipse 0.1 for 10");
+  EXPECT_NE(msg.find("expected frac=<fraction>, got '0.1'"),
+            std::string::npos)
+      << msg;
+
+  msg = parse_error("at 50 attack eclipse frac=0.1");
+  EXPECT_NE(msg.find("expected for at end of statement"), std::string::npos)
+      << msg;
+
+  msg = parse_error("at 50 attack eclipse frac=abc for 10");
+  EXPECT_NE(msg.find("bad attack fraction 'abc'"), std::string::npos) << msg;
+}
+
+TEST(ScenarioValidate, AttackRanges) {
+  EXPECT_NE(parse_error("at 50 attack eclipse frac=0 for 10")
+                .find("attack fraction must be in"),
+            std::string::npos);
+  EXPECT_NE(parse_error("at 50 attack eclipse frac=1.5 for 10")
+                .find("attack fraction must be in"),
+            std::string::npos);
+  EXPECT_NE(parse_error("at 50 attack sybil frac=0.1 for 0")
+                .find("window duration must be > 0"),
+            std::string::npos);
+}
+
+TEST(ScenarioValidate, AttackOverlapsKeyedByKind) {
+  // Same attack kind overlapping: rejected, named by kind.
+  std::string msg = parse_error(
+      "at 100 attack eclipse frac=0.1 for 50; "
+      "at 120 attack eclipse frac=0.2 for 50");
+  EXPECT_NE(msg.find("overlapping eclipse attack windows at t=100 and t=120"),
+            std::string::npos)
+      << msg;
+  // Different attack kinds may overlap, as may attack + other windows.
+  EXPECT_NO_THROW(
+      Scenario::parse("at 100 attack eclipse frac=0.1 for 50; "
+                      "at 120 attack withhold frac=0.1 for 50"));
+  EXPECT_NO_THROW(
+      Scenario::parse("at 100 attack eclipse frac=0.1 for 50; "
+                      "at 120 partition 2 for 50"));
+  // Back-to-back same-kind windows are legal.
+  EXPECT_NO_THROW(
+      Scenario::parse("at 100 attack sybil frac=0.1 for 50; "
+                      "at 150 attack sybil frac=0.1 for 50"));
+}
+
 TEST(ScenarioParse, DegradeAcceptsBothKnobsInAnyOrder) {
   Scenario a = Scenario::parse("at 10 degrade loss=0.2 latency=4 for 60");
   EXPECT_DOUBLE_EQ(a.actions()[0].loss, 0.2);
@@ -252,7 +322,8 @@ TEST(Scenario, DescribeRoundTripsThroughParse) {
   const std::string spec =
       "at 600 kill 0.3; at 600 partition 2 for 300; "
       "at 1200 degrade loss=0.5 latency=4 for 120; at 1800 join 2000; "
-      "at 300 poison off; at 2000 degrade loss=0.25 for 60";
+      "at 300 poison off; at 2000 degrade loss=0.25 for 60; "
+      "at 2200 attack pong-flood frac=0.05 for 120";
   Scenario s = Scenario::parse(spec);
   EXPECT_EQ(s.describe(), spec);
   // A second trip is a fixed point.
@@ -286,6 +357,11 @@ TEST(Scenario, KindNames) {
   EXPECT_STREQ(fault_kind_name(FaultKind::kPartition), "partition");
   EXPECT_STREQ(fault_kind_name(FaultKind::kDegrade), "degrade");
   EXPECT_STREQ(fault_kind_name(FaultKind::kPoison), "poison");
+  EXPECT_STREQ(fault_kind_name(FaultKind::kAttack), "attack");
+  EXPECT_STREQ(attack_kind_name(AttackKind::kEclipse), "eclipse");
+  EXPECT_STREQ(attack_kind_name(AttackKind::kSybil), "sybil");
+  EXPECT_STREQ(attack_kind_name(AttackKind::kPongFlood), "pong-flood");
+  EXPECT_STREQ(attack_kind_name(AttackKind::kWithhold), "withhold");
 }
 
 }  // namespace

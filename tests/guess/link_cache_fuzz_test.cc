@@ -178,5 +178,124 @@ TEST(LinkCacheFuzzRandom, InvariantsHoldUnderRandomReplacement) {
   }
 }
 
+// --- eclipse-resistance property (DESIGN.md §11) ---------------------------
+//
+// Randomized interleavings of attacker pongs (foreign entries under
+// top-of-distribution claims, like an eclipse cohort's) and honest activity
+// (pongs plus the owner's own probe observations) against a floor-protected
+// cache. Properties, checked at every step:
+//  * a foreign offer never drops the first-hand count below the floor:
+//    count_after >= min(count_before, floor);
+//  * attacker entries never count as first-hand (the owner never probes
+//    them successfully, so they can never enter the protected reserve);
+//  * the incremental first_hand_count always equals a fresh recount.
+class EclipseResistanceFuzz
+    : public ::testing::TestWithParam<std::tuple<Replacement, int>> {};
+
+TEST_P(EclipseResistanceFuzz, FloorPreservesFirstHandCoverage) {
+  auto [policy, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed));
+  const std::size_t capacity = 16;
+  const std::size_t floor = 6;
+  constexpr PeerId kAttackerBase = 1000;
+  LinkCache cache(kOwner, capacity);
+  cache.set_first_hand_floor(floor);
+
+  std::uint32_t next_unique = 1;
+  double now = 0.0;
+  for (int step = 0; step < 6000; ++step) {
+    now += rng.uniform();
+    std::size_t before = cache.first_hand_count();
+    bool offered_foreign = false;
+    switch (rng.uniform_int(0, 3)) {
+      case 0: {  // honest pong: modest unique claims, foreign
+        PeerId id = static_cast<PeerId>(rng.uniform_int(1, 40));
+        cache.offer(CacheEntry{id, now, next_unique++, 0}, policy, rng);
+        offered_foreign = true;
+        break;
+      }
+      case 1: {  // attacker pong: colluder id, top-of-distribution claims
+        PeerId id = kAttackerBase + static_cast<PeerId>(rng.uniform_int(0, 50));
+        cache.offer(
+            CacheEntry{id, now, 1u << 20 | next_unique++, 20}, policy, rng);
+        offered_foreign = true;
+        break;
+      }
+      case 2: {  // the owner probes an honest cache resident: first-hand now
+        PeerId id = static_cast<PeerId>(rng.uniform_int(1, 40));
+        cache.set_num_res(id, next_unique++ % 5);
+        break;
+      }
+      case 3: {  // churn: an honest entry dies (evictions bypass the floor)
+        if (rng.bernoulli(0.9)) break;  // keep deaths rare
+        PeerId id = static_cast<PeerId>(rng.uniform_int(1, 40));
+        cache.evict(id);
+        break;
+      }
+    }
+
+    if (offered_foreign) {
+      ASSERT_GE(cache.first_hand_count(), std::min(before, floor))
+          << "foreign offer dug into the protected reserve at step " << step;
+    }
+    std::size_t recount = cache.count_if(
+        [](const CacheEntry& e) { return e.first_hand; });
+    ASSERT_EQ(cache.first_hand_count(), recount) << "step " << step;
+    for (const CacheEntry& entry : cache.entries()) {
+      if (entry.id >= kAttackerBase) {
+        ASSERT_FALSE(entry.first_hand)
+            << "attacker entry counted as first-hand at step " << step;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PoliciesAndSeeds, EclipseResistanceFuzz,
+    ::testing::Combine(::testing::Values(Replacement::kLFS, Replacement::kLR,
+                                         Replacement::kLRU,
+                                         Replacement::kRandom),
+                       ::testing::Values(11, 12, 13)));
+
+// Without evictions the reserve is monotone: once the owner has established
+// `floor` first-hand entries, no attacker barrage can ever shrink the count
+// below the floor again.
+TEST(EclipseResistanceFuzz, EstablishedFloorIsMonotoneWithoutChurn) {
+  Rng rng(77);
+  const std::size_t floor = 4;
+  LinkCache cache(kOwner, 8);
+  cache.set_first_hand_floor(floor);
+  std::uint32_t unique = 1;
+  // Establish the reserve — probed residents rank ABOVE the remaining
+  // foreign entries, so the attack first displaces the unprotected foreign
+  // half before it runs into the floor.
+  for (PeerId id = 1; id <= static_cast<PeerId>(floor); ++id) {
+    cache.offer(CacheEntry{id, 0.0, 1000 + unique++, 0}, Replacement::kLFS,
+                rng);
+    cache.set_num_res(id, 1);
+  }
+  for (PeerId id = floor + 1; id <= 8; ++id) {
+    cache.offer(CacheEntry{id, 0.0, unique++, 0}, Replacement::kLFS, rng);
+  }
+  ASSERT_EQ(cache.first_hand_count(), floor);
+
+  std::size_t admitted = 0;
+  for (int step = 0; step < 2000; ++step) {
+    PeerId attacker = 500 + static_cast<PeerId>(rng.uniform_int(0, 30));
+    if (cache.offer(CacheEntry{attacker, 1.0, (1u << 24) + unique++, 20},
+                    Replacement::kLFS, rng)) {
+      ++admitted;
+    }
+    ASSERT_GE(cache.first_hand_count(), floor) << "step " << step;
+    for (PeerId id = 1; id <= static_cast<PeerId>(floor); ++id) {
+      ASSERT_TRUE(cache.contains(id)) << "probed entry displaced, step "
+                                      << step;
+    }
+  }
+  // The attack did take the unprotected half — the floor is a reserve, not
+  // a general shield.
+  EXPECT_EQ(admitted, 8 - floor);
+}
+
 }  // namespace
 }  // namespace guess

@@ -250,5 +250,104 @@ TEST(LinkCache, ZeroCapacityRejected) {
   EXPECT_THROW(LinkCache(kOwner, 0), CheckError);
 }
 
+// --- first-hand floor (eclipse resistance, DESIGN.md §11) ------------------
+
+TEST(LinkCacheFloor, FirstHandCountTracksObservationsAndEvictions) {
+  LinkCache cache(kOwner, 4);
+  EXPECT_EQ(cache.first_hand_count(), 0u);
+  cache.insert_free(entry(1));
+  cache.insert_free(entry(2));
+  EXPECT_EQ(cache.first_hand_count(), 0u);  // pong entries are foreign
+  cache.set_num_res(1, 3);                  // own probe observation
+  EXPECT_EQ(cache.first_hand_count(), 1u);
+  cache.set_num_res(1, 5);                  // already first-hand: no double count
+  EXPECT_EQ(cache.first_hand_count(), 1u);
+  cache.set_num_res(2, 0);
+  EXPECT_EQ(cache.first_hand_count(), 2u);
+  cache.evict(1);
+  EXPECT_EQ(cache.first_hand_count(), 1u);
+  cache.evict(2);
+  EXPECT_EQ(cache.first_hand_count(), 0u);
+}
+
+TEST(LinkCacheFloor, RefusesDisplacingProtectedFirstHandEntries) {
+  LinkCache cache(kOwner, 2);
+  cache.set_first_hand_floor(2);
+  Rng rng(3);
+  cache.insert_free(entry(1, 0.0, 10, 0));
+  cache.insert_free(entry(2, 0.0, 20, 0));
+  cache.set_num_res(1, 1);
+  cache.set_num_res(2, 1);
+  ASSERT_EQ(cache.first_hand_count(), 2u);
+
+  // A foreign candidate with arbitrarily strong claims cannot dig into the
+  // protected reserve — under scored retention...
+  EXPECT_FALSE(cache.offer(entry(50, 0.0, 100000, 0), Replacement::kLFS, rng));
+  // ... or random retention (which otherwise always inserts when full).
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(
+        cache.offer(entry(60 + i, 0.0, 100000, 0), Replacement::kRandom, rng));
+  }
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_TRUE(cache.contains(2));
+}
+
+TEST(LinkCacheFloor, ReplacementAllowedDownToTheFloorNotBelow) {
+  LinkCache cache(kOwner, 3);
+  cache.set_first_hand_floor(1);
+  Rng rng(4);
+  cache.insert_free(entry(1, 0.0, 1, 0));
+  cache.insert_free(entry(2, 0.0, 2, 0));
+  cache.insert_free(entry(3, 0.0, 3, 0));
+  for (PeerId id = 1; id <= 3; ++id) cache.set_num_res(id, 1);
+  ASSERT_EQ(cache.first_hand_count(), 3u);
+
+  // Above the floor, better foreign candidates replace first-hand victims
+  // normally (LFS victim = fewest files).
+  EXPECT_TRUE(cache.offer(entry(50, 0.0, 1000, 0), Replacement::kLFS, rng));
+  EXPECT_EQ(cache.first_hand_count(), 2u);
+  EXPECT_TRUE(cache.offer(entry(51, 0.0, 1000, 0), Replacement::kLFS, rng));
+  EXPECT_EQ(cache.first_hand_count(), 1u);
+  // Now the last first-hand entry is protected.
+  EXPECT_FALSE(cache.offer(entry(52, 0.0, 1000, 0), Replacement::kLFS, rng));
+  EXPECT_EQ(cache.first_hand_count(), 1u);
+  EXPECT_TRUE(cache.contains(3));
+}
+
+TEST(LinkCacheFloor, FirstHandCandidatesAndNonFirstHandVictimsUnaffected) {
+  LinkCache cache(kOwner, 2);
+  cache.set_first_hand_floor(2);
+  Rng rng(5);
+  cache.insert_free(entry(1, 0.0, 10, 0));
+  cache.insert_free(entry(2, 0.0, 20, 0));
+  cache.set_num_res(1, 1);  // entry 2 stays foreign
+
+  // LFS picks entry 1 (fewest files) as the victim; it is first-hand and
+  // the count (1) is within the floor, so a foreign candidate is refused.
+  EXPECT_FALSE(cache.offer(entry(50, 0.0, 1000, 0), Replacement::kLFS, rng));
+
+  // A first-hand candidate may displace into the reserve (the guard only
+  // blocks *foreign* candidates).
+  CacheEntry own = entry(51, 0.0, 1000, 0);
+  own.first_hand = true;
+  EXPECT_TRUE(cache.offer(own, Replacement::kLFS, rng));
+  EXPECT_EQ(cache.first_hand_count(), 1u);  // swapped one first-hand for another
+
+  // With the floor disabled the reserve vanishes.
+  cache.set_first_hand_floor(0);
+  EXPECT_TRUE(cache.offer(entry(52, 0.0, 5000, 0), Replacement::kLFS, rng));
+}
+
+TEST(LinkCacheFloor, EvictionsIgnoreTheFloor) {
+  LinkCache cache(kOwner, 2);
+  cache.set_first_hand_floor(2);
+  cache.insert_free(entry(1));
+  cache.set_num_res(1, 1);
+  // Dead/blacklisted peers must always be removable: the floor protects
+  // against displacement, not against maintenance.
+  EXPECT_TRUE(cache.evict(1));
+  EXPECT_EQ(cache.first_hand_count(), 0u);
+}
+
 }  // namespace
 }  // namespace guess

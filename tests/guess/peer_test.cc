@@ -59,6 +59,110 @@ TEST(Peer, BackoffExpires) {
   EXPECT_FALSE(peer.backed_off(6, 50.0));  // other peers unaffected
 }
 
+// Blacklisting and backoff must agree about a peer (DESIGN.md §11): a
+// withholder collects timeout charges while also being backed off, and once
+// the blacklist verdict lands the weaker backoff window must go with it.
+TEST(Peer, BlacklistSupersedesBackoffWindows) {
+  Peer peer = make_peer();
+  DetectionParams params;
+  params.enabled = true;
+  params.min_referrals = 2;
+  params.bad_threshold = 0.5;
+
+  peer.set_backoff(5, 1000.0);
+  EXPECT_EQ(peer.backoff_entries(), 1u);
+  EXPECT_TRUE(peer.backed_off(5, 10.0));
+
+  EXPECT_FALSE(peer.note_referral(5, true, params));
+  EXPECT_TRUE(peer.note_referral(5, true, params));  // crosses the threshold
+  EXPECT_TRUE(peer.blacklisted(5));
+  // The pending backoff window went with the verdict...
+  EXPECT_EQ(peer.backoff_entries(), 0u);
+  EXPECT_FALSE(peer.backed_off(5, 10.0));
+  // ... and no new window can be opened for a blacklisted peer.
+  peer.set_backoff(5, 2000.0);
+  EXPECT_EQ(peer.backoff_entries(), 0u);
+  EXPECT_FALSE(peer.backed_off(5, 10.0));
+
+  // Other peers' windows are untouched.
+  peer.set_backoff(6, 1000.0);
+  EXPECT_TRUE(peer.backed_off(6, 10.0));
+}
+
+// blacklist_now convicts on a single unambiguous observation (an oversized
+// pong), sharing the conviction bookkeeping with note_referral — referral
+// stats and backoff windows are cleared — and, being proof of an active
+// attack rather than a statistical verdict, trips the adaptive MR -> MR*
+// switch immediately rather than at switch_threshold.
+TEST(Peer, BlacklistNowConvictsImmediately) {
+  Peer peer = make_peer();
+  DetectionParams params;
+  params.enabled = true;
+  params.adaptive_policy_switch = true;
+  params.switch_threshold = 2;
+
+  // Pending evidence and a backoff window go with the verdict, and the
+  // first-hand-only posture follows at once (threshold 2 notwithstanding).
+  peer.note_referral(7, true, params);
+  peer.set_backoff(7, 1000.0);
+  EXPECT_TRUE(peer.blacklist_now(7, params));
+  EXPECT_TRUE(peer.blacklisted(7));
+  EXPECT_EQ(peer.backoff_entries(), 0u);
+  EXPECT_TRUE(peer.first_hand_only());
+
+  // Idempotent: an already-blacklisted source is not convicted twice.
+  EXPECT_FALSE(peer.blacklist_now(7, params));
+  EXPECT_EQ(peer.blacklist_size(), 1u);
+
+  // Disabled detection never convicts.
+  DetectionParams off;
+  EXPECT_FALSE(peer.blacklist_now(9, off));
+  EXPECT_FALSE(peer.blacklisted(9));
+
+  // Without the adaptive switch the conviction still lands but the
+  // ingestion policy is untouched.
+  Peer other = make_peer();
+  DetectionParams no_switch;
+  no_switch.enabled = true;
+  no_switch.adaptive_policy_switch = false;
+  EXPECT_TRUE(other.blacklist_now(7, no_switch));
+  EXPECT_FALSE(other.first_hand_only());
+}
+
+// The bounded referral tracker displaces the least-incriminated entry:
+// an attacker's accumulated evidence must survive a flood of clean-record
+// referrers (exactly the pressure a pong-flood / sybil cohort applies).
+TEST(Peer, ReferralEvictionKeepsIncriminatedEntriesUnderPressure) {
+  Peer peer = make_peer();  // cache capacity 10 -> tracker bound 40
+  DetectionParams track;    // accumulate without ever blacklisting
+  track.enabled = true;
+  track.min_referrals = 1000;
+  track.bad_threshold = 1.0;
+
+  const PeerId attacker = 555;
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(peer.note_referral(attacker, true, track));
+  }
+  // 60 distinct clean referrers churn through the 40-slot tracker.
+  for (PeerId id = 1; id <= 60; ++id) {
+    EXPECT_FALSE(peer.note_referral(id, false, track));
+  }
+
+  // If the attacker's stats survived the churn, one more bad referral under
+  // judging thresholds convicts immediately (21 bad / 21 total). Had the
+  // entry been recycled, the fresh record (1 bad) would stay under
+  // min_referrals and return false.
+  DetectionParams judge;
+  judge.enabled = true;
+  judge.min_referrals = 5;
+  judge.bad_threshold = 0.5;
+  EXPECT_TRUE(peer.note_referral(attacker, true, judge));
+  EXPECT_TRUE(peer.blacklisted(attacker));
+  // A clean referrer is not convicted by the same judge.
+  EXPECT_FALSE(peer.note_referral(1, false, judge));
+  EXPECT_FALSE(peer.blacklisted(1));
+}
+
 TEST(Peer, LoadCountersAccumulate) {
   Peer peer = make_peer();
   EXPECT_EQ(peer.probes_received(), 0u);

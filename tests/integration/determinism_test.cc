@@ -202,6 +202,96 @@ TEST(Determinism, FaultScenarioHeapAndCalendarBitwiseIdentical) {
   EXPECT_GT(heap.transport.exchanges_failed, 0u);
 }
 
+// Every adversary in the zoo (DESIGN.md §11) must be pure simulation: for
+// each attack kind, a hardened-detection run under lossy transport — the
+// configuration where attacks touch the most machinery (adversary spawns,
+// sybil respawn timers, severed exchanges resolving as timeouts, oversize
+// truncation, no-reply charging) — must be bitwise identical under the heap
+// and calendar schedulers, AttackStats included.
+TEST(Determinism, EachAttackHeapAndCalendarBitwiseIdentical) {
+  struct Case {
+    const char* name;
+    const char* spec;
+  };
+  const Case kCases[] = {
+      {"eclipse", "at 200 attack eclipse frac=0.1 for 200"},
+      {"sybil", "at 200 attack sybil frac=0.1 for 200"},
+      {"pong-flood", "at 200 attack pong-flood frac=0.1 for 200"},
+      {"withhold", "at 200 attack withhold frac=0.1 for 200"},
+  };
+  for (const Case& attack : kCases) {
+    SCOPED_TRACE(attack.name);
+    auto run = [&](sim::Scheduler scheduler) {
+      SystemParams system;
+      system.network_size = 150;
+      system.lifespan_multiplier = 0.5;
+      system.content.catalog_size = 400;
+      system.content.query_universe = 500;
+      ProtocolParams protocol;
+      protocol.query_probe = Policy::kMR;
+      protocol.query_pong = Policy::kMR;
+      protocol.detection = DetectionParams::hardened();
+      protocol.do_backoff = true;
+      TransportParams transport = TransportParams::lossy(0.05);
+      transport.max_retries = 2;
+      auto config = SimulationConfig()
+                        .system(system)
+                        .protocol(protocol)
+                        .transport(transport)
+                        .scenario(faults::Scenario::parse(attack.spec))
+                        .metrics_interval(50.0)
+                        .seed(77)
+                        .warmup(150.0)
+                        .measure(450.0)
+                        .scheduler(scheduler);
+      GuessSimulation sim(config);
+      return sim.run();
+    };
+    auto heap = run(sim::Scheduler::kHeap);
+    auto calendar = run(sim::Scheduler::kCalendar);
+    testsupport::expect_identical(heap, calendar);
+    EXPECT_GT(heap.attack.adversaries_spawned, 0u);  // the attack ran
+    // The window closed inside the run: every spawn (respawns included)
+    // was matched by a retirement.
+    EXPECT_EQ(heap.attack.adversaries_spawned,
+              heap.attack.adversaries_retired);
+  }
+}
+
+// All four attacks layered into one scenario, swept across worker-thread
+// counts: the pooled replication path must not perturb a single counter.
+TEST(Determinism, AttackGauntletIdenticalAcrossThreadCounts) {
+  SystemParams system;
+  system.network_size = 150;
+  system.content.catalog_size = 400;
+  system.content.query_universe = 500;
+  ProtocolParams protocol;
+  protocol.detection = DetectionParams::hardened();
+  auto config_for = [&](int threads) {
+    return SimulationConfig()
+        .system(system)
+        .protocol(protocol)
+        .scenario(faults::Scenario::parse(
+            "at 150 attack eclipse frac=0.05 for 150; "
+            "at 200 attack sybil frac=0.05 for 150; "
+            "at 250 attack pong-flood frac=0.05 for 150; "
+            "at 300 attack withhold frac=0.05 for 150"))
+        .metrics_interval(60.0)
+        .seed(55)
+        .warmup(120.0)
+        .measure(480.0)
+        .threads(threads);
+  };
+  auto serial = run_seeds(config_for(1), 3);
+  auto pooled = run_seeds(config_for(4), 3);
+  ASSERT_EQ(serial.size(), pooled.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    SCOPED_TRACE("seed index " + std::to_string(i));
+    testsupport::expect_identical(serial[i], pooled[i]);
+  }
+  EXPECT_GT(serial[0].attack.adversaries_spawned, 0u);
+}
+
 // ... and across worker-thread counts: a scenario replication sweep must be
 // bitwise identical whether the seeds run serially or on a pool.
 TEST(Determinism, FaultScenarioIdenticalAcrossThreadCounts) {

@@ -46,6 +46,16 @@ inline void expect_identical(const TransportCounters& a,
   EXPECT_EQ(a.exchanges_failed, b.exchanges_failed);
 }
 
+inline void expect_identical(const AttackStats& a, const AttackStats& b) {
+  EXPECT_EQ(a.adversaries_spawned, b.adversaries_spawned);
+  EXPECT_EQ(a.adversaries_retired, b.adversaries_retired);
+  EXPECT_EQ(a.sybil_respawns, b.sybil_respawns);
+  EXPECT_EQ(a.withheld_exchanges, b.withheld_exchanges);
+  EXPECT_EQ(a.oversized_pongs, b.oversized_pongs);
+  EXPECT_EQ(a.pong_entries_dropped, b.pong_entries_dropped);
+  EXPECT_EQ(a.no_reply_charges, b.no_reply_charges);
+}
+
 inline void expect_identical(const CacheHealth& a, const CacheHealth& b) {
   EXPECT_EQ(a.fraction_live, b.fraction_live);
   EXPECT_EQ(a.absolute_live, b.absolute_live);
@@ -95,6 +105,7 @@ inline void expect_identical(const SimulationResults& a,
   EXPECT_EQ(a.pings_sent, b.pings_sent);
   EXPECT_EQ(a.pings_to_dead, b.pings_to_dead);
   expect_identical(a.transport, b.transport);
+  expect_identical(a.attack, b.attack);
   EXPECT_EQ(a.queries_stalled_out, b.queries_stalled_out);
   EXPECT_EQ(a.measure_duration, b.measure_duration);
   EXPECT_EQ(a.network_size, b.network_size);
