@@ -30,7 +30,7 @@ int main(int argc, char** argv) {
       ProtocolParams p = base;
       p.use_query_cache = use;
       SimulationOptions options = scale.options();
-      GuessSimulation sim(system, p, options);
+      GuessSimulation sim(SimulationConfig().system(system).protocol(p).options(options));
       auto r = sim.run();
       table.add_row({std::string(use ? "on" : "off"), r.probes_per_query(),
                      r.unsatisfied_rate(),
@@ -90,7 +90,7 @@ int main(int argc, char** argv) {
       SystemParams s = system;
       s.num_desired_results = desired;
       SimulationOptions options = scale.options();
-      GuessSimulation sim(s, base, options);
+      GuessSimulation sim(SimulationConfig().system(s).protocol(base).options(options));
       auto r = sim.run();
       table.add_row({static_cast<std::int64_t>(desired),
                      r.probes_per_query(), r.unsatisfied_rate(),
@@ -117,7 +117,7 @@ int main(int argc, char** argv) {
         options.enable_queries = false;  // isolate maintenance traffic
         options.warmup = 600.0;
         options.measure = scale.full ? 7200.0 : 3000.0;
-        GuessSimulation sim(s, p, options);
+        GuessSimulation sim(SimulationConfig().system(s).protocol(p).options(options));
         auto r = sim.run();
         table.add_row({multiplier, std::string(adaptive ? "adaptive" : "30s"),
                        static_cast<std::int64_t>(r.pings_sent),

@@ -190,7 +190,7 @@ EndToEnd run_simulation(sim::Scheduler scheduler, std::size_t network,
   options.warmup = measure / 4.0;
   options.measure = measure;
   options.scheduler = scheduler;
-  GuessSimulation sim(system, protocol, options);
+  GuessSimulation sim(SimulationConfig().system(system).protocol(protocol).options(options));
   auto start = std::chrono::steady_clock::now();
   EndToEnd out;
   out.results = sim.run();

@@ -47,7 +47,7 @@ int main(int argc, char** argv) {
     p.cache_replacement = combo.replacement;
     // One representative seed: the ranked curve is a distribution over
     // peers, already thousands of samples.
-    GuessSimulation sim(system, p, scale.options());
+    GuessSimulation sim(SimulationConfig().system(system).protocol(p).options(scale.options()));
     auto results = sim.run();
     auto load = analysis::summarize_load(results.peer_loads);
     summary.add_row({std::string(combo.name), load.total, load.gini,

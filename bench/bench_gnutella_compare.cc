@@ -30,7 +30,7 @@ int main(int argc, char** argv) {
                       "load gini"});
 
   auto add_guess_row = [&](const char* name, ProtocolParams protocol) {
-    GuessSimulation sim(system, protocol, scale.options());
+    GuessSimulation sim(SimulationConfig().system(system).protocol(protocol).options(scale.options()));
     auto results = sim.run();
     table.add_row({std::string(name), results.probes_per_query(),
                    results.unsatisfied_rate(), results.response_time.mean(),

@@ -53,7 +53,7 @@ int main(int argc, char** argv) {
     s.lifespan_multiplier = multiplier;
     ProtocolParams protocol;
     protocol.query_pong = Policy::kMFS;
-    GuessSimulation sim(s, protocol, scale.options());
+    GuessSimulation sim(SimulationConfig().system(s).protocol(protocol).options(scale.options()));
     auto results = sim.run();
     // GUESS maintenance: one ping per PingInterval per peer.
     table.add_row({std::string("GUESS (QueryPong=MFS)"), multiplier,

@@ -53,7 +53,7 @@ int main(int argc, char** argv) {
     p.adaptive_parallel = adaptive;
     p.adaptive_parallel_trigger = 5;
     SimulationOptions options = scale.options();
-    GuessSimulation sim(system, p, options);
+    GuessSimulation sim(SimulationConfig().system(system).protocol(p).options(options));
     auto results = sim.run();
     adaptive_table.add_row(
         {std::string(adaptive ? "adaptive k (x2 per 5 dry slots)"

@@ -46,7 +46,7 @@ int main(int argc, char** argv) {
       protocol.query_pong = Policy::kMFS;
       protocol.payments.enabled = payments;
       SimulationOptions options = scale.options();
-      GuessSimulation sim(system, protocol, options);
+      GuessSimulation sim(SimulationConfig().system(system).protocol(protocol).options(options));
       auto results = sim.run();
       table.add_row(
           {selfish_pct, std::string(payments ? "on" : "off"),

@@ -49,7 +49,7 @@ int main(int argc, char** argv) {
   options.seed = flags.seed();
   options.warmup = 400.0;
   options.measure = 1600.0;
-  guess::GuessSimulation simulation(system, protocol, options);
+  guess::GuessSimulation simulation(guess::SimulationConfig().system(system).protocol(protocol).options(options));
   auto results = simulation.run();
 
   guess::TablePrinter table(

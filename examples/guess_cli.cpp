@@ -12,6 +12,8 @@
 #include "common/flags.h"
 #include "faults/scenario.h"
 #include "guess/simulation.h"
+#include "search/backend.h"
+#include "search/gossip.h"
 
 namespace {
 
@@ -69,6 +71,11 @@ Fault scenarios (DESIGN.md §9) and attacks (DESIGN.md §11):
   --scenario-file=PATH     load the spec from a file
   --interval=60            time-resolved metrics interval (s); defaults to
                            60 when a scenario is given, else off
+
+Search backend (DESIGN.md §12; all run through the SearchBackend API):
+  --backend=guess          guess | flood | iterative | onehop | gossip
+                           non-GUESS backends print the unified results
+                           (success rate, probes/query, bytes on wire)
 
 Run control:
   --seed=42 --warmup=600 --measure=2400 --connectivity
@@ -163,7 +170,9 @@ int main(int argc, char** argv) {
     interval = 60.0;
   }
 
+  guess::SearchBackendId backend = guess::parse_backend(flags.backend());
   auto config = guess::SimulationConfig()
+                    .backend(backend)
                     .system(system)
                     .protocol(protocol)
                     .transport(transport)
@@ -174,7 +183,8 @@ int main(int argc, char** argv) {
                     .measure(flags.get_double("measure", 2400.0))
                     .sample_connectivity(flags.get_bool("connectivity", false));
 
-  std::cout << "system:   " << guess::describe(system) << "\n"
+  std::cout << "backend:  " << guess::backend_name(backend) << "\n"
+            << "system:   " << guess::describe(system) << "\n"
             << "protocol: " << guess::describe(protocol) << "\n";
   if (transport.kind == guess::TransportParams::Kind::kLossy) {
     std::cout << "transport: " << guess::describe(transport) << "\n";
@@ -186,61 +196,81 @@ int main(int argc, char** argv) {
             << config.options().measure << "s measurement (seed "
             << config.seed() << ")...\n\n";
 
-  guess::GuessSimulation simulation(config);
-  guess::SimulationResults results = simulation.run();
-  auto load = guess::analysis::summarize_load(results.peer_loads);
+  // Every backend runs through the one SearchBackend code path; for GUESS
+  // this is bitwise-identical to the legacy GuessSimulation driver.
+  guess::search::SearchResults unified = guess::search::run_search(config);
 
-  std::cout << "queries completed     " << results.queries_completed << "\n"
-            << "unsatisfied           " << 100.0 * results.unsatisfied_rate()
+  std::cout << "queries completed     " << unified.queries_completed << "\n"
+            << "unsatisfied           " << 100.0 * unified.unsatisfied_rate()
             << " %\n"
-            << "probes/query          " << results.probes_per_query()
-            << "  (good " << results.good_probes_per_query() << ", dead "
-            << results.dead_probes_per_query() << ", refused "
-            << results.refused_probes_per_query() << ")\n"
-            << "response time         " << results.response_time.mean()
-            << " s mean, " << results.response_time.max() << " s max\n"
-            << "cache health          " << results.cache_health.fraction_live
-            << " live fraction, " << results.cache_health.good_entries
-            << " good entries\n"
-            << "load                  gini " << load.gini << ", top peer "
-            << load.max << " probes\n"
-            << "peer deaths           " << results.deaths << "\n";
-  if (transport.kind == guess::TransportParams::Kind::kLossy) {
-    const guess::TransportCounters& tc = results.transport;
-    std::cout << "transport             " << tc.messages_sent << " sent, "
-              << tc.messages_lost << " lost, " << tc.timeouts
-              << " timeouts, " << tc.retransmits << " retransmits, "
-              << tc.late_replies << " late replies, " << tc.exchanges_failed
-              << " failed exchanges\n";
+            << "probes/query          " << unified.probes_per_query()
+            << "  (p95 " << unified.probes_percentile(95.0) << ")\n"
+            << "messages              " << unified.query_messages
+            << " query + " << unified.maintenance_messages
+            << " maintenance\n"
+            << "bytes on wire         " << unified.bytes_on_wire() << " ("
+            << unified.bytes_per_query() << " per query)\n"
+            << "peer deaths           " << unified.deaths << "\n";
+
+  if (const auto* results = unified.extra_as<guess::SimulationResults>()) {
+    auto load = guess::analysis::summarize_load(results->peer_loads);
+    std::cout << "probe split           good "
+              << results->good_probes_per_query() << ", dead "
+              << results->dead_probes_per_query() << ", refused "
+              << results->refused_probes_per_query() << "\n"
+              << "response time         " << results->response_time.mean()
+              << " s mean, " << results->response_time.max() << " s max\n"
+              << "cache health          "
+              << results->cache_health.fraction_live << " live fraction, "
+              << results->cache_health.good_entries << " good entries\n"
+              << "load                  gini " << load.gini << ", top peer "
+              << load.max << " probes\n";
+    if (transport.kind == guess::TransportParams::Kind::kLossy) {
+      const guess::TransportCounters& tc = results->transport;
+      std::cout << "transport             " << tc.messages_sent << " sent, "
+                << tc.messages_lost << " lost, " << tc.timeouts
+                << " timeouts, " << tc.retransmits << " retransmits, "
+                << tc.late_replies << " late replies, "
+                << tc.exchanges_failed << " failed exchanges\n";
+    }
+    if (scenario.uses_attacks()) {
+      const guess::AttackStats& as = results->attack;
+      std::cout << "attack                " << as.adversaries_spawned
+                << " spawned, " << as.adversaries_retired << " retired, "
+                << as.sybil_respawns << " sybil respawns, "
+                << as.withheld_exchanges << " withheld, "
+                << as.oversized_pongs << " oversized pongs ("
+                << as.pong_entries_dropped << " entries dropped), "
+                << as.no_reply_charges << " no-reply charges\n";
+    }
+    if (config.options().sample_connectivity) {
+      std::cout << "largest component     "
+                << results->largest_component.mean()
+                << " (mean of samples)\n";
+    }
+    if (system.percent_selfish_peers > 0.0) {
+      std::cout << "honest:  " << results->honest.probes_per_query()
+                << " probes/q, "
+                << 100.0 * results->honest.unsatisfied_rate() << "% unsat, "
+                << results->honest.response_time.mean() << " s\n"
+                << "selfish: " << results->selfish.probes_per_query()
+                << " probes/q, "
+                << 100.0 * results->selfish.unsatisfied_rate() << "% unsat, "
+                << results->selfish.response_time.mean() << " s\n";
+    }
   }
-  if (scenario.uses_attacks()) {
-    const guess::AttackStats& as = results.attack;
-    std::cout << "attack                " << as.adversaries_spawned
-              << " spawned, " << as.adversaries_retired << " retired, "
-              << as.sybil_respawns << " sybil respawns, "
-              << as.withheld_exchanges << " withheld, " << as.oversized_pongs
-              << " oversized pongs (" << as.pong_entries_dropped
-              << " entries dropped), " << as.no_reply_charges
-              << " no-reply charges\n";
+  if (const auto* gossip = unified.extra_as<guess::search::GossipStats>()) {
+    std::cout << "gossip                " << gossip->local_hits << " local, "
+              << gossip->knowledge_hits << " knowledge, "
+              << gossip->fallback_queries << " fallback; stale ads "
+              << gossip->stale_ads_expired << " expired + "
+              << gossip->stale_ads_dead << " dead; knowledge "
+              << gossip->knowledge_size.mean() << " entries/peer\n";
   }
-  if (config.options().sample_connectivity) {
-    std::cout << "largest component     " << results.largest_component.mean()
-              << " (mean of samples)\n";
-  }
-  if (system.percent_selfish_peers > 0.0) {
-    std::cout << "honest:  " << results.honest.probes_per_query()
-              << " probes/q, " << 100.0 * results.honest.unsatisfied_rate()
-              << "% unsat, " << results.honest.response_time.mean()
-              << " s\n"
-              << "selfish: " << results.selfish.probes_per_query()
-              << " probes/q, " << 100.0 * results.selfish.unsatisfied_rate()
-              << "% unsat, " << results.selfish.response_time.mean()
-              << " s\n";
-  }
-  if (!results.interval_series.empty()) {
+  if (!unified.interval_series.empty()) {
     std::cout << "\ninterval series (start..end  success  queries  probes/q"
                  "  live):\n";
-    for (const guess::IntervalSample& s : results.interval_series) {
+    for (const guess::IntervalSample& s : unified.interval_series) {
       std::cout << "  " << s.start << " .. " << s.end << "  ";
       if (s.queries_completed == 0) {
         std::cout << "   -  ";
@@ -252,7 +282,7 @@ int main(int argc, char** argv) {
     }
     if (!scenario.empty()) {
       guess::RecoveryMetrics recovery = guess::compute_recovery(
-          results.interval_series, scenario.first_fault_time(),
+          unified.interval_series, scenario.first_fault_time(),
           scenario.last_fault_end());
       std::cout << "recovery: baseline " << 100.0 * recovery.baseline
                 << "%, min during fault "

@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
   for (const char* name : {"Ran", "MR", "MR*", "MFS"}) {
     auto combo = guess::experiments::PolicyCombo::from_name(name);
     guess::ProtocolParams protocol = combo.apply(guess::ProtocolParams{});
-    guess::GuessSimulation simulation(system, protocol, options);
+    guess::GuessSimulation simulation(guess::SimulationConfig().system(system).protocol(protocol).options(options));
     guess::SimulationResults results = simulation.run();
     table.add_row({std::string(name), results.probes_per_query(),
                    100.0 * results.unsatisfied_rate(),

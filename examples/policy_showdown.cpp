@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
 
   for (const char* name : combos) {
     auto combo = guess::experiments::PolicyCombo::from_name(name);
-    guess::GuessSimulation simulation(system, combo.apply(base), options);
+    guess::GuessSimulation simulation(guess::SimulationConfig().system(system).protocol(combo.apply(base)).options(options));
     guess::SimulationResults results = simulation.run();
     auto load = guess::analysis::summarize_load(results.peer_loads);
     table.add_row({std::string(name), results.probes_per_query(),

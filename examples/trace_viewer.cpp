@@ -62,9 +62,9 @@ int main(int argc, char** argv) {
   }
 
   guess::sim::Simulator simulator;
-  guess::GuessNetwork network(system, protocol, guess::MaliciousParams{},
-                              /*enable_queries=*/true, simulator,
-                              guess::Rng(flags.seed()));
+  guess::GuessNetwork network(
+      guess::SimulationConfig().system(system).protocol(protocol), simulator,
+      guess::Rng(flags.seed()));
   guess::Tracer tracer(mask, 1u << 20);
   network.set_tracer(&tracer);
   network.initialize();

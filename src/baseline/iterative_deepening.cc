@@ -18,7 +18,7 @@ std::vector<std::size_t> default_schedule(std::size_t network_size) {
 DeepeningResult evaluate_iterative_deepening(
     const StaticPopulation& population, const content::ContentModel& model,
     const std::vector<std::size_t>& schedule, std::size_t num_queries,
-    std::uint32_t desired_results, Rng& rng) {
+    std::uint32_t desired_results, Rng& rng, SampleSet* per_query_cost) {
   GUESS_CHECK(!schedule.empty());
   GUESS_CHECK(num_queries > 0);
   for (std::size_t i = 1; i < schedule.size(); ++i) {
@@ -46,6 +46,9 @@ DeepeningResult evaluate_iterative_deepening(
       }
     }
     total_cost += probed;
+    if (per_query_cost != nullptr) {
+      per_query_cost->add(static_cast<double>(probed));
+    }
     if (!satisfied) ++unsatisfied;
   }
   return DeepeningResult{

@@ -12,6 +12,7 @@
 
 #include "baseline/static_population.h"
 #include "common/rng.h"
+#include "common/stats.h"
 #include "content/content_model.h"
 
 namespace guess::baseline {
@@ -23,10 +24,15 @@ struct DeepeningResult {
 
 /// @param schedule  cumulative ring sizes, strictly increasing (the paper's
 ///                  "many peers (e.g., hundreds) probed in each iteration").
+/// @param per_query_cost  when non-null, receives one sample per query (the
+///                  peers probed for that query) — the distribution behind
+///                  avg_cost. Recording draws no extra randomness, so the
+///                  returned DeepeningResult is identical either way.
 DeepeningResult evaluate_iterative_deepening(
     const StaticPopulation& population, const content::ContentModel& model,
     const std::vector<std::size_t>& schedule, std::size_t num_queries,
-    std::uint32_t desired_results, Rng& rng);
+    std::uint32_t desired_results, Rng& rng,
+    SampleSet* per_query_cost = nullptr);
 
 /// The default policy of [22] scaled to the population: rings at 20%, 50%
 /// and 100% of the network.

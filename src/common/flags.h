@@ -69,6 +69,10 @@ class Flags {
            has("max-retries") || has("max-backoff");
   }
 
+  /// Search backend name (--backend=gossip): one of guess, flood,
+  /// iterative, onehop, gossip. Parsed by guess::parse_backend.
+  std::string backend() const { return get_string("backend", "guess"); }
+
   // --- fault scenarios (DESIGN.md §9) ---
 
   /// Inline fault-scenario spec (--scenario="at 600 kill 0.3"); empty when

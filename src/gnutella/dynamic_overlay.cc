@@ -50,6 +50,7 @@ DynamicOverlay::DynamicOverlay(DynamicParams params,
       query_stream_(content::BurstParams{params.query_rate, 1, 5}) {
   GUESS_CHECK(params_.network_size > params_.target_degree + 1);
   GUESS_CHECK(params_.max_degree >= params_.target_degree);
+  GUESS_CHECK(params_.loss >= 0.0 && params_.loss < 1.0);
   churn_ = std::make_unique<churn::ChurnManager>(
       simulator_, churn::LifetimeDistribution(params_.lifespan_multiplier),
       rng_.split(), [this](PeerId id) { on_peer_death(id); });
@@ -204,6 +205,9 @@ void DynamicOverlay::run_query(PeerId origin, content::FileId file) {
     if (depth >= params_.ttl) continue;
     for (PeerId next : peers_.at(node)->neighbors) {
       ++messages;
+      // Lossy transmission: counted as sent, never received. Guarded so a
+      // loss-free run draws no randomness here (bitwise legacy behavior).
+      if (params_.loss > 0.0 && rng_.bernoulli(params_.loss)) continue;
       auto it = peers_.find(next);
       GUESS_CHECK_MSG(it != peers_.end(), "edge to dead peer");
       it->second->messages_processed += 1;
@@ -222,12 +226,19 @@ void DynamicOverlay::run_query(PeerId origin, content::FileId file) {
   ++results_.queries_completed;
   results_.messages += messages;
   results_.peers_reached += reached;
+  results_.query_reach.add(static_cast<double>(reached));
   if (results >= params_.num_desired_results) {
     ++results_.queries_satisfied;
     // first_result_depth is 0 when the origin's own library matched.
     results_.response_time.add(static_cast<double>(first_result_depth) *
                                params_.hop_delay);
   }
+}
+
+void DynamicOverlay::submit_query(std::uint64_t origin,
+                                  content::FileId file) {
+  GUESS_CHECK_MSG(peers_.contains(origin), "submit_query from a dead peer");
+  run_query(origin, file);
 }
 
 void DynamicOverlay::begin_measurement() {

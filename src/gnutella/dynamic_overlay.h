@@ -43,6 +43,11 @@ struct DynamicParams {
   double query_rate = 9.26e-3;
   std::size_t num_desired_results = 1;
   content::ContentParams content;
+  /// I.i.d. per-transmission loss probability (DESIGN.md §8 made available
+  /// to flooding): a lost transmission is counted as sent but the receiver
+  /// never processes or forwards it. 0 draws no randomness, so legacy runs
+  /// are bitwise unaffected.
+  double loss = 0.0;
 };
 
 struct DynamicResults {
@@ -54,6 +59,7 @@ struct DynamicResults {
   SampleSet peer_loads;                ///< messages processed per peer
   std::uint64_t deaths = 0;
   std::uint64_t repairs = 0;           ///< connections re-established
+  SampleSet query_reach;               ///< peers reached, one sample per query
 
   double unsatisfied_rate() const;
   double messages_per_query() const;
@@ -76,6 +82,13 @@ class DynamicOverlay {
 
   /// Snapshot of the measured metrics (flushes live peers' message loads).
   DynamicResults results() const;
+
+  /// Inject one flood query from `origin` (must be alive); runs through the
+  /// normal BFS machinery. Used by the SearchBackend adapter and tests.
+  void submit_query(std::uint64_t origin, content::FileId file);
+
+  const std::vector<std::uint64_t>& alive_peers() const { return alive_ids_; }
+  const content::ContentModel& content() const { return content_; }
 
   // --- introspection ---
   std::size_t alive_count() const { return peers_.size(); }

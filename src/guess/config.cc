@@ -6,6 +6,31 @@
 
 namespace guess {
 
+const char* backend_name(SearchBackendId id) {
+  switch (id) {
+    case SearchBackendId::kGuess: return "guess";
+    case SearchBackendId::kFlood: return "flood";
+    case SearchBackendId::kIterative: return "iterative";
+    case SearchBackendId::kOneHop: return "onehop";
+    case SearchBackendId::kGossip: return "gossip";
+  }
+  GUESS_CHECK_MSG(false, "unknown SearchBackendId");
+  return "?";
+}
+
+SearchBackendId parse_backend(const std::string& name) {
+  if (name == "guess") return SearchBackendId::kGuess;
+  if (name == "flood") return SearchBackendId::kFlood;
+  if (name == "iterative") return SearchBackendId::kIterative;
+  if (name == "onehop") return SearchBackendId::kOneHop;
+  if (name == "gossip") return SearchBackendId::kGossip;
+  GUESS_CHECK_MSG(false, "unknown backend '"
+                             << name
+                             << "' (expected guess | flood | iterative | "
+                                "onehop | gossip)");
+  return SearchBackendId::kGuess;
+}
+
 const SimulationConfig& SimulationConfig::validate() const {
   // Non-finite doubles sail through every range check below (NaN compares
   // false against everything), so reject them by name first.
@@ -106,6 +131,37 @@ const SimulationConfig& SimulationConfig::validate() const {
   GUESS_CHECK_MSG(options_.metrics_interval >= 0.0,
                   "metrics_interval must be >= 0, got "
                       << options_.metrics_interval);
+
+  // Backend tuning blocks (only the selected backend reads its block, but
+  // nonsense in any block is rejected up front — a config is one value).
+  GUESS_CHECK_MSG(backends_.flood.target_degree >= 1,
+                  "flood target_degree must be >= 1");
+  GUESS_CHECK_MSG(backends_.flood.max_degree >= backends_.flood.target_degree,
+                  "flood max_degree must be >= target_degree");
+  GUESS_CHECK_MSG(backends_.flood.ttl >= 1, "flood ttl must be >= 1");
+  GUESS_CHECK_MSG(backends_.flood.hop_delay >= 0.0,
+                  "flood hop_delay must be >= 0");
+  GUESS_CHECK_MSG(backends_.iterative.num_queries >= 1,
+                  "iterative num_queries must be >= 1");
+  for (std::size_t i = 1; i < backends_.iterative.schedule.size(); ++i) {
+    GUESS_CHECK_MSG(backends_.iterative.schedule[i] >
+                        backends_.iterative.schedule[i - 1],
+                    "iterative schedule must be strictly increasing");
+  }
+  GUESS_CHECK_MSG(backends_.onehop.dissemination_delay >= 0.0,
+                  "onehop dissemination_delay must be >= 0");
+  GUESS_CHECK_MSG(backends_.gossip.gossip_interval > 0.0,
+                  "gossip gossip_interval must be > 0");
+  GUESS_CHECK_MSG(backends_.gossip.fanout >= 1, "gossip fanout must be >= 1");
+  GUESS_CHECK_MSG(backends_.gossip.ads_per_exchange >= 1,
+                  "gossip ads_per_exchange must be >= 1");
+  GUESS_CHECK_MSG(backends_.gossip.knowledge_capacity >= 1,
+                  "gossip knowledge_capacity must be >= 1");
+  GUESS_CHECK_MSG(backends_.gossip.ad_ttl > 0.0, "gossip ad_ttl must be > 0");
+  GUESS_CHECK_MSG(backends_.gossip.max_probes >= 1,
+                  "gossip max_probes must be >= 1");
+  GUESS_CHECK_MSG(backends_.gossip.probe_interval > 0.0,
+                  "gossip probe_interval must be > 0");
 
   // Fault scenario (DESIGN.md §9).
   scenario_.validate();

@@ -16,12 +16,17 @@
 //   guess::GuessSimulation sim(config);        // validates on construction
 //   guess::SimulationResults results = sim.run();
 //
-// The old positional signatures survive as thin deprecated shims that build
-// a SimulationConfig internally; new code (and all in-tree harnesses,
-// benches and examples) should construct configs directly.
+// The old positional signatures were removed after every in-tree harness,
+// bench and example migrated; SimulationConfig is the only construction
+// surface. It is also the construction surface of every search backend
+// (search::SearchBackend, DESIGN.md §12): the `backend` field selects the
+// protocol and the `backends` block carries per-backend tuning.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "faults/scenario.h"
 #include "guess/params.h"
@@ -30,6 +35,72 @@
 #include "sim/time.h"
 
 namespace guess {
+
+/// Which search protocol a run drives (search::SearchBackend registry key,
+/// DESIGN.md §12). Every backend shares the SystemParams workload (network
+/// size, churn, content model, bursty query arrivals) — the paper's "same
+/// methodology" requirement — and draws protocol tuning from its own block
+/// in BackendParams.
+enum class SearchBackendId {
+  kGuess,      ///< non-forwarding GUESS (src/guess, the paper's subject)
+  kFlood,      ///< live Gnutella-style TTL flooding (src/gnutella)
+  kIterative,  ///< iterative deepening over a static population (src/baseline)
+  kOneHop,     ///< one-hop DHT lookups (src/onehop)
+  kGossip,     ///< push/pull gossip of content ads + local knowledge (§12.4)
+};
+
+/// "guess" / "flood" / "iterative" / "onehop" / "gossip".
+const char* backend_name(SearchBackendId id);
+
+/// Parse a --backend= value; throws CheckError on unknown names.
+SearchBackendId parse_backend(const std::string& name);
+
+/// Tuning for the flooding backend (gnutella::DynamicParams overrides; the
+/// workload fields come from SystemParams).
+struct FloodBackendParams {
+  std::size_t target_degree = 4;  ///< connections each peer keeps open
+  std::size_t max_degree = 12;    ///< hard cap (§3.3 anti-hub remedy)
+  std::size_t ttl = 4;            ///< flood TTL in overlay hops
+  double hop_delay = 0.05;        ///< per-hop forwarding latency (s)
+};
+
+/// Tuning for the iterative-deepening backend. An empty schedule means
+/// baseline::default_schedule(network_size) (rings at 20%/50%/100%).
+struct IterativeBackendParams {
+  std::vector<std::size_t> schedule;
+  std::size_t num_queries = 10000;  ///< Monte-Carlo queries per run
+};
+
+/// Tuning for the one-hop DHT backend.
+struct OneHopBackendParams {
+  sim::Duration dissemination_delay = 30.0;  ///< membership-event lag (s)
+};
+
+/// Tuning for the gossip backend (DESIGN.md §12.4): push/pull rumor
+/// mongering of content advertisements into per-peer knowledge caches.
+struct GossipBackendParams {
+  sim::Duration gossip_interval = 10.0;  ///< seconds between a peer's rounds
+  std::size_t fanout = 2;                ///< exchange partners per round
+  std::size_t ads_per_exchange = 8;      ///< advertisement entries per leg
+  std::size_t knowledge_capacity = 64;   ///< per-peer knowledge-cache bound
+  sim::Duration ad_ttl = 120.0;          ///< advertisement lifetime (s)
+  /// Push-with-counter rumor mongering: how many times a learned ad is
+  /// re-forwarded before it goes quiet (0 = only own-library ads spread).
+  std::size_t residual_pushes = 2;
+  /// Fallback probing budget per query once local knowledge is exhausted
+  /// (mirrors ProtocolParams::max_probes_per_query).
+  std::size_t max_probes = 1000;
+  sim::Duration probe_interval = 0.2;    ///< modeled per-probe RTT slot (s)
+};
+
+/// Per-backend tuning blocks, all defaulted; only the selected backend's
+/// block is read. GUESS tuning stays in ProtocolParams (Table 2).
+struct BackendParams {
+  FloodBackendParams flood;
+  IterativeBackendParams iterative;
+  OneHopBackendParams onehop;
+  GossipBackendParams gossip;
+};
 
 /// Run-control block: seed, windows, sampling cadence, threading and the
 /// event-queue backend. Lives inside SimulationConfig; kept as a standalone
@@ -145,6 +216,34 @@ class SimulationConfig {
     scenario_ = std::move(v);
     return *this;
   }
+  /// Which search backend a run drives (search::make_backend key); GUESS by
+  /// default. Non-GUESS backends read the workload from SystemParams and
+  /// their tuning from the backends block.
+  SimulationConfig& backend(SearchBackendId v) {
+    backend_ = v;
+    return *this;
+  }
+  /// Replace the per-backend tuning blocks at once.
+  SimulationConfig& backends(BackendParams v) {
+    backends_ = std::move(v);
+    return *this;
+  }
+  SimulationConfig& flood(FloodBackendParams v) {
+    backends_.flood = v;
+    return *this;
+  }
+  SimulationConfig& iterative(IterativeBackendParams v) {
+    backends_.iterative = std::move(v);
+    return *this;
+  }
+  SimulationConfig& onehop(OneHopBackendParams v) {
+    backends_.onehop = v;
+    return *this;
+  }
+  SimulationConfig& gossip(GossipBackendParams v) {
+    backends_.gossip = v;
+    return *this;
+  }
 
   // --- accessors ---
 
@@ -154,6 +253,8 @@ class SimulationConfig {
   const TransportParams& transport() const { return transport_; }
   const SimulationOptions& options() const { return options_; }
   const faults::Scenario& scenario() const { return scenario_; }
+  SearchBackendId backend() const { return backend_; }
+  const BackendParams& backends() const { return backends_; }
   std::uint64_t seed() const { return options_.seed; }
   bool enable_queries() const { return options_.enable_queries; }
 
@@ -170,6 +271,8 @@ class SimulationConfig {
   TransportParams transport_;
   SimulationOptions options_;
   faults::Scenario scenario_;
+  SearchBackendId backend_ = SearchBackendId::kGuess;
+  BackendParams backends_;
 };
 
 }  // namespace guess

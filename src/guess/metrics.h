@@ -133,6 +133,11 @@ struct SimulationResults {
   /// Distinct peers that entered a query's candidate set (query-cache size).
   RunningStat query_cache_population;
 
+  /// Per-query total probes, one sample per completed query — the
+  /// distribution behind probes_per_query() (percentiles feed the backend
+  /// matrix, DESIGN.md §12). Recorded only during measurement.
+  SampleSet query_probes;
+
   /// Query probes received per peer over its lifetime, one sample per good
   /// peer that existed during the run (Figure 13).
   SampleSet peer_loads;

@@ -125,16 +125,6 @@ GuessNetwork::GuessNetwork(const SimulationConfig& config,
   if (!config.scenario().empty()) transport_->set_modulation(this);
 }
 
-GuessNetwork::GuessNetwork(SystemParams system, ProtocolParams protocol,
-                           MaliciousParams malicious, bool enable_queries,
-                           sim::Simulator& simulator, Rng rng)
-    : GuessNetwork(SimulationConfig()
-                       .system(system)
-                       .protocol(protocol)
-                       .malicious(malicious)
-                       .enable_queries(enable_queries),
-                   simulator, std::move(rng)) {}
-
 GuessNetwork::~GuessNetwork() = default;
 
 bool GuessNetwork::is_malicious(PeerId id) const {
@@ -943,6 +933,7 @@ void GuessNetwork::finish_query(Peer& origin, QueryExecution& query,
     results_.probes += query.counters();
     results_.query_cache_population.add(
         static_cast<double>(query.seen()));
+    results_.query_probes.add(static_cast<double>(query.counters().total()));
     ClassMetrics& cls = origin.selfish() ? results_.selfish : results_.honest;
     ++cls.queries_completed;
     if (satisfied) {
@@ -1192,11 +1183,6 @@ void GuessNetwork::sample_cache_health() {
   fold(h.good_entries, good_sum / n);
   fold(h.entries, entries_sum / n);
   ++h.samples;
-}
-
-void GuessNetwork::for_each_live_edge(
-    const std::function<void(PeerId, PeerId)>& fn) const {
-  visit_live_edges(fn);
 }
 
 std::size_t GuessNetwork::largest_component() const {

@@ -51,14 +51,6 @@ class GuessNetwork : public faults::FaultHost, public TransportModulation {
   GuessNetwork(const SimulationConfig& config, sim::Simulator& simulator,
                Rng rng);
 
-  /// Deprecated positional shim (pre-SimulationConfig API): builds a config
-  /// with the default SynchronousTransport. Prefer the SimulationConfig
-  /// constructor.
-  /// @param enable_queries  false for the maintenance-only runs of §6.1
-  ///                        (Figures 6 and 7 isolate Ping traffic)
-  GuessNetwork(SystemParams system, ProtocolParams protocol,
-               MaliciousParams malicious, bool enable_queries,
-               sim::Simulator& simulator, Rng rng);
   ~GuessNetwork();
 
   GuessNetwork(const GuessNetwork&) = delete;
@@ -166,11 +158,6 @@ class GuessNetwork : public faults::FaultHost, public TransportModulation {
       }
     }
   }
-
-  /// Deprecated type-erased shim over visit_live_edges (kept for out-of-tree
-  /// callers built against the std::function signature).
-  void for_each_live_edge(
-      const std::function<void(PeerId, PeerId)>& fn) const;
 
   /// Largest weakly-connected component of the conceptual overlay.
   std::size_t largest_component() const;

@@ -16,12 +16,6 @@ GuessSimulation::GuessSimulation(const SimulationConfig& config)
       std::make_unique<GuessNetwork>(config_, simulator_, Rng(config_.seed()));
 }
 
-GuessSimulation::GuessSimulation(SystemParams system, ProtocolParams protocol,
-                                 SimulationOptions options)
-    : GuessSimulation(
-          SimulationConfig().system(system).protocol(protocol).options(
-              options)) {}
-
 GuessSimulation::~GuessSimulation() = default;
 
 SimulationResults GuessSimulation::run() {
@@ -69,7 +63,7 @@ SimulationResults GuessSimulation::run() {
     // pointer structure (§2.1) makes interesting.
     analysis::OverlayGraph graph;
     for (PeerId id : network_->alive_ids()) graph.add_node(id);
-    network_->for_each_live_edge(
+    network_->visit_live_edges(
         [&](PeerId from, PeerId to) { graph.add_edge(from, to); });
     results.final_largest_component = graph.largest_weak_component();
     results.final_largest_strong_component =
@@ -109,15 +103,6 @@ std::vector<SimulationResults> run_seeds(
 
   experiments::ParallelRunner runner(threads);
   return runner.map<SimulationResults>(num_seeds, run_one, progress);
-}
-
-std::vector<SimulationResults> run_seeds(
-    const SystemParams& system, const ProtocolParams& protocol,
-    SimulationOptions options, int num_seeds,
-    const std::function<void(int, int)>& progress) {
-  return run_seeds(
-      SimulationConfig().system(system).protocol(protocol).options(options),
-      num_seeds, progress);
 }
 
 AveragedResults average(const std::vector<SimulationResults>& runs) {

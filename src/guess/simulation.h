@@ -34,10 +34,6 @@ class GuessSimulation {
   /// nonsense) and builds the simulator + network from it.
   explicit GuessSimulation(const SimulationConfig& config);
 
-  /// Deprecated positional shim (pre-SimulationConfig API): equivalent to
-  /// the config constructor with the default SynchronousTransport.
-  GuessSimulation(SystemParams system, ProtocolParams protocol,
-                  SimulationOptions options);
   ~GuessSimulation();
 
   GuessSimulation(const GuessSimulation&) = delete;
@@ -77,12 +73,6 @@ class GuessSimulation {
 /// worker threads, serialized, in completion order.
 std::vector<SimulationResults> run_seeds(
     const SimulationConfig& config, int num_seeds,
-    const std::function<void(int, int)>& progress = {});
-
-/// Deprecated positional shim over the SimulationConfig overload.
-std::vector<SimulationResults> run_seeds(
-    const SystemParams& system, const ProtocolParams& protocol,
-    SimulationOptions options, int num_seeds,
     const std::function<void(int, int)>& progress = {});
 
 /// Aggregate of repeated runs: averages of the headline per-query metrics,

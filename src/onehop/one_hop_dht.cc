@@ -28,6 +28,7 @@ OneHopDht::OneHopDht(OneHopParams params, sim::Simulator& simulator, Rng rng)
     : params_(params), simulator_(simulator), rng_(std::move(rng)) {
   GUESS_CHECK(params_.network_size >= 2);
   GUESS_CHECK(params_.dissemination_delay >= 0.0);
+  GUESS_CHECK(params_.loss >= 0.0 && params_.loss < 1.0);
   churn_ = std::make_unique<churn::ChurnManager>(
       simulator_, churn::LifetimeDistribution(params_.lifespan_multiplier),
       rng_.split(),
@@ -107,10 +108,14 @@ void OneHopDht::lookup_random_key() {
 
   std::uint64_t timeouts = 0;
   Position believed = owner_of(view_, key);
-  // Walk the believed successor list past departed peers. Bounded by the
-  // view size (in practice a handful of steps at realistic churn).
+  // Walk the believed successor list past departed peers — and, under loss,
+  // past probes that never came back. Bounded by the view size (in practice
+  // a handful of steps at realistic churn). The loss guard short-circuits,
+  // so a loss-free run draws no randomness here (bitwise legacy behavior).
   std::size_t safety = view_.size();
-  while (!ring_.contains(believed) && safety-- > 0) {
+  while ((!ring_.contains(believed) ||
+          (params_.loss > 0.0 && rng_.bernoulli(params_.loss))) &&
+         safety-- > 0) {
     ++timeouts;
     auto it = view_.upper_bound(believed);
     if (it == view_.end()) it = view_.begin();
@@ -126,6 +131,7 @@ void OneHopDht::lookup_random_key() {
   if (!direct) ++results_.corrective_hops;
   results_.timeouts += timeouts;
   results_.probes_per_lookup.add(static_cast<double>(probes));
+  results_.lookup_probes.add(static_cast<double>(probes));
 }
 
 void OneHopDht::begin_measurement() { measuring_ = true; }

@@ -39,6 +39,11 @@ struct OneHopParams {
   double lookup_rate = 9.26e-3;
   /// Dissemination delay: how stale every peer's routing table is.
   sim::Duration dissemination_delay = 30.0;
+  /// I.i.d. per-probe loss probability (DESIGN.md §8 made available to the
+  /// DHT): a lost probe is counted as a timeout and the lookup retries the
+  /// next believed successor, like a probe to a departed owner. 0 draws no
+  /// randomness, so legacy runs are bitwise unaffected.
+  double loss = 0.0;
 };
 
 struct OneHopResults {
@@ -47,6 +52,7 @@ struct OneHopResults {
   std::uint64_t corrective_hops = 0;///< believed owner alive but superseded
   std::uint64_t timeouts = 0;       ///< probes to departed believed owners
   RunningStat probes_per_lookup;    ///< timeouts + final probe (+ forward)
+  SampleSet lookup_probes;          ///< same quantity, one sample per lookup
   std::uint64_t deaths = 0;
   std::uint64_t membership_events = 0;  ///< joins + leaves during measurement
 

@@ -46,7 +46,7 @@ std::vector<SimulationResults> serial_baseline(const SystemParams& system,
   for (int i = 0; i < num_seeds; ++i) {
     SimulationOptions opt = base;
     opt.seed = base.seed + static_cast<std::uint64_t>(i);
-    GuessSimulation sim(system, ProtocolParams{}, opt);
+    GuessSimulation sim(SimulationConfig().system(system).protocol(ProtocolParams{}).options(opt));
     runs.push_back(sim.run());
   }
   return runs;
@@ -64,7 +64,7 @@ TEST(ParallelRunSeeds, BitwiseIdenticalToSerialAcrossThreadCounts) {
     SCOPED_TRACE("threads=" + std::to_string(threads));
     SimulationOptions options = base;
     options.threads = threads;
-    auto runs = run_seeds(system, ProtocolParams{}, options, kSeeds);
+    auto runs = run_seeds(SimulationConfig().system(system).protocol(ProtocolParams{}).options(options), kSeeds);
     ASSERT_EQ(runs.size(), golden.size());
     for (int i = 0; i < kSeeds; ++i) {
       SCOPED_TRACE("seed index " + std::to_string(i));
@@ -191,7 +191,7 @@ TEST(ParallelRunSeeds, HonorsGuessThreadsEnvironment) {
   SystemParams system = small_system();
   SimulationOptions options = small_options();
   options.measure = 120.0;
-  auto env_runs = run_seeds(system, ProtocolParams{}, options, 3);
+  auto env_runs = run_seeds(SimulationConfig().system(system).protocol(ProtocolParams{}).options(options), 3);
   ::unsetenv("GUESS_THREADS");
   auto golden = serial_baseline(system, options, 3);
   ASSERT_EQ(env_runs.size(), 3u);

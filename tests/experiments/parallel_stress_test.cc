@@ -30,12 +30,12 @@ TEST(ParallelStress, ThirtyTwoReplicationsOnFourThreads) {
   options.threads = 4;
 
   const int kSeeds = 32;
-  auto parallel = run_seeds(system, ProtocolParams{}, options, kSeeds);
+  auto parallel = run_seeds(SimulationConfig().system(system).protocol(ProtocolParams{}).options(options), kSeeds);
   ASSERT_EQ(parallel.size(), static_cast<std::size_t>(kSeeds));
 
   SimulationOptions serial = options;
   serial.threads = 1;
-  auto golden = run_seeds(system, ProtocolParams{}, serial, kSeeds);
+  auto golden = run_seeds(SimulationConfig().system(system).protocol(ProtocolParams{}).options(serial), kSeeds);
   for (int i = 0; i < kSeeds; ++i) {
     SCOPED_TRACE("seed index " + std::to_string(i));
     testsupport::expect_identical(parallel[static_cast<std::size_t>(i)],

@@ -20,7 +20,10 @@ struct Fixture {
   explicit Fixture(SystemParams system = small_system(),
                    ProtocolParams protocol = ProtocolParams{},
                    bool enable_queries = true, std::uint64_t seed = 7)
-      : network(system, protocol, MaliciousParams{}, enable_queries,
+      : network(SimulationConfig()
+                    .system(system)
+                    .protocol(protocol)
+                    .enable_queries(enable_queries),
                 simulator, Rng(seed)) {
     network.initialize();
   }
@@ -154,7 +157,7 @@ TEST(Network, EdgesOnlyBetweenLivePeers) {
   system.lifespan_multiplier = 0.05;
   Fixture f(system);
   f.simulator.run_until(600.0);
-  f.network.for_each_live_edge([&](PeerId from, PeerId to) {
+  f.network.visit_live_edges([&](PeerId from, PeerId to) {
     EXPECT_TRUE(f.network.alive(from));
     EXPECT_TRUE(f.network.alive(to));
   });
@@ -198,8 +201,7 @@ TEST(Network, PeerLoadsCoverPopulation) {
 TEST(Network, TinyNetworkRejected) {
   sim::Simulator simulator;
   SystemParams system = small_system(1);
-  EXPECT_THROW(GuessNetwork(system, ProtocolParams{}, MaliciousParams{}, true,
-                            simulator, Rng(1)),
+  EXPECT_THROW(GuessNetwork(SimulationConfig().system(system).protocol(ProtocolParams{}), simulator, Rng(1)),
                CheckError);
 }
 

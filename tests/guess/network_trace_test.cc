@@ -18,8 +18,7 @@ SystemParams tiny_system() {
 
 TEST(NetworkTrace, RecordsLifecycleAndQueries) {
   sim::Simulator simulator;
-  GuessNetwork network(tiny_system(), ProtocolParams{}, MaliciousParams{},
-                       /*enable_queries=*/true, simulator, Rng(5));
+  GuessNetwork network(SimulationConfig().system(tiny_system()).protocol(ProtocolParams{}), simulator, Rng(5));
   Tracer tracer(kTraceAll, 100000);
   network.set_tracer(&tracer);
   network.initialize();
@@ -49,8 +48,7 @@ TEST(NetworkTrace, RecordsLifecycleAndQueries) {
 
 TEST(NetworkTrace, MaskLimitsToRequestedCategories) {
   sim::Simulator simulator;
-  GuessNetwork network(tiny_system(), ProtocolParams{}, MaliciousParams{},
-                       true, simulator, Rng(5));
+  GuessNetwork network(SimulationConfig().system(tiny_system()).protocol(ProtocolParams{}), simulator, Rng(5));
   Tracer tracer(static_cast<unsigned>(TraceCategory::kChurn), 100000);
   network.set_tracer(&tracer);
   network.initialize();
@@ -74,8 +72,7 @@ TEST(NetworkTrace, AttackEventsSurfaceWithDetection) {
   protocol.detection.enabled = true;
 
   sim::Simulator simulator;
-  GuessNetwork network(system, protocol, MaliciousParams{}, true, simulator,
-                       Rng(7));
+  GuessNetwork network(SimulationConfig().system(system).protocol(protocol), simulator, Rng(7));
   Tracer tracer(static_cast<unsigned>(TraceCategory::kAttack), 100000);
   network.set_tracer(&tracer);
   network.initialize();
@@ -89,8 +86,7 @@ TEST(NetworkTrace, AttackEventsSurfaceWithDetection) {
 
 TEST(NetworkTrace, NoTracerMeansNoCrash) {
   sim::Simulator simulator;
-  GuessNetwork network(tiny_system(), ProtocolParams{}, MaliciousParams{},
-                       true, simulator, Rng(5));
+  GuessNetwork network(SimulationConfig().system(tiny_system()).protocol(ProtocolParams{}), simulator, Rng(5));
   network.initialize();
   simulator.run_until(300.0);  // trace points are no-ops
   SUCCEED();

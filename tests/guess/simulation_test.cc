@@ -24,7 +24,7 @@ SimulationOptions quick_options(std::uint64_t seed = 42) {
 }
 
 TEST(Simulation, RunsAndProducesQueries) {
-  GuessSimulation sim(test_system(), ProtocolParams{}, quick_options());
+  GuessSimulation sim(SimulationConfig().system(test_system()).protocol(ProtocolParams{}).options(quick_options()));
   auto results = sim.run();
   EXPECT_GT(results.queries_completed, 100u);
   EXPECT_GT(results.probes.total(), results.queries_completed);
@@ -36,8 +36,7 @@ TEST(Simulation, RunsAndProducesQueries) {
 
 TEST(Simulation, SameSeedIsBitwiseReproducible) {
   auto run = [](std::uint64_t seed) {
-    GuessSimulation sim(test_system(), ProtocolParams{},
-                        quick_options(seed));
+    GuessSimulation sim(SimulationConfig().system(test_system()).protocol(ProtocolParams{}).options(quick_options(seed)));
     return sim.run();
   };
   auto a = run(7);
@@ -53,8 +52,7 @@ TEST(Simulation, SameSeedIsBitwiseReproducible) {
 
 TEST(Simulation, DifferentSeedsDiffer) {
   auto run = [](std::uint64_t seed) {
-    GuessSimulation sim(test_system(), ProtocolParams{},
-                        quick_options(seed));
+    GuessSimulation sim(SimulationConfig().system(test_system()).protocol(ProtocolParams{}).options(quick_options(seed)));
     return sim.run();
   };
   auto a = run(1);
@@ -63,13 +61,13 @@ TEST(Simulation, DifferentSeedsDiffer) {
 }
 
 TEST(Simulation, RunTwiceThrows) {
-  GuessSimulation sim(test_system(), ProtocolParams{}, quick_options());
+  GuessSimulation sim(SimulationConfig().system(test_system()).protocol(ProtocolParams{}).options(quick_options()));
   sim.run();
   EXPECT_THROW(sim.run(), CheckError);
 }
 
 TEST(Simulation, ResponseTimeConsistentWithProbeSlots) {
-  GuessSimulation sim(test_system(), ProtocolParams{}, quick_options());
+  GuessSimulation sim(SimulationConfig().system(test_system()).protocol(ProtocolParams{}).options(quick_options()));
   auto results = sim.run();
   // A satisfied query of k probes takes (k-1) × 0.2 s; mean response time
   // must therefore be below probes/query × 0.2.
@@ -83,7 +81,7 @@ TEST(Simulation, ConnectivitySamplingProducesSamples) {
   options.enable_queries = false;
   options.sample_connectivity = true;
   options.connectivity_sample_interval = 120.0;
-  GuessSimulation sim(test_system(), ProtocolParams{}, options);
+  GuessSimulation sim(SimulationConfig().system(test_system()).protocol(ProtocolParams{}).options(options));
   auto results = sim.run();
   EXPECT_GE(results.largest_component.count(), 4u);
   EXPECT_GT(results.largest_component.mean(), 0.0);
@@ -96,20 +94,20 @@ TEST(Simulation, ConnectivitySamplingProducesSamples) {
 }
 
 TEST(Simulation, ConnectivityOffLeavesSnapshotZero) {
-  GuessSimulation sim(test_system(), ProtocolParams{}, quick_options());
+  GuessSimulation sim(SimulationConfig().system(test_system()).protocol(ProtocolParams{}).options(quick_options()));
   auto results = sim.run();
   EXPECT_EQ(results.final_largest_component, 0u);
   EXPECT_EQ(results.final_largest_strong_component, 0u);
 }
 
 TEST(Simulation, RunSeedsProducesOneResultPerSeed) {
-  auto runs = run_seeds(test_system(), ProtocolParams{}, quick_options(), 3);
+  auto runs = run_seeds(SimulationConfig().system(test_system()).protocol(ProtocolParams{}).options(quick_options()), 3);
   EXPECT_EQ(runs.size(), 3u);
   EXPECT_NE(runs[0].probes.good, runs[1].probes.good);
 }
 
 TEST(Simulation, AverageAggregatesRuns) {
-  auto runs = run_seeds(test_system(), ProtocolParams{}, quick_options(), 2);
+  auto runs = run_seeds(SimulationConfig().system(test_system()).protocol(ProtocolParams{}).options(quick_options()), 2);
   auto avg = average(runs);
   double expected =
       (runs[0].probes_per_query() + runs[1].probes_per_query()) / 2.0;
@@ -124,7 +122,7 @@ TEST(Simulation, AverageOfNothingIsZeroes) {
 }
 
 TEST(Simulation, MetricsDerivationsAreConsistent) {
-  GuessSimulation sim(test_system(), ProtocolParams{}, quick_options());
+  GuessSimulation sim(SimulationConfig().system(test_system()).protocol(ProtocolParams{}).options(quick_options()));
   auto results = sim.run();
   EXPECT_NEAR(results.probes_per_query(),
               results.good_probes_per_query() +

@@ -309,10 +309,10 @@ TEST(LossyTransport, CompletionMayStartNewExchange) {
   EXPECT_EQ(transport.in_flight(), 0u);
 }
 
-// With the default SynchronousTransport, a SimulationConfig run must be
-// bitwise-identical to the same parameters through the legacy positional
-// API — the acceptance criterion of the transport refactor.
-TEST(TransportIdentity, ConfigApiBitwiseIdenticalToLegacyApi) {
+// With the default SynchronousTransport, the same parameters delivered via
+// an explicit SimulationOptions block and via the chained setters must be
+// bitwise-identical — the two construction surfaces are one code path.
+TEST(TransportIdentity, OptionsBlockBitwiseIdenticalToChainedSetters) {
   SystemParams system;
   system.network_size = 150;
   system.content.catalog_size = 400;
@@ -329,8 +329,9 @@ TEST(TransportIdentity, ConfigApiBitwiseIdenticalToLegacyApi) {
   options.seed = 17;
   options.warmup = 120.0;
   options.measure = 480.0;
-  GuessSimulation legacy(system, protocol, options);
-  SimulationResults via_legacy = legacy.run();
+  GuessSimulation via_options_block(
+      SimulationConfig().system(system).protocol(protocol).options(options));
+  SimulationResults via_legacy = via_options_block.run();
 
   GuessSimulation modern(SimulationConfig()
                              .system(system)

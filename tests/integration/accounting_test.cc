@@ -15,7 +15,7 @@ SimulationResults run(SystemParams system, std::uint64_t seed = 42) {
   options.seed = seed;
   options.warmup = 150.0;
   options.measure = 700.0;
-  GuessSimulation sim(system, ProtocolParams{}, options);
+  GuessSimulation sim(SimulationConfig().system(system).protocol(ProtocolParams{}).options(options));
   return sim.run();
 }
 

@@ -81,7 +81,7 @@ TEST(Determinism, GuessWithEveryExtensionEnabled) {
     options.seed = seed;
     options.warmup = 150.0;
     options.measure = 600.0;
-    GuessSimulation sim(system, protocol, options);
+    GuessSimulation sim(SimulationConfig().system(system).protocol(protocol).options(options));
     return sim.run();
   };
   auto a = run(31);
@@ -118,7 +118,7 @@ TEST(Determinism, HeapAndCalendarSchedulersBitwiseIdentical) {
     options.warmup = 150.0;
     options.measure = 600.0;
     options.scheduler = scheduler;
-    GuessSimulation sim(system, protocol, options);
+    GuessSimulation sim(SimulationConfig().system(system).protocol(protocol).options(options));
     return sim.run();
   };
   auto heap = run(sim::Scheduler::kHeap);
@@ -336,13 +336,13 @@ TEST(Determinism, RunSeedsEqualsIndependentRuns) {
   options.threads = 0;  // auto: exercises the default (parallel) path
 
   const int kSeeds = 4;
-  auto sweep = run_seeds(system, protocol, options, kSeeds);
+  auto sweep = run_seeds(SimulationConfig().system(system).protocol(protocol).options(options), kSeeds);
   ASSERT_EQ(sweep.size(), static_cast<std::size_t>(kSeeds));
   for (int i = 0; i < kSeeds; ++i) {
     SCOPED_TRACE("seed index " + std::to_string(i));
     SimulationOptions one = options;
     one.seed = options.seed + static_cast<std::uint64_t>(i);
-    GuessSimulation sim(system, protocol, one);
+    GuessSimulation sim(SimulationConfig().system(system).protocol(protocol).options(one));
     auto independent = sim.run();
     testsupport::expect_identical(sweep[static_cast<std::size_t>(i)],
                                   independent);

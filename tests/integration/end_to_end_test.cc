@@ -31,7 +31,7 @@ TEST(EndToEnd, TightCapacityProducesRefusedProbes) {
   protocol.query_probe = Policy::kMFS;
   protocol.query_pong = Policy::kMFS;
   protocol.cache_replacement = Replacement::kLFS;
-  GuessSimulation sim(system, protocol, quick());
+  GuessSimulation sim(SimulationConfig().system(system).protocol(protocol).options(quick()));
   auto results = sim.run();
   EXPECT_GT(results.probes.refused, 0u);
 }
@@ -39,7 +39,7 @@ TEST(EndToEnd, TightCapacityProducesRefusedProbes) {
 TEST(EndToEnd, AmpleCapacityNeverRefuses) {
   SystemParams system = base_system();
   system.max_probes_per_second = 100000;
-  GuessSimulation sim(system, ProtocolParams{}, quick());
+  GuessSimulation sim(SimulationConfig().system(system).protocol(ProtocolParams{}).options(quick()));
   auto results = sim.run();
   EXPECT_EQ(results.probes.refused, 0u);
 }
@@ -52,7 +52,7 @@ TEST(EndToEnd, BackoffRunsToCompletion) {
   protocol.query_pong = Policy::kMFS;
   protocol.cache_replacement = Replacement::kLFS;
   protocol.do_backoff = true;
-  GuessSimulation sim(system, protocol, quick());
+  GuessSimulation sim(SimulationConfig().system(system).protocol(protocol).options(quick()));
   auto results = sim.run();
   EXPECT_GT(results.queries_completed, 0u);
   EXPECT_GT(results.queries_satisfied, 0u);
@@ -62,7 +62,7 @@ TEST(EndToEnd, ParallelProbesCutResponseTime) {
   auto run = [](std::size_t k) {
     ProtocolParams protocol;
     protocol.parallel_probes = k;
-    GuessSimulation sim(base_system(), protocol, quick());
+    GuessSimulation sim(SimulationConfig().system(base_system()).protocol(protocol).options(quick()));
     return sim.run();
   };
   auto serial = run(1);
@@ -79,7 +79,7 @@ TEST(EndToEnd, ZeroProbeCapPerQueryMeansExhaustiveSearch) {
   SystemParams system = base_system(100);
   ProtocolParams protocol;
   protocol.max_probes_per_query = 0;  // unlimited
-  GuessSimulation sim(system, protocol, quick());
+  GuessSimulation sim(SimulationConfig().system(system).protocol(protocol).options(quick()));
   auto results = sim.run();
   EXPECT_GT(results.queries_completed, 0u);
   // Unsatisfied queries exhausted every reachable candidate, so the query
@@ -92,7 +92,7 @@ TEST(EndToEnd, ManyDesiredResultsIsHarder) {
   auto run = [](std::size_t desired) {
     SystemParams system = base_system();
     system.num_desired_results = desired;
-    GuessSimulation sim(system, ProtocolParams{}, quick());
+    GuessSimulation sim(SimulationConfig().system(system).protocol(ProtocolParams{}).options(quick()));
     return sim.run();
   };
   auto one = run(1);
@@ -105,7 +105,7 @@ TEST(EndToEnd, FastChurnRaisesDeadProbeShare) {
   auto run = [](double multiplier) {
     SystemParams system = base_system();
     system.lifespan_multiplier = multiplier;
-    GuessSimulation sim(system, ProtocolParams{}, quick());
+    GuessSimulation sim(SimulationConfig().system(system).protocol(ProtocolParams{}).options(quick()));
     return sim.run();
   };
   auto stable = run(5.0);
@@ -121,7 +121,7 @@ TEST(EndToEnd, IntroProbabilityZeroStillWorks) {
   SystemParams system = base_system();
   ProtocolParams protocol;
   protocol.intro_prob = 0.0;
-  GuessSimulation sim(system, protocol, quick());
+  GuessSimulation sim(SimulationConfig().system(system).protocol(protocol).options(quick()));
   auto results = sim.run();
   EXPECT_GT(results.queries_satisfied, 0u);
 }
@@ -130,7 +130,7 @@ TEST(EndToEnd, SmallPongsSlowDiscovery) {
   auto run = [](std::size_t pong_size) {
     ProtocolParams protocol;
     protocol.pong_size = pong_size;
-    GuessSimulation sim(base_system(), protocol, quick());
+    GuessSimulation sim(SimulationConfig().system(base_system()).protocol(protocol).options(quick()));
     return sim.run();
   };
   auto small = run(1);
@@ -144,7 +144,7 @@ TEST(EndToEnd, MaliciousDeadPoisoningRunsCleanly) {
   SystemParams system = base_system();
   system.percent_bad_peers = 10.0;
   system.bad_pong_behavior = BadPongBehavior::kDead;
-  GuessSimulation sim(system, ProtocolParams{}, quick());
+  GuessSimulation sim(SimulationConfig().system(system).protocol(ProtocolParams{}).options(quick()));
   auto results = sim.run();
   EXPECT_GT(results.queries_completed, 0u);
   // Fabricated dead addresses inflate wasted probes.

@@ -32,7 +32,7 @@ SimulationResults run_combo(const char* name, SystemParams system,
                             SimulationOptions options = quick(),
                             ProtocolParams base = ProtocolParams{}) {
   auto combo = experiments::PolicyCombo::from_name(name);
-  GuessSimulation sim(system, combo.apply(base), options);
+  GuessSimulation sim(SimulationConfig().system(system).protocol(combo.apply(base)).options(options));
   return sim.run();
 }
 
@@ -127,7 +127,7 @@ TEST(PaperProperties, PingIntervalGovernsConnectivity) {
     options.enable_queries = false;
     options.sample_connectivity = true;
     options.measure = 1500.0;
-    GuessSimulation sim(system, protocol, options);
+    GuessSimulation sim(SimulationConfig().system(system).protocol(protocol).options(options));
     return sim.run().largest_component.mean();
   };
   double tight = run_connectivity(10.0);
@@ -144,7 +144,7 @@ TEST(PaperProperties, CacheSizeLivenessTradeoff) {
     system.lifespan_multiplier = 0.2;
     ProtocolParams protocol;
     protocol.cache_size = cache_size;
-    GuessSimulation sim(system, protocol, quick());
+    GuessSimulation sim(SimulationConfig().system(system).protocol(protocol).options(quick()));
     return sim.run().cache_health;
   };
   auto small = run_cache(10);
@@ -189,7 +189,7 @@ TEST(PaperProperties, SatisfactionRobustToCapacityLimits) {
     SystemParams system = base_system();
     system.max_probes_per_second = cap;
     auto combo = experiments::PolicyCombo::from_name("MR");
-    GuessSimulation sim(system, combo.apply(ProtocolParams{}), quick());
+    GuessSimulation sim(SimulationConfig().system(system).protocol(combo.apply(ProtocolParams{})).options(quick()));
     return sim.run();
   };
   auto ample = run_capacity(50);

@@ -94,6 +94,8 @@ inline void expect_identical(const SimulationResults& a,
   expect_identical(a.selfish, b.selfish);
   expect_identical(a.response_time, b.response_time);
   expect_identical(a.query_cache_population, b.query_cache_population);
+  ASSERT_EQ(a.query_probes.size(), b.query_probes.size());
+  EXPECT_EQ(a.query_probes.values(), b.query_probes.values());
   ASSERT_EQ(a.peer_loads.size(), b.peer_loads.size());
   EXPECT_EQ(a.peer_loads.values(), b.peer_loads.values());
   expect_identical(a.cache_health, b.cache_health);
