@@ -77,6 +77,14 @@ Search backend (DESIGN.md §12; all run through the SearchBackend API):
                            non-GUESS backends print the unified results
                            (success rate, probes/query, bytes on wire)
 
+Open-loop arrivals + overload control (DESIGN.md §13):
+  --arrival=closed         closed (population query clocks) | open (arrival
+                           process at --offered-qps, any backend)
+  --offered-qps=0          offered load in queries/s (required when open)
+  --arrival-dist=poisson   poisson | uniform inter-arrival gaps
+  --overload-policy=none   none | admit | shed | backpressure
+  --slo-ms=10000           latency SLO (ms) for goodput accounting
+
 Run control:
   --seed=42 --warmup=600 --measure=2400 --connectivity
 )";
@@ -182,6 +190,11 @@ int main(int argc, char** argv) {
                     .warmup(flags.get_double("warmup", 600.0))
                     .measure(flags.get_double("measure", 2400.0))
                     .sample_connectivity(flags.get_bool("connectivity", false));
+  config.arrival(guess::sim::parse_arrival_mode(flags.arrival()))
+      .offered_qps(flags.offered_qps())
+      .arrival_dist(guess::sim::parse_arrival_dist(flags.arrival_dist()))
+      .overload_policy(guess::parse_overload_policy(flags.overload_policy()))
+      .slo(flags.slo_ms() / 1000.0);
 
   std::cout << "backend:  " << guess::backend_name(backend) << "\n"
             << "system:   " << guess::describe(system) << "\n"
@@ -211,6 +224,24 @@ int main(int argc, char** argv) {
             << "bytes on wire         " << unified.bytes_on_wire() << " ("
             << unified.bytes_per_query() << " per query)\n"
             << "peer deaths           " << unified.deaths << "\n";
+
+  if (unified.overload.open_loop) {
+    const guess::OverloadStats& ol = unified.overload;
+    std::cout << "offered load          " << ol.offered_qps << " q/s, policy "
+              << guess::overload_policy_name(ol.policy) << "\n"
+              << "arrivals              " << ol.arrivals << " (admitted "
+              << ol.admitted << ", rejected " << ol.rejected << ", shed "
+              << ol.shed << ", abandoned " << ol.abandoned << ", open at close "
+              << ol.open_at_close << ")\n"
+              << "latency (s)           p50 " << ol.latency_percentile(50.0)
+              << ", p95 " << ol.latency_percentile(95.0) << ", p99 "
+              << ol.latency_percentile(99.0) << ", p99.9 "
+              << ol.latency_percentile(99.9) << "\n"
+              << "slo " << ol.slo << " s            " << ol.slo_ok
+              << " within (" << 100.0 * ol.slo_violation_rate()
+              << "% violations), goodput "
+              << ol.goodput(unified.measure_duration) << " q/s\n";
+  }
 
   if (const auto* results = unified.extra_as<guess::SimulationResults>()) {
     auto load = guess::analysis::summarize_load(results->peer_loads);

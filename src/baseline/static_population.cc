@@ -1,5 +1,8 @@
 #include "baseline/static_population.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "common/check.h"
 
 namespace guess::baseline {
@@ -40,6 +43,25 @@ std::uint32_t StaticPopulation::results_in_prefix(
     if (libraries_[order[i]].contains(file)) ++results;
   }
   return results;
+}
+
+void StaticPopulation::remove_random(std::size_t count, Rng& rng) {
+  // Keep at least one peer: the analytic evaluators divide by size().
+  if (libraries_.size() <= 1) return;
+  count = std::min(count, libraries_.size() - 1);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::size_t victim = rng.index(libraries_.size());
+    libraries_[victim] = std::move(libraries_.back());
+    libraries_.pop_back();
+  }
+}
+
+void StaticPopulation::add_random(const content::ContentModel& model,
+                                 std::size_t count, Rng& rng) {
+  libraries_.reserve(libraries_.size() + count);
+  for (std::size_t i = 0; i < count; ++i) {
+    libraries_.push_back(model.sample_peer_library(rng));
+  }
 }
 
 std::uint32_t StaticPopulation::total_replicas(content::FileId file) const {

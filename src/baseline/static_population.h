@@ -37,6 +37,13 @@ class StaticPopulation {
   /// Total replicas of `file` in the population (exact satisfiability).
   std::uint32_t total_replicas(content::FileId file) const;
 
+  /// Fault hooks for the analytic baselines (DESIGN.md §9): drop `count`
+  /// uniformly chosen peers (their libraries leave the population), or add
+  /// `count` fresh peers drawn from the model.
+  void remove_random(std::size_t count, Rng& rng);
+  void add_random(const content::ContentModel& model, std::size_t count,
+                  Rng& rng);
+
  private:
   std::vector<content::Library> libraries_;
 };

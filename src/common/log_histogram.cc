@@ -1,0 +1,67 @@
+#include "common/log_histogram.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace guess {
+
+std::size_t LogHistogram::bucket_index(double value) {
+  // frexp: value = m * 2^e with m in [0.5, 1). NaN and non-positive values
+  // underflow (bucket 0) so every sample is accounted for somewhere.
+  if (!(value > 0.0)) return 0;
+  int exp = 0;
+  double mantissa = std::frexp(value, &exp);
+  // frexp's exponent convention: value in [2^(e-1), 2^e). Shift so that the
+  // octave [2^kMinExp, 2^(kMinExp+1)) is octave 0.
+  int octave = exp - 1 - kMinExp;
+  if (octave < 0) return 0;                                      // underflow
+  if (octave >= kMaxExp - kMinExp) return kBuckets - 1;          // overflow
+  auto sub = static_cast<int>((mantissa - 0.5) * 2.0 * kSubBuckets);
+  if (sub >= kSubBuckets) sub = kSubBuckets - 1;  // mantissa == nextafter(1)
+  return 1 + static_cast<std::size_t>(octave) * kSubBuckets +
+         static_cast<std::size_t>(sub);
+}
+
+double LogHistogram::bucket_value(std::size_t index) {
+  GUESS_CHECK(index < kBuckets);
+  if (index == 0) return 0.0;
+  if (index == kBuckets - 1) return std::ldexp(1.0, kMaxExp);
+  std::size_t linear = index - 1;
+  auto octave = static_cast<int>(linear / kSubBuckets);
+  auto sub = static_cast<int>(linear % kSubBuckets);
+  // Upper bound of sub-bucket `sub` in octave [2^(kMinExp+octave), 2×that):
+  // at sub == kSubBuckets-1 this is exactly the next octave's floor.
+  double base = std::ldexp(1.0, kMinExp + octave);
+  return base * (1.0 + static_cast<double>(sub + 1) / kSubBuckets);
+}
+
+std::uint64_t LogHistogram::count() const {
+  std::uint64_t total = 0;
+  for (std::uint64_t c : counts_) total += c;
+  return total;
+}
+
+double LogHistogram::percentile(double p) const {
+  GUESS_CHECK_MSG(p >= 0.0 && p <= 100.0,
+                  "percentile must be in [0, 100], got " << p);
+  std::uint64_t total = count();
+  if (total == 0) return 0.0;
+  // Nearest-rank: the value below which at least p% of samples fall.
+  auto rank = static_cast<std::uint64_t>(std::ceil(p / 100.0 *
+                                                   static_cast<double>(total)));
+  if (rank == 0) rank = 1;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += counts_[i];
+    if (seen >= rank) return bucket_value(i);
+  }
+  return bucket_value(kBuckets - 1);  // unreachable (seen == total >= rank)
+}
+
+LogHistogram& LogHistogram::operator+=(const LogHistogram& other) {
+  for (std::size_t i = 0; i < kBuckets; ++i) counts_[i] += other.counts_[i];
+  return *this;
+}
+
+}  // namespace guess

@@ -1,0 +1,78 @@
+// LogHistogram — deterministic streaming percentiles on a fixed bucket grid.
+//
+// The open-loop service bench (DESIGN.md §13) needs p50/p95/p99/p999 query
+// latency over millions of samples without storing them. A fixed-layout
+// log-spaced histogram gives:
+//   * O(1) add, zero heap allocations ever (std::array storage);
+//   * bitwise-identical state for the same multiset of samples in any
+//     arrival order (counts are integers; no data-dependent layout), which
+//     is what makes cross-scheduler and cross-thread-count determinism
+//     assertable on latency results;
+//   * mergeable partials (operator+=) with exact associativity, so sharded
+//     or per-interval histograms can be combined freely.
+//
+// Layout: kSubBuckets buckets per power of two (base-2 "octave"), covering
+// 2^kMinExp .. 2^kMaxExp. With 8 sub-buckets per octave the worst-case
+// relative error of a reported percentile is 1/8 of an octave (~9%) — tail
+// latencies are quoted in those terms (DESIGN.md §13.2). Values at or below
+// the range floor land in an underflow bucket reported as 0.0; values at or
+// above the ceiling land in an overflow bucket reported as the range
+// ceiling.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace guess {
+
+class LogHistogram {
+ public:
+  static constexpr int kMinExp = -20;      ///< range floor 2^-20 (~1 µs)
+  static constexpr int kMaxExp = 30;       ///< range ceiling 2^30 (~34 y)
+  static constexpr int kSubBuckets = 8;    ///< resolution: octave/8 (~9%)
+  static constexpr std::size_t kBuckets =
+      static_cast<std::size_t>(kMaxExp - kMinExp) * kSubBuckets + 2;
+
+  /// Record one sample. Non-positive and sub-floor values count in the
+  /// underflow bucket; NaN is treated as underflow (never silently dropped,
+  /// so totals always conserve).
+  void add(double value) { ++counts_[bucket_index(value)]; }
+
+  /// Record `n` samples of the same value (bulk add for merges of
+  /// pre-binned data).
+  void add_n(double value, std::uint64_t n) { counts_[bucket_index(value)] += n; }
+
+  /// Total samples recorded.
+  std::uint64_t count() const;
+
+  bool empty() const { return count() == 0; }
+
+  /// Nearest-rank percentile, p in [0, 100]. Returns the representative
+  /// value (upper bound) of the bucket holding the rank, 0.0 on an empty
+  /// histogram. p=0 reports the first occupied bucket, p=100 the last.
+  double percentile(double p) const;
+
+  /// Merge another histogram's counts into this one. Exactly associative
+  /// and commutative (integer bucket counts).
+  LogHistogram& operator+=(const LogHistogram& other);
+
+  /// Bitwise state equality (same counts in every bucket).
+  friend bool operator==(const LogHistogram& a, const LogHistogram& b) {
+    return a.counts_ == b.counts_;
+  }
+
+  /// Bucket index a value maps to (exposed for tests).
+  static std::size_t bucket_index(double value);
+
+  /// Representative (upper-bound) value of a bucket; underflow reports 0.0.
+  static double bucket_value(std::size_t index);
+
+  /// Raw count of one bucket (exposed for tests / serialization).
+  std::uint64_t bucket_count(std::size_t index) const { return counts_[index]; }
+
+ private:
+  std::array<std::uint64_t, kBuckets> counts_{};
+};
+
+}  // namespace guess

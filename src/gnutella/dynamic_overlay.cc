@@ -95,6 +95,10 @@ DynamicOverlay::PeerId DynamicOverlay::spawn_peer(bool initial) {
 }
 
 void DynamicOverlay::on_peer_death(PeerId id) {
+  remove_peer(id, /*respawn=*/true);
+}
+
+void DynamicOverlay::remove_peer(PeerId id, bool respawn) {
   PeerState* peer = peers_.at(id).get();
   peer->burst_timer.cancel();
   dead_peer_loads_.emplace(id, peer->messages_processed);
@@ -120,7 +124,31 @@ void DynamicOverlay::on_peer_death(PeerId id) {
       if (measuring_) ++results_.repairs;
     }
   }
-  spawn_peer(/*initial=*/false);
+  if (respawn) spawn_peer(/*initial=*/false);
+}
+
+void DynamicOverlay::mass_kill(double fraction) {
+  GUESS_CHECK(fraction >= 0.0 && fraction <= 1.0);
+  auto count =
+      static_cast<std::size_t>(fraction *
+                               static_cast<double>(alive_ids_.size()));
+  // Keep at least two peers so repair's random-neighbor draws terminate.
+  if (alive_ids_.size() < count + 2) {
+    count = alive_ids_.size() > 2 ? alive_ids_.size() - 2 : 0;
+  }
+  std::vector<std::size_t> picks =
+      rng_.sample_indices(alive_ids_.size(), count);
+  std::vector<PeerId> victims;
+  victims.reserve(picks.size());
+  for (std::size_t i : picks) victims.push_back(alive_ids_[i]);
+  for (PeerId id : victims) {
+    churn_->deschedule(id);
+    remove_peer(id, /*respawn=*/false);
+  }
+}
+
+void DynamicOverlay::mass_join(std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) spawn_peer(/*initial=*/false);
 }
 
 std::uint64_t DynamicOverlay::random_alive(PeerId exclude) {
@@ -170,6 +198,7 @@ void DynamicOverlay::connect_to_random(PeerState& peer, std::size_t wanted) {
 }
 
 void DynamicOverlay::schedule_next_burst(PeerState& peer) {
+  if (!params_.enable_queries) return;
   PeerId id = peer.id;
   peer.burst_timer =
       simulator_.after(query_stream_.next_burst_gap(rng_), [this, id]() {
@@ -183,7 +212,8 @@ void DynamicOverlay::schedule_next_burst(PeerState& peer) {
       });
 }
 
-void DynamicOverlay::run_query(PeerId origin, content::FileId file) {
+FloodQueryOutcome DynamicOverlay::run_query(PeerId origin,
+                                            content::FileId file) {
   // Synchronous BFS flood: messages are counted per transmission,
   // duplicates included (the §3 amplification); response time is the hop
   // depth of the first result times the per-hop delay.
@@ -222,23 +252,31 @@ void DynamicOverlay::run_query(PeerId origin, content::FileId file) {
     }
   }
 
-  if (!measuring_) return;
+  FloodQueryOutcome outcome;
+  outcome.satisfied = results >= params_.num_desired_results;
+  // first_result_depth is 0 when the origin's own library matched; an
+  // unsatisfied query waited out the full TTL depth.
+  outcome.response_time =
+      outcome.satisfied
+          ? static_cast<double>(first_result_depth) * params_.hop_delay
+          : static_cast<double>(params_.ttl) * params_.hop_delay;
+
+  if (!measuring_) return outcome;
   ++results_.queries_completed;
   results_.messages += messages;
   results_.peers_reached += reached;
   results_.query_reach.add(static_cast<double>(reached));
-  if (results >= params_.num_desired_results) {
+  if (outcome.satisfied) {
     ++results_.queries_satisfied;
-    // first_result_depth is 0 when the origin's own library matched.
-    results_.response_time.add(static_cast<double>(first_result_depth) *
-                               params_.hop_delay);
+    results_.response_time.add(outcome.response_time);
   }
+  return outcome;
 }
 
-void DynamicOverlay::submit_query(std::uint64_t origin,
-                                  content::FileId file) {
+FloodQueryOutcome DynamicOverlay::submit_query(std::uint64_t origin,
+                                               content::FileId file) {
   GUESS_CHECK_MSG(peers_.contains(origin), "submit_query from a dead peer");
-  run_query(origin, file);
+  return run_query(origin, file);
 }
 
 void DynamicOverlay::begin_measurement() {

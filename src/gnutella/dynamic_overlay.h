@@ -48,6 +48,20 @@ struct DynamicParams {
   /// never processes or forwards it. 0 draws no randomness, so legacy runs
   /// are bitwise unaffected.
   double loss = 0.0;
+  /// Closed-loop query clock: when false no peer schedules query bursts
+  /// (open-loop mode — queries arrive only via submit_query).
+  bool enable_queries = true;
+};
+
+/// What one flood query produced (submit_query's return; the open-loop
+/// adapter turns this into an observer callback).
+struct FloodQueryOutcome {
+  bool satisfied = false;
+  /// Modeled service time: first-result hop depth × hop_delay when
+  /// satisfied, full TTL depth × hop_delay when not (the flood ran to
+  /// extinction either way; an unsatisfied querier waited out the deepest
+  /// hop).
+  double response_time = 0.0;
 };
 
 struct DynamicResults {
@@ -85,7 +99,13 @@ class DynamicOverlay {
 
   /// Inject one flood query from `origin` (must be alive); runs through the
   /// normal BFS machinery. Used by the SearchBackend adapter and tests.
-  void submit_query(std::uint64_t origin, content::FileId file);
+  FloodQueryOutcome submit_query(std::uint64_t origin, content::FileId file);
+
+  /// Fault hooks (DESIGN.md §9): kill a uniform fraction of live peers with
+  /// no respawn (the burst column's flash crowd departure), or join `count`
+  /// fresh peers at once. Both draw from the overlay's own RNG.
+  void mass_kill(double fraction);
+  void mass_join(std::size_t count);
 
   const std::vector<std::uint64_t>& alive_peers() const { return alive_ids_; }
   const content::ContentModel& content() const { return content_; }
@@ -103,11 +123,12 @@ class DynamicOverlay {
 
   PeerId spawn_peer(bool initial);
   void on_peer_death(PeerId id);
+  void remove_peer(PeerId id, bool respawn);
   void connect_to_random(PeerState& peer, std::size_t wanted);
   bool add_link(PeerId a, PeerId b);
   void remove_link(PeerId a, PeerId b);
   void schedule_next_burst(PeerState& peer);
-  void run_query(PeerId origin, content::FileId file);
+  FloodQueryOutcome run_query(PeerId origin, content::FileId file);
   std::uint64_t random_alive(PeerId exclude);
 
   DynamicParams params_;

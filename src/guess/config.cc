@@ -56,6 +56,21 @@ const SimulationConfig& SimulationConfig::validate() const {
   GUESS_CHECK_MSG(std::isfinite(options_.measure), "measure must be finite");
   GUESS_CHECK_MSG(std::isfinite(options_.metrics_interval),
                   "metrics_interval must be finite");
+  GUESS_CHECK_MSG(std::isfinite(options_.health_sample_interval),
+                  "health_sample_interval must be finite");
+  GUESS_CHECK_MSG(std::isfinite(options_.connectivity_sample_interval),
+                  "connectivity_sample_interval must be finite");
+  GUESS_CHECK_MSG(std::isfinite(options_.offered_qps),
+                  "offered_qps must be finite");
+  GUESS_CHECK_MSG(std::isfinite(options_.slo), "slo must be finite");
+  GUESS_CHECK_MSG(std::isfinite(options_.overload.target_failure_rate),
+                  "overload target_failure_rate must be finite");
+  GUESS_CHECK_MSG(std::isfinite(options_.overload.additive_increase),
+                  "overload additive_increase must be finite");
+  GUESS_CHECK_MSG(std::isfinite(options_.overload.multiplicative_decrease),
+                  "overload multiplicative_decrease must be finite");
+  GUESS_CHECK_MSG(std::isfinite(options_.overload.control_interval),
+                  "overload control_interval must be finite");
   // System (Table 1).
   GUESS_CHECK_MSG(system_.network_size >= 2,
                   "network_size must be >= 2, got " << system_.network_size);
@@ -131,6 +146,46 @@ const SimulationConfig& SimulationConfig::validate() const {
   GUESS_CHECK_MSG(options_.metrics_interval >= 0.0,
                   "metrics_interval must be >= 0, got "
                       << options_.metrics_interval);
+
+  // Open-loop arrivals + overload control (DESIGN.md §13).
+  GUESS_CHECK_MSG(options_.offered_qps >= 0.0,
+                  "offered_qps must be >= 0, got " << options_.offered_qps);
+  if (options_.arrival == sim::ArrivalMode::kOpen) {
+    GUESS_CHECK_MSG(options_.offered_qps > 0.0,
+                    "open-loop arrivals require offered_qps > 0 "
+                    "(--offered-qps)");
+  } else {
+    GUESS_CHECK_MSG(options_.offered_qps == 0.0,
+                    "offered_qps is set but arrival mode is closed; pass "
+                    "--arrival=open");
+    GUESS_CHECK_MSG(options_.overload.policy == OverloadPolicy::kNone,
+                    "overload policies require open-loop arrivals "
+                    "(--arrival=open)");
+  }
+  GUESS_CHECK_MSG(options_.slo > 0.0,
+                  "slo must be > 0 seconds, got " << options_.slo);
+  const OverloadParams& ol = options_.overload;
+  GUESS_CHECK_MSG(ol.max_in_flight >= 1, "overload max_in_flight must be >= 1");
+  GUESS_CHECK_MSG(ol.queue_capacity >= 1, "overload queue_capacity must be >= 1");
+  GUESS_CHECK_MSG(ol.shed_watermark >= 1 &&
+                      ol.shed_watermark <= ol.queue_capacity,
+                  "overload shed_watermark must be in [1, queue_capacity]");
+  GUESS_CHECK_MSG(ol.target_failure_rate >= 0.0 &&
+                      ol.target_failure_rate <= 1.0,
+                  "overload target_failure_rate must be in [0, 1], got "
+                      << ol.target_failure_rate);
+  GUESS_CHECK_MSG(ol.additive_increase > 0.0,
+                  "overload additive_increase must be > 0");
+  GUESS_CHECK_MSG(ol.multiplicative_decrease > 0.0 &&
+                      ol.multiplicative_decrease < 1.0,
+                  "overload multiplicative_decrease must be in (0, 1), got "
+                      << ol.multiplicative_decrease);
+  GUESS_CHECK_MSG(ol.min_window >= 1 && ol.min_window <= ol.max_window,
+                  "overload windows must satisfy 1 <= min_window <= "
+                  "max_window");
+  GUESS_CHECK_MSG(ol.control_interval > 0.0,
+                  "overload control_interval must be > 0, got "
+                      << ol.control_interval);
 
   // Backend tuning blocks (only the selected backend reads its block, but
   // nonsense in any block is rejected up front — a config is one value).

@@ -29,8 +29,10 @@
 #include <vector>
 
 #include "faults/scenario.h"
+#include "guess/overload.h"
 #include "guess/params.h"
 #include "guess/transport.h"
+#include "sim/arrival.h"
 #include "sim/event_queue.h"
 #include "sim/time.h"
 
@@ -144,6 +146,28 @@ struct SimulationOptions {
   /// the interval series. Surfaced as --interval.
   sim::Duration metrics_interval = 0.0;
 
+  /// How queries are injected (DESIGN.md §13): kClosed is the paper's
+  /// per-peer query clock; kOpen replaces it with an external
+  /// sim::ArrivalProcess at offered_qps arrivals/sec (--arrival).
+  sim::ArrivalMode arrival = sim::ArrivalMode::kClosed;
+
+  /// Open-loop offered load, queries per simulated second (--offered-qps).
+  /// Must be > 0 when arrival == kOpen; ignored (and required 0) when
+  /// closed.
+  double offered_qps = 0.0;
+
+  /// Inter-arrival gap distribution of the open-loop process
+  /// (--arrival-dist).
+  sim::ArrivalDist arrival_dist = sim::ArrivalDist::kPoisson;
+
+  /// Latency SLO in seconds (--slo-ms / 1000): a query counts toward
+  /// goodput only if it is satisfied within this budget.
+  double slo = 10.0;
+
+  /// Overload-control policy + tuning for open-loop runs (DESIGN.md §13.3,
+  /// --overload-policy).
+  OverloadParams overload;
+
   MaliciousParams malicious;
 };
 
@@ -210,6 +234,30 @@ class SimulationConfig {
     options_.metrics_interval = v;
     return *this;
   }
+  SimulationConfig& arrival(sim::ArrivalMode v) {
+    options_.arrival = v;
+    return *this;
+  }
+  SimulationConfig& offered_qps(double v) {
+    options_.offered_qps = v;
+    return *this;
+  }
+  SimulationConfig& arrival_dist(sim::ArrivalDist v) {
+    options_.arrival_dist = v;
+    return *this;
+  }
+  SimulationConfig& slo(double seconds) {
+    options_.slo = seconds;
+    return *this;
+  }
+  SimulationConfig& overload(OverloadParams v) {
+    options_.overload = v;
+    return *this;
+  }
+  SimulationConfig& overload_policy(OverloadPolicy v) {
+    options_.overload.policy = v;
+    return *this;
+  }
   /// Fault scenario executed against the run (DESIGN.md §9). Empty (the
   /// default) means no fault engine is attached at all.
   SimulationConfig& scenario(faults::Scenario v) {
@@ -257,6 +305,10 @@ class SimulationConfig {
   const BackendParams& backends() const { return backends_; }
   std::uint64_t seed() const { return options_.seed; }
   bool enable_queries() const { return options_.enable_queries; }
+  /// True when the run uses the external open-loop arrival process.
+  bool open_loop() const {
+    return options_.arrival == sim::ArrivalMode::kOpen;
+  }
 
   /// Throws CheckError (with the offending field named) on invalid
   /// configurations: negative rates, loss outside [0, 1], timeout <= 0,

@@ -64,6 +64,18 @@ struct IntervalSample {
   std::size_t live_peers = 0;          ///< live population at `end`
   TransportCounters transport;         ///< counter deltas over the interval
 
+  // --- open-loop overload accounting (DESIGN.md §13; zero when closed) ---
+  std::uint64_t arrivals = 0;   ///< offered queries this interval
+  std::uint64_t rejected = 0;   ///< refused at the door by the controller
+  std::uint64_t shed = 0;       ///< dropped from the controller queue
+  std::uint64_t slo_ok = 0;     ///< completions satisfied within the SLO
+
+  /// Goodput of the interval: satisfied-within-SLO completions per second.
+  double goodput() const {
+    sim::Duration width = end - start;
+    return width > 0.0 ? static_cast<double>(slo_ok) / width : 0.0;
+  }
+
   /// Satisfied fraction of the interval's queries; -1 if none finished (an
   /// empty interval carries no success signal and must not read as 0%).
   double success_rate() const {

@@ -358,6 +358,22 @@ void GuessNetwork::remove_peer(PeerId id) {
   GUESS_CHECK_MSG(peer != nullptr, "removal of unknown peer");
   peer->ping_timer.cancel();
   peer->burst_timer.cancel();
+  // Open-loop accounting: queries dying with their origin are abandoned,
+  // not silently dropped — the active execution plus every waiting entry.
+  // The observer must not start new work reentrantly here (the peer is
+  // mid-removal); the open-loop driver defers its reaction to a zero-delay
+  // event.
+  if (query_observer_ != nullptr) {
+    std::uint32_t slot = table_.slot_of(id);
+    if (slot != PeerTable::kNoSlot &&
+        active_query_by_slot_[slot] != nullptr) {
+      query_observer_->on_query_abandoned(
+          simulator_.now() - active_query_by_slot_[slot]->issue_time());
+    }
+    peer->visit_pending_queries([&](const Peer::PendingQuery& q) {
+      query_observer_->on_query_abandoned(simulator_.now() - q.issued);
+    });
+  }
   // Releasing the active query bumps nothing else: in-flight lossy
   // exchanges of this query resolve against a stale token and are dropped
   // (releasing any credit reservation defensively), and probes *to* this
@@ -592,17 +608,35 @@ void GuessNetwork::burst_timer_fired(PeerId id) {
   if (p == nullptr) return;
   std::size_t burst = query_stream_.next_burst_size(rng_);
   for (std::size_t i = 0; i < burst; ++i) {
-    p->enqueue_query(content_.draw_query(rng_));
+    p->enqueue_query(content_.draw_query(rng_), simulator_.now());
   }
   if (!p->query_active()) start_next_query(*p);
   schedule_next_burst(*p);
 }
 
 void GuessNetwork::submit_query(PeerId origin, content::FileId file) {
+  submit_query(origin, file, simulator_.now());
+}
+
+void GuessNetwork::submit_query(PeerId origin, content::FileId file,
+                                sim::Time issued) {
   Peer* peer = find(origin);
   GUESS_CHECK_MSG(peer != nullptr, "submit_query for dead peer");
-  peer->enqueue_query(file);
+  peer->enqueue_query(file, issued);
   if (!peer->query_active()) start_next_query(*peer);
+}
+
+void GuessNetwork::visit_open_queries(
+    const std::function<void(sim::Time)>& visit) const {
+  for (const std::unique_ptr<QueryExecution>& query : active_query_by_slot_) {
+    // Pool slots of dead/idle peers are null; stale entries are impossible
+    // (release clears the slot).
+    if (query != nullptr) visit(query->issue_time());
+  }
+  for (PeerId id : table_.alive_ids()) {
+    table_.find(id)->visit_pending_queries(
+        [&](const Peer::PendingQuery& q) { visit(q.issued); });
+  }
 }
 
 QueryExecution* GuessNetwork::active_query_for(PeerId origin_id) {
@@ -620,7 +654,8 @@ void GuessNetwork::release_active_query(std::uint32_t slot) {
 void GuessNetwork::start_next_query(Peer& origin) {
   GUESS_CHECK(!origin.query_active());
   if (!origin.has_pending_query()) return;
-  content::FileId file = origin.pop_pending_query();
+  Peer::PendingQuery pending = origin.pop_pending_query();
+  content::FileId file = pending.file;
   PeerId id = origin.id();
   // Selfish peers ignore the serial-probing rule and blast wide (§3.3).
   std::size_t parallel = origin.selfish() ? system_.selfish_parallel_probes
@@ -642,6 +677,9 @@ void GuessNetwork::start_next_query(Peer& origin) {
   // the query they belong to already finished — they are dropped instead of
   // being misattributed to the origin's next query.
   query->set_token(++next_query_token_);
+  // Latency is billed from the external issue instant: queueing behind the
+  // origin's earlier queries is part of what the client waited.
+  query->set_issue_time(pending.issued);
   // Expected candidate volume: the initial link-cache sweep plus a few
   // slots' worth of Pong fan-in; arrivals beyond this grow the heap once
   // and the capacity then survives in the pool.
@@ -950,10 +988,18 @@ void GuessNetwork::finish_query(Peer& origin, QueryExecution& query,
        << " dead=" << query.counters().dead << " refused="
        << query.counters().refused << ") seen=" << query.seen();
   });
+  // Capture the observer's arguments before the release aliases `query`.
+  double latency = simulator_.now() - query.issue_time();
   origin.set_query_active(false);
   // `query` aliases the pooled object from here on — do not touch it.
   release_active_query(table_.slot_of(id));
   if (origin.has_pending_query()) start_next_query(origin);
+  // Last: the observer may submit new queries reentrantly (the open-loop
+  // controller starts a queued arrival on completion); by now this peer's
+  // workload state is consistent, so a submit targeting it is safe.
+  if (query_observer_ != nullptr) {
+    query_observer_->on_query_complete(latency, satisfied);
+  }
 }
 
 // --- fault-scenario hooks (DESIGN.md §9) -----------------------------------

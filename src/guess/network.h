@@ -163,8 +163,28 @@ class GuessNetwork : public faults::FaultHost, public TransportModulation {
   std::size_t largest_component() const;
 
   /// Inject a query directly (used by tests and the quickstart example);
-  /// the query still runs through the normal probe machinery.
+  /// the query still runs through the normal probe machinery. The query's
+  /// issue time is now.
   void submit_query(PeerId origin, content::FileId file);
+
+  /// Inject a query with an explicit external issue time (open-loop
+  /// arrivals that waited in an overload-controller queue keep their
+  /// original arrival instant, so the wait counts in their latency).
+  void submit_query(PeerId origin, content::FileId file, sim::Time issued);
+
+  /// Attach a query-lifecycle observer (nullptr detaches; DESIGN.md §13).
+  /// Completion callbacks fire after the network's own bookkeeping for the
+  /// finishing query — including auto-starting the origin's next pending
+  /// query — so the observer may submit new queries reentrantly.
+  void set_query_observer(QueryObserver* observer) {
+    query_observer_ = observer;
+  }
+
+  /// Visit the issue time of every query currently open: active executions
+  /// plus per-peer pending entries. Cold path (end-of-window censusing of
+  /// in-flight work).
+  void visit_open_queries(
+      const std::function<void(sim::Time)>& visit) const;
 
   /// Attach an event tracer (nullptr detaches). The tracer must outlive the
   /// network. Zero overhead beyond one branch per trace point when the
@@ -316,6 +336,7 @@ class GuessNetwork : public faults::FaultHost, public TransportModulation {
   // Shared Pong build buffer (see make_pong_into).
   std::vector<CacheEntry> pong_scratch_;
   Tracer* tracer_ = nullptr;
+  QueryObserver* query_observer_ = nullptr;
 
   // --- adversary-zoo state (DESIGN.md §11) ---
   // Whole-run counters; mutable because severed() — a const modulation

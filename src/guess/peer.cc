@@ -166,9 +166,9 @@ bool Peer::backed_off(PeerId target, sim::Time now) {
   return false;
 }
 
-content::FileId Peer::pop_pending_query() {
+Peer::PendingQuery Peer::pop_pending_query() {
   GUESS_CHECK(has_pending_query());
-  content::FileId file = pending_queries_[pending_head_++];
+  PendingQuery file = pending_queries_[pending_head_++];
   if (pending_head_ == pending_queries_.size()) {
     pending_queries_.clear();
     pending_head_ = 0;

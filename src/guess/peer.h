@@ -140,11 +140,29 @@ class Peer {
 
   // --- workload state: a peer executes queries strictly one at a time ---
 
-  void enqueue_query(content::FileId file) { pending_queries_.push_back(file); }
+  /// One waiting query: the file plus when it was issued (the external
+  /// arrival time under open-loop load; the enqueue time for closed-loop
+  /// bursts), so queueing delay is part of its measured latency.
+  struct PendingQuery {
+    content::FileId file = 0;
+    sim::Time issued = 0.0;
+  };
+
+  void enqueue_query(content::FileId file, sim::Time issued) {
+    pending_queries_.push_back(PendingQuery{file, issued});
+  }
   bool has_pending_query() const {
     return pending_head_ < pending_queries_.size();
   }
-  content::FileId pop_pending_query();
+  PendingQuery pop_pending_query();
+  /// Visit every still-waiting entry in FIFO order (open-query censusing
+  /// and abandonment accounting — cold paths).
+  template <typename Visitor>
+  void visit_pending_queries(Visitor&& visit) const {
+    for (std::size_t i = pending_head_; i < pending_queries_.size(); ++i) {
+      visit(pending_queries_[i]);
+    }
+  }
   bool query_active() const { return query_active_; }
   void set_query_active(bool active) { query_active_ = active; }
 
@@ -191,7 +209,7 @@ class Peer {
 
   // FIFO as a vector + head index (allocation-free once warm: the storage
   // is reclaimed wholesale whenever the queue drains).
-  std::vector<content::FileId> pending_queries_;
+  std::vector<PendingQuery> pending_queries_;
   std::size_t pending_head_ = 0;
   bool query_active_ = false;
 };

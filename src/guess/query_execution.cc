@@ -30,6 +30,7 @@ QueryExecution::QueryExecution(PeerId origin, content::FileId file,
       desired_(desired),
       probe_policy_(probe_policy),
       start_(start),
+      issue_(start),
       first_hand_only_(first_hand_only),
       parallel_(parallel) {
   GUESS_CHECK(desired >= 1);
@@ -47,6 +48,7 @@ void QueryExecution::reset(PeerId origin, content::FileId file,
   desired_ = desired;
   probe_policy_ = probe_policy;
   start_ = start;
+  issue_ = start;
   first_hand_only_ = first_hand_only;
   heap_.clear();
   candidates_.clear();

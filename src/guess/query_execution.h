@@ -79,6 +79,12 @@ class QueryExecution {
   content::FileId file() const { return file_; }
   sim::Time start_time() const { return start_; }
 
+  /// External issue time (open-loop arrival instant, or the enqueue time of
+  /// a closed-loop burst): start_time() minus any per-peer queueing delay.
+  /// Defaults to start_time() until the network stamps it after reset.
+  sim::Time issue_time() const { return issue_; }
+  void set_issue_time(sim::Time issued) { issue_ = issued; }
+
   /// A queued candidate and the peer whose Pong referred it (kInvalidPeer
   /// for entries taken from the origin's own link cache) — the provenance
   /// the §6.4 detection heuristic scores.
@@ -205,6 +211,7 @@ class QueryExecution {
   std::uint32_t desired_;
   Policy probe_policy_;
   sim::Time start_;
+  sim::Time issue_ = 0.0;
   bool first_hand_only_;
 
   // Max-heap via push_heap/pop_heap over a plain vector (what

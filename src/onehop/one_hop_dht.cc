@@ -1,6 +1,7 @@
 #include "onehop/one_hop_dht.h"
 
 #include <limits>
+#include <vector>
 
 #include "common/check.h"
 
@@ -44,7 +45,7 @@ void OneHopDht::initialize() {
   }
   // Initial views are synchronized.
   view_ = ring_;
-  schedule_next_lookup();
+  if (params_.enable_lookups) schedule_next_lookup();
 }
 
 void OneHopDht::spawn_peer(bool initial) {
@@ -71,6 +72,11 @@ void OneHopDht::spawn_peer(bool initial) {
 }
 
 void OneHopDht::on_peer_death(Position position) {
+  // Constant population, like the GUESS simulations.
+  remove_peer(position, /*respawn=*/true);
+}
+
+void OneHopDht::remove_peer(Position position, bool respawn) {
   ring_.erase(position);
   if (measuring_) {
     ++results_.deaths;
@@ -78,8 +84,34 @@ void OneHopDht::on_peer_death(Position position) {
   }
   simulator_.after(params_.dissemination_delay,
                    [this, position]() { view_.erase(position); });
-  // Constant population, like the GUESS simulations.
-  spawn_peer(/*initial=*/false);
+  if (respawn) spawn_peer(/*initial=*/false);
+}
+
+void OneHopDht::mass_kill(double fraction) {
+  GUESS_CHECK(fraction >= 0.0 && fraction <= 1.0);
+  auto count = static_cast<std::size_t>(
+      fraction * static_cast<double>(ring_.size()));
+  // Keep at least two peers so the ring stays meaningful.
+  if (ring_.size() < count + 2) {
+    count = ring_.size() > 2 ? ring_.size() - 2 : 0;
+  }
+  std::vector<Position> positions;
+  positions.reserve(ring_.size());
+  for (const auto& [position, node] : ring_) {
+    (void)node;
+    positions.push_back(position);
+  }
+  std::vector<std::size_t> picks =
+      rng_.sample_indices(positions.size(), count);
+  for (std::size_t i : picks) {
+    Position victim = positions[i];
+    churn_->deschedule(victim);
+    remove_peer(victim, /*respawn=*/false);
+  }
+}
+
+void OneHopDht::mass_join(std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) spawn_peer(/*initial=*/false);
 }
 
 OneHopDht::Position OneHopDht::owner_of(
@@ -100,8 +132,8 @@ void OneHopDht::schedule_next_lookup() {
   });
 }
 
-void OneHopDht::lookup_random_key() {
-  if (view_.empty() || ring_.empty()) return;
+bool OneHopDht::lookup_random_key() {
+  if (view_.empty() || ring_.empty()) return false;
   auto key = static_cast<Position>(
       rng_.uniform_int(0, std::numeric_limits<std::int64_t>::max()));
   Position true_owner = owner_of(ring_, key);
@@ -121,17 +153,18 @@ void OneHopDht::lookup_random_key() {
     if (it == view_.end()) it = view_.begin();
     believed = it->first;
   }
-  if (!ring_.contains(believed)) return;  // pathological: view all stale
+  if (!ring_.contains(believed)) return false;  // pathological: view all stale
 
   bool direct = believed == true_owner;
   std::uint64_t probes = timeouts + 1 + (direct ? 0 : 1);
-  if (!measuring_) return;
+  if (!measuring_) return true;
   ++results_.lookups;
   if (direct && timeouts == 0) ++results_.one_hop;
   if (!direct) ++results_.corrective_hops;
   results_.timeouts += timeouts;
   results_.probes_per_lookup.add(static_cast<double>(probes));
   results_.lookup_probes.add(static_cast<double>(probes));
+  return true;
 }
 
 void OneHopDht::begin_measurement() { measuring_ = true; }

@@ -44,6 +44,9 @@ struct OneHopParams {
   /// next believed successor, like a probe to a departed owner. 0 draws no
   /// randomness, so legacy runs are bitwise unaffected.
   double loss = 0.0;
+  /// Closed-loop lookup clock: when false the DHT schedules no internal
+  /// lookups (open-loop mode — lookups arrive only via lookup_random_key).
+  bool enable_lookups = true;
 };
 
 struct OneHopResults {
@@ -80,8 +83,16 @@ class OneHopDht {
   OneHopResults results() const { return results_; }
 
   /// Perform one lookup for a uniformly random key (also driven internally
-  /// by the configured lookup_rate; exposed for tests).
-  void lookup_random_key();
+  /// by the configured lookup_rate; exposed for tests and the open-loop
+  /// adapter). @returns true if the lookup resolved to a live owner (false
+  /// only in the pathological every-view-entry-stale case).
+  bool lookup_random_key();
+
+  /// Fault hooks (DESIGN.md §9): kill a uniform fraction of live peers with
+  /// no respawn, or join `count` fresh peers at once. Deaths and joins
+  /// disseminate through the lagged view like churn-driven ones.
+  void mass_kill(double fraction);
+  void mass_join(std::size_t count);
 
   std::size_t alive_count() const { return ring_.size(); }
   std::size_t view_size() const { return view_.size(); }
@@ -91,6 +102,7 @@ class OneHopDht {
 
   void spawn_peer(bool initial);
   void on_peer_death(Position position);
+  void remove_peer(Position position, bool respawn);
   void schedule_next_lookup();
   /// Owner of `key` in a ring map (clockwise successor, wrapping).
   static Position owner_of(const std::map<Position, std::uint64_t>& ring,

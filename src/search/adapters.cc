@@ -9,6 +9,7 @@
 // structs — it can never perturb a run.
 #include "search/adapters.h"
 
+#include <algorithm>
 #include <cmath>
 #include <utility>
 
@@ -31,9 +32,9 @@ class GuessBackend final : public SearchBackend {
  public:
   GuessBackend(const SimulationConfig& config, sim::Simulator& simulator,
                Rng rng)
-      : config_(config),
+      : config_(engine_config(config)),
         simulator_(simulator),
-        network_(std::make_unique<GuessNetwork>(config, simulator,
+        network_(std::make_unique<GuessNetwork>(config_, simulator,
                                                 std::move(rng))) {}
 
   const char* name() const override { return "guess"; }
@@ -62,11 +63,27 @@ class GuessBackend final : public SearchBackend {
     }
   }
 
-  void start_query(Rng& rng) override {
+  void start_query(Rng& rng, sim::Time issued) override {
     const std::vector<PeerId>& alive = network_->alive_ids();
     GUESS_CHECK(!alive.empty());
     PeerId origin = alive[rng.index(alive.size())];
-    network_->submit_query(origin, network_->content().draw_query(rng));
+    network_->submit_query(origin, network_->content().draw_query(rng),
+                           issued);
+  }
+
+  void configure_open_loop(QueryObserver* observer) override {
+    // The engine's own query clock is already off (engine_config); every
+    // query now enters via start_query and reports back to the observer.
+    network_->set_query_observer(observer);
+  }
+
+  TransportCounters transport_counters() const override {
+    return network_->transport().counters();
+  }
+
+  void visit_open_queries(
+      const std::function<void(sim::Time)>& visit) const override {
+    network_->visit_open_queries(visit);
   }
 
   SearchResults collect() override {
@@ -145,6 +162,14 @@ class GuessBackend final : public SearchBackend {
   }
 
  private:
+  /// Open-loop runs silence the engine's closed-loop burst clock; queries
+  /// arrive only through start_query. Closed-loop configs pass through
+  /// untouched (bitwise legacy equivalence).
+  static SimulationConfig engine_config(SimulationConfig config) {
+    if (config.open_loop()) config.enable_queries(false);
+    return config;
+  }
+
   SimulationConfig config_;
   sim::Simulator& simulator_;
   std::unique_ptr<GuessNetwork> network_;
@@ -155,7 +180,8 @@ class GuessBackend final : public SearchBackend {
 class FloodBackend final : public SearchBackend {
  public:
   FloodBackend(const SimulationConfig& config, sim::Simulator& simulator,
-               Rng rng) {
+               Rng rng)
+      : simulator_(simulator) {
     const SystemParams& system = config.system();
     const FloodBackendParams& tuning = config.backends().flood;
     gnutella::DynamicParams params;
@@ -171,6 +197,7 @@ class FloodBackend final : public SearchBackend {
     if (config.transport().kind == TransportParams::Kind::kLossy) {
       params.loss = config.transport().loss;
     }
+    params.enable_queries = !config.open_loop();
     overlay_ = std::make_unique<gnutella::DynamicOverlay>(params, simulator,
                                                           std::move(rng));
   }
@@ -179,11 +206,30 @@ class FloodBackend final : public SearchBackend {
   void bootstrap() override { overlay_->initialize(); }
   void begin_measurement() override { overlay_->begin_measurement(); }
 
-  void start_query(Rng& rng) override {
+  void start_query(Rng& rng, sim::Time issued) override {
     const std::vector<std::uint64_t>& alive = overlay_->alive_peers();
     GUESS_CHECK(!alive.empty());
     std::uint64_t origin = alive[rng.index(alive.size())];
-    overlay_->submit_query(origin, overlay_->content().draw_query(rng));
+    gnutella::FloodQueryOutcome outcome = overlay_->submit_query(
+        origin, overlay_->content().draw_query(rng));
+    if (observer_ != nullptr) {
+      // The flood runs synchronously inside submit_query; the query's
+      // latency is its controller queueing delay plus the modeled hop time.
+      observer_->on_query_complete(
+          (simulator_.now() - issued) + outcome.response_time,
+          outcome.satisfied);
+    }
+  }
+
+  void configure_open_loop(QueryObserver* observer) override {
+    observer_ = observer;
+  }
+
+  void fault_mass_kill(double fraction) override {
+    overlay_->mass_kill(fraction);
+  }
+  void fault_mass_join(std::size_t count) override {
+    overlay_->mass_join(count);
   }
 
   SearchResults collect() override {
@@ -211,7 +257,9 @@ class FloodBackend final : public SearchBackend {
   std::size_t live_peers() const override { return overlay_->alive_count(); }
 
  private:
+  sim::Simulator& simulator_;
   std::unique_ptr<gnutella::DynamicOverlay> overlay_;
+  QueryObserver* observer_ = nullptr;
 };
 
 // --- Iterative deepening (static analytic baseline) ------------------------
@@ -220,11 +268,11 @@ class IterativeBackend final : public SearchBackend {
  public:
   IterativeBackend(const SimulationConfig& config, sim::Simulator& simulator,
                    Rng rng)
-      : config_(config), rng_(std::move(rng)) {
-    (void)simulator;  // analytic: no events, evaluated at collect()
-  }
+      : config_(config), simulator_(simulator), rng_(std::move(rng)) {}
 
   const char* name() const override { return "iterative"; }
+
+  void begin_measurement() override { measuring_ = true; }
 
   void bootstrap() override {
     // The legacy Figure 8 driver's exact construction order: the content
@@ -235,21 +283,24 @@ class IterativeBackend final : public SearchBackend {
         *model_, config_.system().network_size, rng_);
   }
 
-  void begin_measurement() override {}
-
-  void start_query(Rng& rng) override {
+  void start_query(Rng& rng, sim::Time issued) override {
     // One extra Monte-Carlo query, outside the batch (extra accumulators so
     // the legacy batch result in the extension slot stays untouched).
+    // Schedule rings are clamped to the current population: a mass kill can
+    // shrink it below the deepest ring (no-op clamps when it hasn't).
     std::vector<std::size_t> schedule = resolved_schedule();
     content::FileId file = model_->draw_query(rng);
+    std::size_t deepest = std::min(schedule.back(), population_->size());
     std::vector<std::size_t> order =
-        rng.sample_indices(population_->size(), schedule.back());
+        rng.sample_indices(population_->size(), deepest);
     std::uint32_t found = 0;
     std::size_t probed = 0;
     bool satisfied = false;
     auto desired =
         static_cast<std::uint32_t>(config_.system().num_desired_results);
     for (std::size_t ring : schedule) {
+      ring = std::min(ring, order.size());
+      if (ring <= probed) continue;
       found += population_->results_in_prefix(file, order, probed, ring);
       probed = ring;
       if (found >= desired) {
@@ -257,14 +308,57 @@ class IterativeBackend final : public SearchBackend {
         break;
       }
     }
-    ++extra_completed_;
-    if (satisfied) ++extra_satisfied_;
-    extra_probes_ += probed;
-    extra_samples_.add(static_cast<double>(probed));
+    // Like the other silos, only measurement-window queries are tallied
+    // (warmup queries still run, for a warmed controller).
+    if (measuring_) {
+      ++extra_completed_;
+      if (satisfied) ++extra_satisfied_;
+      extra_probes_ += probed;
+      extra_samples_.add(static_cast<double>(probed));
+    }
+    if (observer_ != nullptr) {
+      // The probe walk is analytic (instantaneous): the query's latency is
+      // its controller queueing delay.
+      observer_->on_query_complete(simulator_.now() - issued, satisfied);
+    }
+  }
+
+  void configure_open_loop(QueryObserver* observer) override {
+    observer_ = observer;
+  }
+
+  void fault_mass_kill(double fraction) override {
+    auto count = static_cast<std::size_t>(
+        fraction * static_cast<double>(population_->size()));
+    population_->remove_random(count, rng_);
+  }
+  void fault_mass_join(std::size_t count) override {
+    population_->add_random(*model_, count, rng_);
   }
 
   SearchResults collect() override {
+    if (config_.open_loop()) {
+      // Open-loop runs measure only the observer-driven queries; running the
+      // legacy fixed-size batch on top would double the workload without
+      // arriving through the controller.
+      SearchResults out;
+      out.backend = name();
+      out.network_size = population_->size();
+      out.queries_completed = extra_completed_;
+      out.queries_satisfied = extra_satisfied_;
+      out.probes = extra_probes_;
+      out.query_messages = 2 * out.probes;
+      out.query_bytes = out.probes * (2 * kWire.header + kWire.probe_payload +
+                                      kWire.result_entry);
+      SampleSet samples;
+      for (double v : extra_samples_.values()) samples.add(v);
+      out.probe_samples = std::move(samples);
+      return out;
+    }
     std::vector<std::size_t> schedule = resolved_schedule();
+    for (std::size_t& ring : schedule) {
+      ring = std::min(ring, population_->size());
+    }
     std::size_t num_queries = config_.backends().iterative.num_queries;
     SampleSet samples;
     baseline::DeepeningResult legacy = baseline::evaluate_iterative_deepening(
@@ -309,9 +403,12 @@ class IterativeBackend final : public SearchBackend {
   }
 
   SimulationConfig config_;
+  sim::Simulator& simulator_;
   Rng rng_;
   std::unique_ptr<content::ContentModel> model_;
   std::unique_ptr<baseline::StaticPopulation> population_;
+  QueryObserver* observer_ = nullptr;
+  bool measuring_ = false;
   std::uint64_t extra_completed_ = 0;
   std::uint64_t extra_satisfied_ = 0;
   std::uint64_t extra_probes_ = 0;
@@ -323,7 +420,8 @@ class IterativeBackend final : public SearchBackend {
 class OneHopBackend final : public SearchBackend {
  public:
   OneHopBackend(const SimulationConfig& config, sim::Simulator& simulator,
-                Rng rng) {
+                Rng rng)
+      : simulator_(simulator) {
     const SystemParams& system = config.system();
     onehop::OneHopParams params;
     params.network_size = system.network_size;
@@ -333,6 +431,7 @@ class OneHopBackend final : public SearchBackend {
     if (config.transport().kind == TransportParams::Kind::kLossy) {
       params.loss = config.transport().loss;
     }
+    params.enable_lookups = !config.open_loop();
     network_size_ = system.network_size;
     dht_ = std::make_unique<onehop::OneHopDht>(params, simulator,
                                                std::move(rng));
@@ -342,10 +441,27 @@ class OneHopBackend final : public SearchBackend {
   void bootstrap() override { dht_->initialize(); }
   void begin_measurement() override { dht_->begin_measurement(); }
 
-  void start_query(Rng& rng) override {
+  void start_query(Rng& rng, sim::Time issued) override {
     // The DHT draws keys from its own generator (legacy API).
     (void)rng;
-    dht_->lookup_random_key();
+    bool resolved = dht_->lookup_random_key();
+    if (observer_ != nullptr) {
+      // Lookups resolve synchronously (probe latency is a probe count in
+      // this silo, not simulated time): the query's latency is its
+      // controller queueing delay.
+      observer_->on_query_complete(simulator_.now() - issued, resolved);
+    }
+  }
+
+  void configure_open_loop(QueryObserver* observer) override {
+    observer_ = observer;
+  }
+
+  void fault_mass_kill(double fraction) override {
+    dht_->mass_kill(fraction);
+  }
+  void fault_mass_join(std::size_t count) override {
+    dht_->mass_join(count);
   }
 
   SearchResults collect() override {
@@ -379,7 +495,9 @@ class OneHopBackend final : public SearchBackend {
   std::size_t live_peers() const override { return dht_->alive_count(); }
 
  private:
+  sim::Simulator& simulator_;
   std::unique_ptr<onehop::OneHopDht> dht_;
+  QueryObserver* observer_ = nullptr;
   std::size_t network_size_ = 0;
 };
 

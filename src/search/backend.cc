@@ -11,6 +11,7 @@
 #include "faults/fault_engine.h"
 #include "search/adapters.h"
 #include "search/gossip.h"
+#include "search/open_loop.h"
 
 namespace guess::search {
 
@@ -43,6 +44,11 @@ double SearchResults::bytes_per_query() const {
 
 double SearchResults::probes_percentile(double p) const {
   return probe_samples.empty() ? 0.0 : probe_samples.percentile(p);
+}
+
+void SearchBackend::configure_open_loop(QueryObserver*) {
+  GUESS_CHECK_MSG(false, "backend " << name()
+                                    << " does not support open-loop arrivals");
 }
 
 void SearchBackend::unsupported_fault(const char* action) const {
@@ -130,27 +136,40 @@ SearchResults run_search(const SimulationConfig& config) {
 
   backend->bootstrap();
   // Same scheduling order as GuessSimulation::run(): fault actions first,
-  // then the interval sampler — at an exact time tie the fault applies
-  // before that instant's interval sample closes. Both ride the event
-  // queue's (time, seq) order, keeping runs bitwise deterministic across
-  // scheduler backends.
+  // then the open-loop driver, then the interval sampler — at an exact time
+  // tie the fault applies before that instant's interval sample closes. All
+  // ride the event queue's (time, seq) order, keeping runs bitwise
+  // deterministic across scheduler backends. Closed-loop runs construct no
+  // driver and schedule no extra events, so they stay bitwise identical to
+  // the pre-open-loop code path.
   std::unique_ptr<faults::FaultEngine> fault_engine;
   if (!config.scenario().empty()) {
     fault_engine = std::make_unique<faults::FaultEngine>(config.scenario(),
                                                          simulator, *backend);
     fault_engine->schedule();
   }
+  std::unique_ptr<OpenLoopDriver> driver;
+  if (config.open_loop()) {
+    driver = std::make_unique<OpenLoopDriver>(config, simulator, *backend);
+    driver->start();
+  }
   if (options.metrics_interval > 0.0) {
     backend->begin_intervals(options.metrics_interval);
     SearchBackend* raw = backend.get();
+    OpenLoopDriver* raw_driver = driver.get();
     simulator.every(options.metrics_interval, options.metrics_interval,
-                    [raw]() { raw->sample_interval(); });
+                    [raw, raw_driver]() {
+                      raw->sample_interval();
+                      if (raw_driver) raw_driver->sample_interval();
+                    });
   }
   simulator.run_until(options.warmup);
   backend->begin_measurement();
+  if (driver) driver->begin_measurement();
   simulator.run_until(options.warmup + options.measure);
 
   SearchResults results = backend->collect();
+  if (driver) driver->finalize(results);
   results.measure_duration = options.measure;
   return results;
 }

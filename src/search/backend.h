@@ -94,6 +94,10 @@ struct SearchResults {
   /// without interval hooks.
   IntervalSeries interval_series;
 
+  /// Open-loop arrival + overload-control accounting (DESIGN.md §13); all
+  /// zeros (open_loop == false) for closed-loop runs.
+  OverloadStats overload;
+
   /// Typed extension slot: the backend's legacy results struct.
   std::any extra;
 
@@ -141,8 +145,31 @@ class SearchBackend : public faults::FaultHost {
   /// Inject one query from a uniformly random live peer for a
   /// workload-drawn target, through the normal protocol machinery. `rng`
   /// supplies the origin/target draws where the legacy engine does not
-  /// (backends with an internal lookup generator may ignore it).
-  virtual void start_query(Rng& rng) = 0;
+  /// (backends with an internal lookup generator may ignore it). `issued`
+  /// is the query's external issue time (its open-loop arrival instant —
+  /// latency is billed from here, including any controller queueing delay);
+  /// direct callers pass the current simulated time.
+  virtual void start_query(Rng& rng, sim::Time issued) = 0;
+
+  /// Attach the open-loop query-lifecycle observer and silence the
+  /// backend's own closed-loop query clock for this run. Called once by the
+  /// driver, after bootstrap() and before any events run. The base class
+  /// rejects (CheckError) — a backend that cannot report per-query
+  /// completion must not silently drop latency accounting.
+  virtual void configure_open_loop(QueryObserver* observer);
+
+  /// Transport-level counters observed so far (AIMD backpressure feedback);
+  /// backends without a transport report zeros.
+  virtual TransportCounters transport_counters() const { return {}; }
+
+  /// Visit the external issue time of every query currently open (active
+  /// or queued inside the backend). End-of-window censusing: the driver
+  /// bills still-running queries their age so an overloaded run cannot
+  /// hide its backlog. Synchronous backends have nothing open.
+  virtual void visit_open_queries(
+      const std::function<void(sim::Time)>& visit) const {
+    (void)visit;
+  }
 
   /// Finalize and return results (run control fields like measure_duration
   /// are stamped by the driver).

@@ -123,6 +123,9 @@ void GossipBackend::schedule_next_gossip(std::uint64_t id,
 }
 
 void GossipBackend::schedule_next_burst(std::uint64_t id) {
+  // Open-loop runs silence the per-peer burst clock; queries arrive only
+  // through start_query.
+  if (config_.open_loop()) return;
   simulator_.after(query_stream_.next_burst_gap(rng_), [this, id]() {
     if (!alive(id)) return;
     std::size_t burst = query_stream_.next_burst_size(rng_);
@@ -244,7 +247,8 @@ void GossipBackend::submit_query(std::uint64_t origin, content::FileId file) {
   run_query(origin, file);
 }
 
-void GossipBackend::run_query(std::uint64_t origin, content::FileId file) {
+GossipBackend::QueryOutcome GossipBackend::run_query(std::uint64_t origin,
+                                                     content::FileId file) {
   const GossipBackendParams& tuning = config_.backends().gossip;
   std::uint32_t slot = slot_of(origin);
   PeerSlot& o = slots_[slot];
@@ -327,6 +331,10 @@ void GossipBackend::run_query(std::uint64_t origin, content::FileId file) {
   }
 
   bool satisfied = found >= desired;
+  QueryOutcome outcome;
+  outcome.satisfied = satisfied;
+  outcome.response_time = static_cast<double>(probes) *
+                          tuning.probe_interval * degrade_latency_factor_;
   if (measuring_) {
     ++stats_.queries_completed;
     if (satisfied) ++stats_.queries_satisfied;
@@ -336,17 +344,14 @@ void GossipBackend::run_query(std::uint64_t origin, content::FileId file) {
     stats_.probes += probes;
     stats_.probe_replies += replies;
     stats_.query_probes.add(static_cast<double>(probes));
-    if (satisfied) {
-      stats_.response_time.add(static_cast<double>(probes) *
-                               tuning.probe_interval *
-                               degrade_latency_factor_);
-    }
+    if (satisfied) stats_.response_time.add(outcome.response_time);
   }
   if (interval_width_ > 0.0) {
     ++interval_completed_;
     if (satisfied) ++interval_satisfied_;
     interval_probes_ += probes;
   }
+  return outcome;
 }
 
 void GossipBackend::begin_measurement() {
@@ -355,10 +360,17 @@ void GossipBackend::begin_measurement() {
   deaths_baseline_ = churn_->deaths();
 }
 
-void GossipBackend::start_query(Rng& rng) {
+void GossipBackend::start_query(Rng& rng, sim::Time issued) {
   GUESS_CHECK(!alive_ids_.empty());
   std::uint64_t origin = alive_ids_[rng.index(alive_ids_.size())];
-  run_query(origin, content_.draw_query(rng));
+  QueryOutcome outcome = run_query(origin, content_.draw_query(rng));
+  if (observer_ != nullptr) {
+    // Queries resolve synchronously; latency is the controller queueing
+    // delay plus the modeled probe pacing time.
+    observer_->on_query_complete(
+        (simulator_.now() - issued) + outcome.response_time,
+        outcome.satisfied);
+  }
 }
 
 void GossipBackend::begin_intervals(sim::Duration width) {

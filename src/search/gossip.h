@@ -71,7 +71,10 @@ class GossipBackend final : public SearchBackend {
   const char* name() const override { return "gossip"; }
   void bootstrap() override;
   void begin_measurement() override;
-  void start_query(Rng& rng) override;
+  void start_query(Rng& rng, sim::Time issued) override;
+  void configure_open_loop(QueryObserver* observer) override {
+    observer_ = observer;
+  }
   SearchResults collect() override;
   std::size_t live_peers() const override { return alive_slots_.size(); }
 
@@ -130,7 +133,11 @@ class GossipBackend final : public SearchBackend {
   /// receiver integrates only when the leg survives loss).
   std::size_t send_ads(PeerSlot& from, PeerSlot& to, bool delivered);
   void integrate_ad(PeerSlot& peer, const Ad& ad);
-  void run_query(std::uint64_t origin, content::FileId file);
+  struct QueryOutcome {
+    bool satisfied = false;
+    double response_time = 0.0;  ///< modeled probe pacing time
+  };
+  QueryOutcome run_query(std::uint64_t origin, content::FileId file);
   bool severed(const PeerSlot& a, const PeerSlot& b) const;
   double leg_loss() const;
 
@@ -155,6 +162,7 @@ class GossipBackend final : public SearchBackend {
   bool measuring_ = false;
   GossipStats stats_;
   std::uint64_t deaths_baseline_ = 0;
+  QueryObserver* observer_ = nullptr;
 
   // Fault state.
   int partition_ways_ = 0;  ///< 0 = no partition

@@ -1,0 +1,148 @@
+// LogHistogram: fixed-bucket log-scale latency histogram (DESIGN.md §13.2).
+#include "common/log_histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace guess {
+namespace {
+
+TEST(LogHistogram, EmptyReportsZeroEverywhere) {
+  LogHistogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile(50.0), 0.0);
+  EXPECT_EQ(h.percentile(99.9), 0.0);
+}
+
+TEST(LogHistogram, PercentileBoundsChecked) {
+  LogHistogram h;
+  h.add(1.0);
+  EXPECT_THROW(h.percentile(-1.0), CheckError);
+  EXPECT_THROW(h.percentile(100.5), CheckError);
+}
+
+TEST(LogHistogram, ZeroAndNegativeLandInTheUnderflowBucket) {
+  LogHistogram h;
+  h.add(0.0);
+  h.add(-3.0);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.percentile(50.0), 0.0);
+  EXPECT_EQ(h.percentile(100.0), 0.0);
+}
+
+TEST(LogHistogram, BucketRelativeErrorBounded) {
+  // 8 linear sub-buckets per octave: the representative (upper-bound) value
+  // of a bucket is within 12.5% of anything stored in it, worst case at the
+  // bottom sub-bucket of an octave.
+  Rng rng(7);
+  LogHistogram h;
+  for (int i = 0; i < 1000; ++i) {
+    double v = std::exp(rng.uniform(-10.0, 10.0));
+    h = LogHistogram();
+    h.add(v);
+    double rep = h.percentile(50.0);
+    EXPECT_GE(rep, v) << "representative is an upper bound";
+    EXPECT_LE(rep / v, 1.125 + 1e-9) << "value " << v << " rep " << rep;
+  }
+}
+
+TEST(LogHistogram, PercentilesMatchExactQuantilesWithinBucketError) {
+  // Nearest-rank percentiles over a known sample set agree with the exact
+  // order statistics to within one bucket's relative width.
+  std::vector<double> values;
+  Rng rng(11);
+  LogHistogram h;
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.exponential(0.1);
+    values.push_back(v);
+    h.add(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (double p : {1.0, 10.0, 50.0, 90.0, 95.0, 99.0, 99.9}) {
+    std::size_t rank = static_cast<std::size_t>(
+        std::ceil(p / 100.0 * static_cast<double>(values.size())));
+    if (rank == 0) rank = 1;
+    double exact = values[rank - 1];
+    double approx = h.percentile(p);
+    EXPECT_NEAR(approx / exact, 1.0, 0.13) << "p" << p;
+  }
+}
+
+TEST(LogHistogram, MonotoneInPercentile) {
+  Rng rng(3);
+  LogHistogram h;
+  for (int i = 0; i < 500; ++i) h.add(rng.exponential(1.0));
+  double last = 0.0;
+  for (double p = 0.0; p <= 100.0; p += 0.5) {
+    double v = h.percentile(p);
+    EXPECT_GE(v, last);
+    last = v;
+  }
+}
+
+TEST(LogHistogram, MergeIsExactAndAssociative) {
+  // Merges are integer adds per bucket — exactly associative and
+  // commutative, unlike merging quantile sketches.
+  Rng rng(5);
+  LogHistogram a, b, c;
+  for (int i = 0; i < 300; ++i) a.add(rng.exponential(0.5));
+  for (int i = 0; i < 200; ++i) b.add(rng.exponential(2.0));
+  for (int i = 0; i < 100; ++i) c.add(rng.uniform(0.0, 10.0));
+
+  LogHistogram ab_c = a;
+  ab_c += b;
+  ab_c += c;
+  LogHistogram a_bc = b;
+  a_bc += c;
+  a_bc += a;
+  EXPECT_EQ(ab_c, a_bc);
+  EXPECT_EQ(ab_c.count(), 600u);
+
+  // Merge equals bulk add of the union.
+  LogHistogram whole;
+  Rng replay(5);
+  for (int i = 0; i < 300; ++i) whole.add(replay.exponential(0.5));
+  for (int i = 0; i < 200; ++i) whole.add(replay.exponential(2.0));
+  for (int i = 0; i < 100; ++i) whole.add(replay.uniform(0.0, 10.0));
+  EXPECT_EQ(whole, ab_c);
+}
+
+TEST(LogHistogram, AddNWeightsLikeRepeatedAdd) {
+  LogHistogram a, b;
+  a.add_n(0.25, 17);
+  for (int i = 0; i < 17; ++i) b.add(0.25);
+  EXPECT_EQ(a, b);
+}
+
+TEST(LogHistogram, ExtremesSaturateInsteadOfIndexingOutOfRange) {
+  LogHistogram h;
+  h.add(1e-30);  // below the smallest octave
+  h.add(1e30);   // above the largest
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_GT(h.percentile(100.0), 1e8);  // clamped to the top bucket value
+  EXPECT_GE(h.percentile(1.0), 0.0);
+}
+
+TEST(LogHistogram, DeterministicAcrossInsertionOrders) {
+  // Bucket counts are order-independent: any permutation of the same
+  // multiset produces a bitwise-identical histogram.
+  std::vector<double> values;
+  Rng rng(13);
+  for (int i = 0; i < 256; ++i) values.push_back(rng.exponential(1.0));
+  LogHistogram forward, backward;
+  for (double v : values) forward.add(v);
+  for (auto it = values.rbegin(); it != values.rend(); ++it) {
+    backward.add(*it);
+  }
+  EXPECT_EQ(forward, backward);
+}
+
+}  // namespace
+}  // namespace guess

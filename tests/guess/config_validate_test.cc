@@ -1,0 +1,271 @@
+// SimulationConfig::validate() bounds audit: every numeric field rejects
+// out-of-range AND non-finite values (NaN compares false against every
+// range check, so each field needs an explicit isfinite guard).
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/check.h"
+#include "guess/config.h"
+
+namespace guess {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(ConfigValidate, DefaultsAreValid) {
+  EXPECT_NO_THROW(SimulationConfig().validate());
+}
+
+// --- SystemParams (Table 1) ---
+
+TEST(ConfigValidate, SystemBounds) {
+  auto with = [](auto mutate) {
+    SystemParams system;
+    mutate(system);
+    return SimulationConfig().system(system);
+  };
+  EXPECT_THROW(with([](SystemParams& s) { s.network_size = 1; }).validate(),
+               CheckError);
+  EXPECT_THROW(
+      with([](SystemParams& s) { s.num_desired_results = 0; }).validate(),
+      CheckError);
+  EXPECT_THROW(
+      with([](SystemParams& s) { s.lifespan_multiplier = 0.0; }).validate(),
+      CheckError);
+  EXPECT_THROW(
+      with([](SystemParams& s) { s.lifespan_multiplier = kNaN; }).validate(),
+      CheckError);
+  EXPECT_THROW(with([](SystemParams& s) { s.query_rate = -1.0; }).validate(),
+               CheckError);
+  EXPECT_THROW(with([](SystemParams& s) { s.query_rate = kNaN; }).validate(),
+               CheckError);
+  EXPECT_THROW(
+      with([](SystemParams& s) { s.percent_bad_peers = 101.0; }).validate(),
+      CheckError);
+  EXPECT_THROW(
+      with([](SystemParams& s) { s.percent_bad_peers = kNaN; }).validate(),
+      CheckError);
+  EXPECT_THROW(
+      with([](SystemParams& s) { s.percent_selfish_peers = -0.5; }).validate(),
+      CheckError);
+  EXPECT_THROW(with([](SystemParams& s) {
+                 s.percent_bad_peers = 60.0;
+                 s.percent_selfish_peers = 60.0;  // together > 100
+               }).validate(),
+               CheckError);
+  EXPECT_THROW(with([](SystemParams& s) {
+                 s.burst_min = 5;
+                 s.burst_max = 2;
+               }).validate(),
+               CheckError);
+}
+
+// --- ProtocolParams (Table 2) ---
+
+TEST(ConfigValidate, ProtocolBounds) {
+  auto with = [](auto mutate) {
+    ProtocolParams protocol;
+    mutate(protocol);
+    return SimulationConfig().protocol(protocol);
+  };
+  EXPECT_THROW(
+      with([](ProtocolParams& p) { p.ping_interval = 0.0; }).validate(),
+      CheckError);
+  EXPECT_THROW(
+      with([](ProtocolParams& p) { p.probe_interval = -1.0; }).validate(),
+      CheckError);
+  EXPECT_THROW(with([](ProtocolParams& p) { p.cache_size = 0; }).validate(),
+               CheckError);
+  EXPECT_THROW(with([](ProtocolParams& p) { p.pong_size = 0; }).validate(),
+               CheckError);
+  EXPECT_THROW(with([](ProtocolParams& p) { p.intro_prob = 1.5; }).validate(),
+               CheckError);
+  EXPECT_THROW(
+      with([](ProtocolParams& p) { p.parallel_probes = 0; }).validate(),
+      CheckError);
+  EXPECT_THROW(
+      with([](ProtocolParams& p) { p.backoff_duration = -1.0; }).validate(),
+      CheckError);
+}
+
+// --- TransportParams (DESIGN.md §8) ---
+
+TEST(ConfigValidate, TransportBounds) {
+  auto with = [](auto mutate) {
+    TransportParams transport;
+    mutate(transport);
+    return SimulationConfig().transport(transport);
+  };
+  EXPECT_THROW(with([](TransportParams& t) { t.loss = 1.5; }).validate(),
+               CheckError);
+  EXPECT_THROW(with([](TransportParams& t) { t.loss = kNaN; }).validate(),
+               CheckError);
+  EXPECT_THROW(
+      with([](TransportParams& t) { t.probe_timeout = 0.0; }).validate(),
+      CheckError);
+  EXPECT_THROW(
+      with([](TransportParams& t) { t.link_latency = -0.1; }).validate(),
+      CheckError);
+  EXPECT_THROW(
+      with([](TransportParams& t) { t.link_latency = kInf; }).validate(),
+      CheckError);
+  EXPECT_THROW(
+      with([](TransportParams& t) { t.retry_backoff = -1.0; }).validate(),
+      CheckError);
+  EXPECT_THROW(
+      with([](TransportParams& t) { t.max_retries = 1001; }).validate(),
+      CheckError);
+  EXPECT_THROW(with([](TransportParams& t) { t.max_backoff = 0.0; }).validate(),
+               CheckError);
+}
+
+// --- Run control ---
+
+TEST(ConfigValidate, RunControlBounds) {
+  EXPECT_THROW(SimulationConfig().warmup(-1.0).validate(), CheckError);
+  EXPECT_THROW(SimulationConfig().warmup(kNaN).validate(), CheckError);
+  EXPECT_THROW(SimulationConfig().measure(-1.0).validate(), CheckError);
+  EXPECT_THROW(SimulationConfig().measure(kInf).validate(), CheckError);
+  EXPECT_THROW(SimulationConfig().metrics_interval(-60.0).validate(),
+               CheckError);
+  EXPECT_THROW(SimulationConfig().metrics_interval(kNaN).validate(),
+               CheckError);
+  EXPECT_THROW(SimulationConfig().threads(-1).validate(), CheckError);
+}
+
+// --- Open-loop arrivals + overload control (DESIGN.md §13) ---
+
+TEST(ConfigValidate, OpenLoopRequiresPositiveOfferedRate) {
+  EXPECT_THROW(
+      SimulationConfig().arrival(sim::ArrivalMode::kOpen).validate(),
+      CheckError);
+  EXPECT_THROW(SimulationConfig()
+                   .arrival(sim::ArrivalMode::kOpen)
+                   .offered_qps(-5.0)
+                   .validate(),
+               CheckError);
+  EXPECT_THROW(SimulationConfig()
+                   .arrival(sim::ArrivalMode::kOpen)
+                   .offered_qps(kNaN)
+                   .validate(),
+               CheckError);
+  EXPECT_NO_THROW(SimulationConfig()
+                      .arrival(sim::ArrivalMode::kOpen)
+                      .offered_qps(10.0)
+                      .validate());
+}
+
+TEST(ConfigValidate, ClosedLoopRejectsOpenLoopKnobs) {
+  // offered_qps without --arrival=open is a silent no-op the user almost
+  // certainly did not intend; validate turns it into a hard error.
+  EXPECT_THROW(SimulationConfig().offered_qps(10.0).validate(), CheckError);
+  EXPECT_THROW(
+      SimulationConfig().overload_policy(OverloadPolicy::kAdmit).validate(),
+      CheckError);
+}
+
+TEST(ConfigValidate, SloMustBePositiveAndFinite) {
+  EXPECT_THROW(SimulationConfig().slo(0.0).validate(), CheckError);
+  EXPECT_THROW(SimulationConfig().slo(-2.0).validate(), CheckError);
+  EXPECT_THROW(SimulationConfig().slo(kNaN).validate(), CheckError);
+}
+
+TEST(ConfigValidate, OverloadParamBounds) {
+  auto with = [](auto mutate) {
+    OverloadParams overload;
+    mutate(overload);
+    return SimulationConfig()
+        .arrival(sim::ArrivalMode::kOpen)
+        .offered_qps(10.0)
+        .overload(overload);
+  };
+  EXPECT_THROW(with([](OverloadParams& o) { o.max_in_flight = 0; }).validate(),
+               CheckError);
+  EXPECT_THROW(with([](OverloadParams& o) { o.queue_capacity = 0; }).validate(),
+               CheckError);
+  EXPECT_THROW(with([](OverloadParams& o) { o.shed_watermark = 0; }).validate(),
+               CheckError);
+  EXPECT_THROW(with([](OverloadParams& o) {
+                 o.queue_capacity = 8;
+                 o.shed_watermark = 9;  // > queue_capacity
+               }).validate(),
+               CheckError);
+  EXPECT_THROW(
+      with([](OverloadParams& o) { o.target_failure_rate = 1.5; }).validate(),
+      CheckError);
+  EXPECT_THROW(
+      with([](OverloadParams& o) { o.target_failure_rate = kNaN; }).validate(),
+      CheckError);
+  EXPECT_THROW(
+      with([](OverloadParams& o) { o.additive_increase = 0.0; }).validate(),
+      CheckError);
+  EXPECT_THROW(
+      with([](OverloadParams& o) { o.additive_increase = kNaN; }).validate(),
+      CheckError);
+  EXPECT_THROW(with([](OverloadParams& o) {
+                 o.multiplicative_decrease = 1.0;  // must shrink
+               }).validate(),
+               CheckError);
+  EXPECT_THROW(with([](OverloadParams& o) {
+                 o.multiplicative_decrease = 0.0;
+               }).validate(),
+               CheckError);
+  EXPECT_THROW(with([](OverloadParams& o) { o.min_window = 0; }).validate(),
+               CheckError);
+  EXPECT_THROW(with([](OverloadParams& o) {
+                 o.min_window = 64;
+                 o.max_window = 32;
+               }).validate(),
+               CheckError);
+  EXPECT_THROW(
+      with([](OverloadParams& o) { o.control_interval = 0.0; }).validate(),
+      CheckError);
+  EXPECT_THROW(
+      with([](OverloadParams& o) { o.control_interval = kNaN; }).validate(),
+      CheckError);
+  EXPECT_NO_THROW(with([](OverloadParams& o) {
+                    o.policy = OverloadPolicy::kBackpressure;
+                  }).validate());
+}
+
+// --- Backend tuning blocks ---
+
+TEST(ConfigValidate, BackendBlockBounds) {
+  {
+    FloodBackendParams flood;
+    flood.ttl = 0;
+    EXPECT_THROW(SimulationConfig().flood(flood).validate(), CheckError);
+  }
+  {
+    FloodBackendParams flood;
+    flood.target_degree = 8;
+    flood.max_degree = 4;
+    EXPECT_THROW(SimulationConfig().flood(flood).validate(), CheckError);
+  }
+  {
+    IterativeBackendParams iterative;
+    iterative.schedule = {10, 10};  // not strictly increasing
+    EXPECT_THROW(SimulationConfig().iterative(iterative).validate(),
+                 CheckError);
+  }
+  {
+    OneHopBackendParams onehop;
+    onehop.dissemination_delay = -1.0;
+    EXPECT_THROW(SimulationConfig().onehop(onehop).validate(), CheckError);
+  }
+  {
+    GossipBackendParams gossip;
+    gossip.fanout = 0;
+    EXPECT_THROW(SimulationConfig().gossip(gossip).validate(), CheckError);
+  }
+  {
+    GossipBackendParams gossip;
+    gossip.probe_interval = 0.0;
+    EXPECT_THROW(SimulationConfig().gossip(gossip).validate(), CheckError);
+  }
+}
+
+}  // namespace
+}  // namespace guess

@@ -1,0 +1,268 @@
+// OverloadController unit tests: admission windows, shedding watermarks,
+// AIMD dynamics, and the pump/drain protocol (DESIGN.md §13.3).
+#include "guess/overload.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace guess {
+namespace {
+
+OverloadParams params_for(OverloadPolicy policy) {
+  OverloadParams p;
+  p.policy = policy;
+  p.max_in_flight = 2;
+  p.queue_capacity = 4;
+  p.shed_watermark = 2;
+  return p;
+}
+
+TEST(OverloadPolicyNames, RoundTrip) {
+  for (OverloadPolicy policy :
+       {OverloadPolicy::kNone, OverloadPolicy::kAdmit, OverloadPolicy::kShed,
+        OverloadPolicy::kBackpressure}) {
+    EXPECT_EQ(parse_overload_policy(overload_policy_name(policy)), policy);
+  }
+  EXPECT_THROW(parse_overload_policy("drop"), CheckError);
+  EXPECT_THROW(parse_overload_policy(""), CheckError);
+}
+
+TEST(OverloadController, NoneAdmitsEverythingImmediately) {
+  OverloadController c(params_for(OverloadPolicy::kNone));
+  for (int i = 0; i < 100; ++i) {
+    AdmitDecision d = c.on_arrival(static_cast<double>(i));
+    EXPECT_EQ(d.action, AdmitAction::kStart);
+    EXPECT_EQ(d.shed, 0u);
+  }
+  EXPECT_EQ(c.in_flight(), 100u);
+  EXPECT_EQ(c.queue_depth(), 0u);
+}
+
+TEST(OverloadController, AdmitRejectsAtTheDoorPastTheWindow) {
+  OverloadController c(params_for(OverloadPolicy::kAdmit));
+  EXPECT_EQ(c.on_arrival(0.0).action, AdmitAction::kStart);
+  EXPECT_EQ(c.on_arrival(1.0).action, AdmitAction::kStart);
+  AdmitDecision d = c.on_arrival(2.0);
+  EXPECT_EQ(d.action, AdmitAction::kReject);
+  EXPECT_EQ(d.shed, 0u);
+  EXPECT_EQ(c.in_flight(), 2u);
+  EXPECT_EQ(c.queue_depth(), 0u);  // admission control never queues
+
+  // Releasing a slot readmits the next arrival.
+  c.on_release();
+  EXPECT_EQ(c.on_arrival(3.0).action, AdmitAction::kStart);
+}
+
+TEST(OverloadController, ShedQueuesBelowTheWatermark) {
+  OverloadController c(params_for(OverloadPolicy::kShed));
+  EXPECT_EQ(c.on_arrival(0.0).action, AdmitAction::kStart);
+  EXPECT_EQ(c.on_arrival(1.0).action, AdmitAction::kStart);
+  EXPECT_EQ(c.on_arrival(2.0).action, AdmitAction::kQueue);
+  EXPECT_EQ(c.on_arrival(3.0).action, AdmitAction::kQueue);
+  EXPECT_EQ(c.queue_depth(), 2u);
+
+  // Pump: released slot starts the OLDEST queued arrival with its original
+  // issue time (queueing delay stays inside its measured latency).
+  c.on_release();
+  sim::Time issue = -1.0;
+  EXPECT_TRUE(c.try_start(&issue));
+  EXPECT_DOUBLE_EQ(issue, 2.0);
+  EXPECT_FALSE(c.try_start(&issue));  // window full again
+  EXPECT_EQ(c.in_flight(), 2u);
+  EXPECT_EQ(c.queue_depth(), 1u);
+}
+
+TEST(OverloadController, ShedOldestDropsTheLongestWaiterAndTakesTheArrival) {
+  OverloadParams p = params_for(OverloadPolicy::kShed);
+  OverloadController c(p);
+  c.on_arrival(0.0);  // start
+  c.on_arrival(1.0);  // start
+  c.on_arrival(2.0);  // queue
+  c.on_arrival(3.0);  // queue -> at watermark
+  AdmitDecision d = c.on_arrival(4.0);
+  EXPECT_EQ(d.action, AdmitAction::kQueue);
+  EXPECT_EQ(d.shed, 1u);
+  EXPECT_DOUBLE_EQ(d.shed_issue, 2.0);  // oldest waiter dropped
+  EXPECT_EQ(c.queue_depth(), 2u);       // 3.0 and 4.0 remain
+
+  c.on_release();
+  sim::Time issue = -1.0;
+  EXPECT_TRUE(c.try_start(&issue));
+  EXPECT_DOUBLE_EQ(issue, 3.0);
+}
+
+TEST(OverloadController, ShedNewestRefusesTheArrivalInstead) {
+  OverloadParams p = params_for(OverloadPolicy::kShed);
+  p.shed_oldest = false;
+  OverloadController c(p);
+  c.on_arrival(0.0);
+  c.on_arrival(1.0);
+  c.on_arrival(2.0);
+  c.on_arrival(3.0);
+  AdmitDecision d = c.on_arrival(4.0);
+  EXPECT_EQ(d.action, AdmitAction::kReject);
+  EXPECT_EQ(d.shed, 1u);                // counted as shed, not rejected
+  EXPECT_DOUBLE_EQ(d.shed_issue, 4.0);  // the arrival itself
+  EXPECT_EQ(c.queue_depth(), 2u);       // 2.0 and 3.0 untouched
+}
+
+TEST(OverloadController, ArrivalsNeverOvertakeTheQueue) {
+  // With a non-empty queue a free slot must go to the oldest waiter, not to
+  // a fresh arrival (FIFO fairness).
+  OverloadController c(params_for(OverloadPolicy::kShed));
+  c.on_arrival(0.0);
+  c.on_arrival(1.0);
+  c.on_arrival(2.0);  // queued
+  c.on_release();     // slot free, queue non-empty
+  AdmitDecision d = c.on_arrival(3.0);
+  EXPECT_EQ(d.action, AdmitAction::kQueue);
+  sim::Time issue = -1.0;
+  EXPECT_TRUE(c.try_start(&issue));
+  EXPECT_DOUBLE_EQ(issue, 2.0);
+}
+
+TEST(OverloadController, BackpressureQueuesThenRejectsAtCapacity) {
+  OverloadParams p = params_for(OverloadPolicy::kBackpressure);
+  OverloadController c(p);
+  c.on_arrival(0.0);
+  c.on_arrival(1.0);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(c.on_arrival(2.0 + i).action, AdmitAction::kQueue);
+  }
+  EXPECT_EQ(c.queue_depth(), 4u);
+  EXPECT_EQ(c.on_arrival(6.0).action, AdmitAction::kReject);
+}
+
+TEST(OverloadController, AimdGrowsOnHealthShrinksOnFailures) {
+  OverloadParams p = params_for(OverloadPolicy::kBackpressure);
+  p.max_in_flight = 8;
+  p.min_window = 2;
+  p.max_window = 16;
+  p.additive_increase = 4.0;
+  p.multiplicative_decrease = 0.5;
+  p.target_failure_rate = 0.05;
+  OverloadController c(p);
+  EXPECT_DOUBLE_EQ(c.window(), 8.0);
+
+  c.tick(0.0);  // healthy: additive increase
+  EXPECT_DOUBLE_EQ(c.window(), 12.0);
+  c.tick(0.01);  // under target: still healthy
+  EXPECT_DOUBLE_EQ(c.window(), 16.0);
+  c.tick(0.0);  // clamped at max_window
+  EXPECT_DOUBLE_EQ(c.window(), 16.0);
+
+  c.tick(0.5);  // failing: multiplicative decrease
+  EXPECT_DOUBLE_EQ(c.window(), 8.0);
+  c.tick(0.5);
+  c.tick(0.5);
+  c.tick(0.5);
+  EXPECT_DOUBLE_EQ(c.window(), 2.0);  // clamped at min_window
+}
+
+TEST(OverloadController, AimdTreatsDeepBacklogAsPressureButNotAShallowOne) {
+  OverloadParams p = params_for(OverloadPolicy::kBackpressure);
+  p.min_window = 1;
+  p.queue_capacity = 4;
+  OverloadController c(p);
+  c.on_arrival(0.0);
+  c.on_arrival(1.0);
+  c.on_arrival(2.0);  // queue depth 1: under open-loop load the queue is
+  c.on_arrival(3.0);  // depth 2 = half capacity: still not pressure
+  double before = c.window();
+  c.tick(0.0);  // rarely empty; a shallow backlog must not shrink the window
+  EXPECT_GT(c.window(), before);
+  c.on_arrival(4.0);  // depth 3 > capacity/2: now it is pressure
+  before = c.window();
+  c.tick(0.0);
+  EXPECT_LT(c.window(), before);
+}
+
+TEST(OverloadController, AimdShrunkWindowStillDrainsWaitersOnRelease) {
+  OverloadParams p = params_for(OverloadPolicy::kBackpressure);
+  p.max_in_flight = 4;
+  p.min_window = 1;
+  OverloadController c(p);
+  c.on_arrival(0.0);
+  c.on_arrival(1.0);
+  c.on_arrival(2.0);
+  c.on_arrival(3.0);
+  c.on_arrival(4.0);  // queued
+  sim::Time issue = -1.0;
+  EXPECT_FALSE(c.try_start(&issue));  // window 4, all slots busy
+  c.tick(0.5);                        // pressure: window 4 -> 2
+  EXPECT_DOUBLE_EQ(c.window(), 2.0);
+  c.on_release();  // in_flight 3 > window 2: still no admission
+  EXPECT_FALSE(c.try_start(&issue));
+  c.on_release();
+  c.on_release();  // in_flight 1 < window 2: waiter admitted
+  EXPECT_TRUE(c.try_start(&issue));
+  EXPECT_DOUBLE_EQ(issue, 4.0);
+}
+
+TEST(OverloadController, TickIsANoOpForNonAimdPolicies) {
+  for (OverloadPolicy policy : {OverloadPolicy::kNone, OverloadPolicy::kAdmit,
+                                OverloadPolicy::kShed}) {
+    OverloadController c(params_for(policy));
+    double before = c.window();
+    c.tick(1.0);
+    EXPECT_DOUBLE_EQ(c.window(), before) << overload_policy_name(policy);
+  }
+}
+
+TEST(OverloadController, DrainPopsOldestFirstWithoutTouchingInFlight) {
+  OverloadController c(params_for(OverloadPolicy::kShed));
+  c.on_arrival(0.0);
+  c.on_arrival(1.0);
+  c.on_arrival(2.0);
+  c.on_arrival(3.0);
+  EXPECT_EQ(c.in_flight(), 2u);
+  sim::Time issue = -1.0;
+  EXPECT_TRUE(c.drain_one(&issue));
+  EXPECT_DOUBLE_EQ(issue, 2.0);
+  EXPECT_TRUE(c.drain_one(&issue));
+  EXPECT_DOUBLE_EQ(issue, 3.0);
+  EXPECT_FALSE(c.drain_one(&issue));
+  EXPECT_EQ(c.in_flight(), 2u);
+}
+
+TEST(OverloadController, RingBufferSurvivesWraparound) {
+  OverloadParams p = params_for(OverloadPolicy::kShed);
+  p.queue_capacity = 3;
+  p.shed_watermark = 3;
+  OverloadController c(p);
+  c.on_arrival(0.0);
+  c.on_arrival(1.0);
+  // Cycle the queue several times past its capacity to exercise the ring
+  // indices: queue one, start one, repeatedly.
+  double t = 2.0;
+  for (int round = 0; round < 10; ++round) {
+    c.on_arrival(t);
+    c.on_release();
+    sim::Time issue = -1.0;
+    ASSERT_TRUE(c.try_start(&issue));
+    EXPECT_DOUBLE_EQ(issue, t);
+    t += 1.0;
+  }
+  EXPECT_EQ(c.queue_depth(), 0u);
+}
+
+TEST(OverloadController, ReleaseUnderflowIsAnError) {
+  OverloadController c(params_for(OverloadPolicy::kAdmit));
+  EXPECT_THROW(c.on_release(), CheckError);
+}
+
+TEST(OverloadStats, DerivedRatesHandleEmptyAndTypicalWindows) {
+  OverloadStats s;
+  EXPECT_DOUBLE_EQ(s.goodput(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.slo_violation_rate(), 0.0);
+
+  s.completed = 80;
+  s.open_at_close = 20;
+  s.slo_ok = 60;
+  EXPECT_DOUBLE_EQ(s.goodput(30.0), 2.0);
+  EXPECT_DOUBLE_EQ(s.slo_violation_rate(), 0.4);
+}
+
+}  // namespace
+}  // namespace guess

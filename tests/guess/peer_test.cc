@@ -176,13 +176,31 @@ TEST(Peer, LoadCountersAccumulate) {
 TEST(Peer, QueryQueueIsFifo) {
   Peer peer = make_peer();
   EXPECT_FALSE(peer.has_pending_query());
-  peer.enqueue_query(10);
-  peer.enqueue_query(20);
+  peer.enqueue_query(10, 1.0);
+  peer.enqueue_query(20, 2.5);
   EXPECT_TRUE(peer.has_pending_query());
-  EXPECT_EQ(peer.pop_pending_query(), 10u);
-  EXPECT_EQ(peer.pop_pending_query(), 20u);
+  Peer::PendingQuery first = peer.pop_pending_query();
+  EXPECT_EQ(first.file, 10u);
+  EXPECT_EQ(first.issued, 1.0);
+  Peer::PendingQuery second = peer.pop_pending_query();
+  EXPECT_EQ(second.file, 20u);
+  EXPECT_EQ(second.issued, 2.5);
   EXPECT_FALSE(peer.has_pending_query());
   EXPECT_THROW(peer.pop_pending_query(), CheckError);
+}
+
+TEST(Peer, VisitPendingQueriesSeesWaitingEntriesInOrder) {
+  Peer peer = make_peer();
+  peer.enqueue_query(1, 0.5);
+  peer.enqueue_query(2, 1.5);
+  peer.enqueue_query(3, 2.5);
+  (void)peer.pop_pending_query();  // 1 is no longer waiting
+  std::vector<double> issued;
+  peer.visit_pending_queries(
+      [&](const Peer::PendingQuery& q) { issued.push_back(q.issued); });
+  ASSERT_EQ(issued.size(), 2u);
+  EXPECT_EQ(issued[0], 1.5);
+  EXPECT_EQ(issued[1], 2.5);
 }
 
 TEST(Peer, QueryActiveFlag) {

@@ -279,7 +279,21 @@ TEST(BackendRegistry, NonGuessBackendsRejectUnsupportedFaults) {
                                   .backend(SearchBackendId::kFlood),
                               simulator, Rng(1));
   EXPECT_THROW(backend->fault_set_poisoning(true), CheckError);
-  EXPECT_THROW(backend->fault_mass_kill(0.5), CheckError);
+  EXPECT_THROW(backend->fault_set_partition(2), CheckError);
+}
+
+TEST(BackendRegistry, EveryBackendSupportsMassKillAndJoin) {
+  for (SearchBackendId id : registered_backends()) {
+    sim::Simulator simulator;
+    auto backend = make_backend(
+        SimulationConfig().system(small_system(50)).backend(id), simulator,
+        Rng(1));
+    backend->bootstrap();
+    std::size_t before = backend->live_peers();
+    EXPECT_NO_THROW(backend->fault_mass_kill(0.2)) << backend->name();
+    EXPECT_LT(backend->live_peers(), before) << backend->name();
+    EXPECT_NO_THROW(backend->fault_mass_join(10)) << backend->name();
+  }
 }
 
 }  // namespace
